@@ -1,0 +1,35 @@
+"""Benchmark reproducing Example 3 (Section 4.4): ES is not worst-case optimal.
+
+On the adversarial path-4 instance the elastic sensitivity grows as Θ(N³)
+while the AGM-based global-sensitivity bound is O(N²) and residual
+sensitivity stays near the (tiny) true local sensitivity.  The benchmark
+prints the sweep over N and checks the separation grows.
+
+Run::
+
+    pytest benchmarks/bench_example3.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.experiments.example3 import format_example3, run_example3
+
+
+def test_example3_separation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_example3(sizes=(16, 32, 64, 128, 256)), rounds=1, iterations=1
+    )
+
+    print()
+    print(format_example3(rows))
+
+    # ES follows 4 (N/2)^3 exactly on this instance.
+    for row in rows:
+        assert row.elastic_ls0 == 4 * (row.n / 2) ** 3
+        assert row.gs_exponent == 2.0
+    # The ES / GS separation grows with N (the "not worst-case optimal" claim).
+    ratios = [row.es_over_gs for row in rows]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > ratios[0]
+    # Residual sensitivity stays far below elastic sensitivity throughout.
+    assert all(row.residual_value < row.elastic_value for row in rows)

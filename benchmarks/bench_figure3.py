@@ -1,0 +1,50 @@
+"""Benchmark reproducing Figure 3 of the paper (the β sweep).
+
+Each panel plots SS/RS/ES (and the true query result) against the smoothing
+parameter β ∈ [0.01, 1].  The benchmark prints every generated panel as a
+table of series, which is the data behind the figure.
+
+Run::
+
+    pytest benchmarks/bench_figure3.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.snap_surrogates import available_datasets, surrogate_database
+from repro.experiments.figure3 import Figure3Config, format_figure3, run_figure3
+
+from bench_utils import bench_scale, full_run
+
+
+@pytest.fixture(scope="module")
+def databases():
+    scale = bench_scale()
+    names = available_datasets() if full_run() else ["HepTh", "GrQc"]
+    return {name: surrogate_database(name, scale=scale) for name in names}
+
+
+def test_figure3_beta_sweep(benchmark, databases):
+    queries = (
+        ("q_triangle", "q_3star", "q_rectangle", "q_2triangle")
+        if full_run()
+        else ("q_triangle", "q_3star")
+    )
+    config = Figure3Config(datasets=tuple(databases), queries=queries)
+
+    panels = benchmark.pedantic(
+        lambda: run_figure3(config, databases=databases), rounds=1, iterations=1
+    )
+
+    print()
+    print(format_figure3(panels))
+    assert len(panels) == len(databases) * len(queries)
+    for panel in panels:
+        # The paper's observation: the measures barely move with β except in
+        # the very-high-privacy regime — so the series are monotone
+        # non-increasing in β and flatten out towards β = 1.
+        assert list(panel.rs_values) == sorted(panel.rs_values, reverse=True)
+        assert list(panel.es_values) == sorted(panel.es_values, reverse=True)
+        assert panel.rs_values[-1] > 0

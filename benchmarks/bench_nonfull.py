@@ -1,0 +1,30 @@
+"""Benchmark for the Section 6 projection study and the Theorem 6.4 trade-off.
+
+Run::
+
+    pytest benchmarks/bench_nonfull.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.experiments.nonfull import format_nonfull_study, run_nonfull_study
+
+
+def test_nonfull_projection_study(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_nonfull_study(configurations=((64, 4), (256, 8), (1024, 16))),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(format_nonfull_study(rows))
+
+    for row in rows:
+        # Projection-aware RS is never larger than the full-CQ RS and the gap
+        # widens with the join fan-out r.
+        assert row.rs_projected <= row.rs_full
+        # Theorem 6.4: the implied optimality-ratio lower bound is N / r^2.
+        assert row.c_lower_bound == row.n / (row.r * row.r)
+    gains = [row.projection_gain for row in rows]
+    assert gains[-1] > gains[0]

@@ -1,0 +1,55 @@
+"""Benchmark for the empirical neighborhood-optimality ratios (Theorem 1.1).
+
+For each (dataset, query) pair the RS mechanism's expected error is divided
+by the Lemma 4.2 + 4.5 neighborhood lower bound, giving a per-instance upper
+estimate of the optimality ratio ``c``.  The paper proves ``c = O(1)`` with a
+loose worst-case constant; the benchmark shows the measured ratios are small.
+
+Run::
+
+    pytest benchmarks/bench_optimality.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.datasets.snap_surrogates import available_datasets, surrogate_database
+from repro.experiments.optimality import format_optimality_study, run_optimality_study
+
+from bench_utils import bench_scale, full_run
+
+
+@pytest.fixture(scope="module")
+def databases():
+    scale = bench_scale()
+    names = available_datasets() if full_run() else ["HepTh", "GrQc"]
+    return {name: surrogate_database(name, scale=scale) for name in names}
+
+
+def test_optimality_ratios(benchmark, databases):
+    queries = (
+        ("q_triangle", "q_3star", "q_rectangle", "q_2triangle")
+        if full_run()
+        else ("q_triangle", "q_3star")
+    )
+    rows = benchmark.pedantic(
+        lambda: run_optimality_study(
+            epsilon=1.0, datasets=tuple(databases), queries=queries, databases=databases
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(format_optimality_study(rows))
+
+    for row in rows:
+        assert row.lower_bound > 0
+        assert math.isfinite(row.ratio)
+        assert row.ratio >= 1.0
+        # The whole point of Theorem 1.1: the ratio is a constant (and in
+        # practice a modest one), not something growing with the data size.
+        assert row.ratio < 100_000

@@ -1,0 +1,36 @@
+"""Scaling ablation: residual-sensitivity computation cost versus instance size.
+
+Theorem 1.1 claims RS is computable in poly(N) time; this benchmark measures
+the wall-clock growth on collaboration graphs of doubling size (constant
+average degree) for the triangle query, and checks the growth is far from
+exponential (time ratio per doubling stays bounded).
+
+Run::
+
+    pytest benchmarks/bench_scaling.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.experiments.scaling import format_scaling_study, run_scaling_study
+
+
+def test_rs_scaling_with_instance_size(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_scaling_study(sizes=(100, 200, 400, 800), average_degree=8.0),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(format_scaling_study(rows))
+
+    sizes = [row.num_nodes for row in rows]
+    assert sizes == sorted(sizes)
+    # RS values grow with the instance (denser neighbourhoods appear) ...
+    assert rows[-1].rs_value >= rows[0].rs_value
+    # ... and the cost per doubling stays polynomial-ish (generous cap that an
+    # exponential blow-up would violate immediately).
+    for previous, current in zip(rows, rows[1:]):
+        if previous.rs_seconds > 0.05:
+            assert current.rs_seconds <= 16 * previous.rs_seconds

@@ -1,0 +1,64 @@
+"""Benchmark reproducing Table 1 of the paper.
+
+For each benchmark query the harness evaluates, on every collaboration-graph
+surrogate, the exact query result and the value/time of residual, elastic and
+(for q△ / q3∗) smooth sensitivity, then prints the table block in the paper's
+layout.  The pytest-benchmark timing of each block is the end-to-end cost of
+reproducing it.
+
+Run::
+
+    pytest benchmarks/bench_table1.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.snap_surrogates import available_datasets, surrogate_database
+from repro.experiments.table1 import Table1Config, format_table1, run_table1
+
+from bench_utils import bench_scale, full_run
+
+#: The heavier queries run on a dataset subset unless REPRO_BENCH_FULL=1.
+_LIGHT_DATASETS = ("HepTh", "GrQc")
+
+
+def _datasets_for(query_name: str) -> tuple[str, ...]:
+    if full_run() or query_name in ("q_triangle", "q_3star"):
+        return tuple(available_datasets())
+    return _LIGHT_DATASETS
+
+
+@pytest.fixture(scope="module")
+def databases():
+    """Pre-built surrogate databases (generation excluded from the timings)."""
+    scale = bench_scale()
+    return {name: surrogate_database(name, scale=scale) for name in available_datasets()}
+
+
+@pytest.mark.parametrize(
+    "query_name", ["q_triangle", "q_3star", "q_rectangle", "q_2triangle"]
+)
+def test_table1_block(benchmark, databases, query_name):
+    datasets = _datasets_for(query_name)
+    config = Table1Config(beta=0.1, datasets=datasets, queries=(query_name,))
+
+    result = benchmark.pedantic(
+        lambda: run_table1(config, databases=databases), rounds=1, iterations=1
+    )
+
+    print()
+    print(format_table1(result))
+    for cell in result.cells:
+        assert cell.rs_value > 0
+        assert cell.es_value > 0
+        if query_name == "q_3star" and cell.rs_value:
+            # Table 1 finding: ES and RS essentially coincide on the star query.
+            assert 0.5 <= cell.es_value / cell.rs_value <= 2.0
+        if query_name in ("q_rectangle", "q_2triangle"):
+            # Table 1 finding: ES is orders of magnitude larger on cyclic patterns.
+            assert cell.es_value > 5 * cell.rs_value
+        if cell.ss_value:
+            # Table 1 finding: RS is within a small factor of SS.
+            assert cell.rs_value <= 25 * cell.ss_value

@@ -1,0 +1,28 @@
+"""Helpers shared by the benchmark modules.
+
+Two environment variables control the cost/fidelity trade-off of the
+dataset-driven benchmarks:
+
+``REPRO_BENCH_SCALE``
+    Surrogate scale factor (default 0.015 — a few hundred vertices per
+    dataset).  The paper-shape conclusions are scale-free; see EXPERIMENTS.md.
+``REPRO_BENCH_FULL``
+    Set to ``1`` to run every dataset × query combination instead of the
+    representative subset (substantially slower in pure Python).
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["bench_scale", "full_run"]
+
+
+def bench_scale() -> float:
+    """The surrogate scale factor used by dataset-driven benchmarks."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.015"))
+
+
+def full_run() -> bool:
+    """Whether to run the full dataset × query grid."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"

@@ -1,0 +1,34 @@
+"""Pytest configuration for the benchmark suite.
+
+Ensures the ``src`` layout and the local ``bench_utils`` helper are importable
+when the benchmarks are run straight from a checkout, and exposes the
+scale/full-grid knobs as fixtures (see ``bench_utils`` for the environment
+variables that control them).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_HERE = Path(__file__).resolve().parent
+_SRC = _HERE.parent / "src"
+for path in (str(_SRC), str(_HERE)):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from bench_utils import bench_scale, full_run  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def surrogate_scale() -> float:
+    """The surrogate scale factor used by dataset-driven benchmarks."""
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def run_full_grid() -> bool:
+    """Whether to run the full dataset × query grid."""
+    return full_run()

@@ -1,0 +1,13 @@
+"""Pytest root configuration.
+
+Ensures the ``src`` layout is importable even when the package has not been
+installed (e.g. running ``pytest`` straight from a fresh checkout in an
+offline environment where ``pip install -e .`` is unavailable).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

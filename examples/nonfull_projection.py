@@ -1,0 +1,71 @@
+"""Non-full CQs: how the projection changes the privacy/utility trade-off.
+
+Section 6 of the paper extends residual sensitivity to queries with
+projections and shows two complementary facts, both demonstrated here:
+
+* **Projections reduce the noise.**  On a warehouse-style instance where each
+  join key fans out to many partners, counting *distinct* entities
+  (``π_{x1}``) has far smaller residual sensitivity than counting raw join
+  results — so the projection-aware mechanism adds far less noise.
+* **But the optimality guarantee is lost.**  Theorem 6.4 exhibits an instance
+  pair for ``π_{x1}(R1(x1,x2) ⋈ R2(x2))`` forcing ``c·r² >= N`` for any
+  ``(r, c)``-neighborhood optimal mechanism; the example prints the implied
+  lower bound for several radii.
+
+Run with::
+
+    python examples/nonfull_projection.py
+"""
+
+from __future__ import annotations
+
+from repro.engine.evaluation import count_query
+from repro.experiments.nonfull import (
+    format_nonfull_study,
+    projection_gain_instance,
+    run_nonfull_study,
+    theorem_6_4_instances,
+)
+from repro.mechanisms.mechanism import PrivateCountingQuery
+from repro.query.parser import parse_query
+
+
+def main() -> None:
+    epsilon = 1.0
+
+    # Part 1: the combined study (projection gain + Theorem 6.4 bound).
+    rows = run_nonfull_study(configurations=((64, 4), (256, 8), (1024, 16)))
+    print(format_nonfull_study(rows))
+
+    # Part 2: release both variants of one concrete query and compare errors.
+    gain_db = projection_gain_instance(num_entities=256, groups=8, fanout=256)
+    projected = parse_query("Q(x1) :- R1(x1, x2), R2(x2, x3)", name="distinct_entities")
+    full = parse_query("R1(x1, x2), R2(x2, x3)", name="raw_join_size")
+    for query in (projected, full):
+        true_count = count_query(query, gain_db)
+        release = PrivateCountingQuery(query, epsilon=epsilon, rng=0).release(
+            gain_db, true_count=true_count
+        )
+        print(
+            f"\n{query.name:17s}: true = {true_count:8d}   "
+            f"noisy = {release.noisy_count:12.1f}   expected error = {release.expected_error:10.1f}"
+        )
+
+    # Part 3: the Theorem 6.4 instance pair itself.
+    dense, sparse = theorem_6_4_instances(256, 8)
+    q = parse_query("Q(x1) :- R1(x1, x2), R2(x2)")
+    print(
+        "\nTheorem 6.4 instances (N=256, r=8): the dense instance answers "
+        f"{count_query(q, dense)} everywhere in its r-neighborhood while the sparse "
+        f"instance answers {count_query(q, sparse)}; any mechanism accurate on both "
+        "neighborhoods must therefore pay c >= N/r^2 = 4."
+    )
+    print(
+        "\nReading: the projection cuts the expected error by roughly the fan-out,\n"
+        "but Theorem 6.4 shows no mechanism for projection queries can match the\n"
+        "O(1)-neighborhood optimality that full CQs enjoy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Private SQL-style analytics over a TPC-H-like warehouse.
+
+The paper motivates DP conjunctive-query counting with SQL analytics: an
+analyst wants aggregate joins over business tables without learning about
+individual rows.  This example builds a small TPC-H-flavoured warehouse
+(customers, orders, line items with skewed foreign keys), answers a workload
+of counting queries — full joins, selective predicates and a projection —
+under a single privacy budget, and reports how far each noisy answer is from
+the truth relative to the mechanism's expected error.
+
+Run with::
+
+    python examples/private_sql_analytics.py
+"""
+
+from __future__ import annotations
+
+from repro import PrivacyAccountant, PrivateCountingQuery, count_query, parse_query
+from repro.datasets.tpch import generate_tpch
+from repro.experiments.reporting import format_number, render_table
+
+
+def build_workload():
+    """The analyst's workload: four counting queries of increasing selectivity."""
+    return {
+        "orders per customer segment join": parse_query(
+            "Customer(c, n, s), Orders(o, c, p)", name="customer_orders"
+        ),
+        "full customer-order-lineitem join": parse_query(
+            "Customer(c, n, s), Orders(o, c, p), Lineitem(o, pk, q)",
+            name="customer_order_lineitem",
+        ),
+        "large line items (q >= 30)": parse_query(
+            "Orders(o, c, p), Lineitem(o, pk, q), q >= 30", name="large_lineitems"
+        ),
+        "distinct customers with urgent orders": parse_query(
+            "Q(c) :- Customer(c, n, s), Orders(o, c, p), p <= 2", name="urgent_customers"
+        ),
+    }
+
+
+def main() -> None:
+    warehouse = generate_tpch(
+        num_customers=60, orders_per_customer=3.0, lineitems_per_order=2.5, seed=7
+    )
+    for name in ("Customer", "Orders", "Lineitem"):
+        print(f"{name:9s}: {len(warehouse.relation(name))} tuples")
+
+    per_query_epsilon = 0.5
+    workload = build_workload()
+    accountant = PrivacyAccountant(total_budget=len(workload) * per_query_epsilon)
+
+    rows = []
+    for label, query in workload.items():
+        true_count = count_query(query, warehouse)
+        releaser = PrivateCountingQuery(query, epsilon=per_query_epsilon, rng=11)
+        release = accountant.run(
+            per_query_epsilon,
+            lambda releaser=releaser: releaser.release(warehouse),
+            label=label,
+        )
+        absolute_error = abs(release.noisy_count - true_count)
+        rows.append(
+            [
+                label,
+                format_number(true_count),
+                format_number(release.noisy_count, decimals=1),
+                format_number(release.expected_error, decimals=1),
+                format_number(absolute_error, decimals=1),
+            ]
+        )
+
+    print()
+    print(
+        render_table(
+            ["query", "true", "noisy", "expected error", "|error|"],
+            rows,
+            title=f"DP analytics workload (epsilon = {per_query_epsilon} per query)",
+        )
+    )
+    print(f"\nprivacy budget spent: {accountant.spent:.2f} of {accountant.total_budget:.2f}")
+    print(
+        "\nNote how the projection query (distinct customers) enjoys a much smaller\n"
+        "noise scale than the raw three-way join: Section 6's projection-aware\n"
+        "residual sensitivity is what makes that possible."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that ``pip install -e .`` also works in offline environments whose
+toolchain lacks the ``wheel`` package required by PEP 660 editable installs
+(pip falls back to the legacy ``setup.py develop`` path with
+``--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,84 @@
+"""repro — nearly instance-optimal differentially private conjunctive-query counting.
+
+A from-scratch reproduction of *"A Nearly Instance-optimal Differentially
+Private Mechanism for Conjunctive Queries"* (Wei Dong and Ke Yi, PODS 2022).
+
+The package releases the result size of conjunctive queries — including
+self-joins, inequality/comparison predicates and projections — under pure
+ε-differential privacy, with noise calibrated to **residual sensitivity**,
+the paper's polynomial-time, `O(1)`-neighborhood-optimal smooth upper bound
+of smooth sensitivity.  Baselines (smooth sensitivity closed forms, elastic
+sensitivity, AGM-based global sensitivity), the underlying relational/query
+evaluation substrate, the graph-pattern workloads of the paper's evaluation
+and the experiment harnesses regenerating its tables and figures are all
+included.
+
+Quickstart
+----------
+>>> from repro import PrivateCountingQuery, parse_query
+>>> from repro.data import Database, DatabaseSchema
+>>> schema = DatabaseSchema.from_arities({"R": 2, "S": 2})
+>>> db = Database.from_rows(schema, R=[(1, 2), (1, 3)], S=[(2, 9), (3, 9)])
+>>> query = parse_query("R(x, y), S(y, z)")
+>>> release = PrivateCountingQuery(query, epsilon=1.0, rng=0).release(db)
+>>> isinstance(release.noisy_count, float)
+True
+"""
+
+from repro.data import Database, DatabaseSchema, Relation, RelationSchema
+from repro.engine import count_query, evaluate_query
+from repro.exceptions import (
+    DatasetError,
+    EvaluationError,
+    ExperimentError,
+    PrivacyError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    SensitivityError,
+)
+from repro.mechanisms import (
+    PrivacyAccountant,
+    PrivateCountingQuery,
+    SmoothSensitivityMechanism,
+)
+from repro.query import Atom, ConjunctiveQuery, Variable, parse_query
+from repro.sensitivity import (
+    ElasticSensitivity,
+    GlobalSensitivityBound,
+    ResidualSensitivity,
+    StarSmoothSensitivity,
+    TriangleSmoothSensitivity,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Database",
+    "DatabaseSchema",
+    "DatasetError",
+    "ElasticSensitivity",
+    "EvaluationError",
+    "ExperimentError",
+    "GlobalSensitivityBound",
+    "PrivacyAccountant",
+    "PrivacyError",
+    "PrivateCountingQuery",
+    "QueryError",
+    "Relation",
+    "RelationSchema",
+    "ReproError",
+    "ResidualSensitivity",
+    "SchemaError",
+    "SensitivityError",
+    "SmoothSensitivityMechanism",
+    "StarSmoothSensitivity",
+    "TriangleSmoothSensitivity",
+    "Variable",
+    "count_query",
+    "evaluate_query",
+    "parse_query",
+    "__version__",
+]

@@ -1,0 +1,234 @@
+"""Command-line interface for the ``repro`` library.
+
+Installed as ``repro-dp`` (see ``pyproject.toml``).  Sub-commands:
+
+``count``
+    Release a differentially private count of a conjunctive query over an
+    edge-list file (or a generated surrogate dataset).
+
+``sensitivity``
+    Print the residual / elastic / global sensitivity of a query on a dataset
+    without releasing anything.
+
+``table1`` / ``figure3`` / ``example3`` / ``nonfull`` / ``optimality`` /
+``scaling``
+    Run one of the paper-reproduction experiments and print its report.
+
+``run-all``
+    Run every experiment and write text + CSV reports to a directory.
+
+``generate``
+    Write a surrogate collaboration graph to an edge-list file.
+
+Examples
+--------
+::
+
+    repro-dp count --dataset GrQc --query "Edge(x,y), Edge(y,z), Edge(x,z), x != y, y != z, x != z" --epsilon 1.0
+    repro-dp table1 --datasets GrQc HepTh --queries q_triangle q_3star
+    repro-dp generate --dataset CondMat --output condmat_surrogate.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.data.database import Database
+from repro.datasets.snap_surrogates import available_datasets, surrogate_database
+from repro.exceptions import ReproError
+from repro.experiments.example3 import format_example3, run_example3
+from repro.experiments.figure3 import Figure3Config, format_figure3, run_figure3
+from repro.experiments.nonfull import format_nonfull_study, run_nonfull_study
+from repro.experiments.optimality import format_optimality_study, run_optimality_study
+from repro.experiments.runner import run_all_experiments
+from repro.experiments.scaling import format_scaling_study, run_scaling_study
+from repro.experiments.table1 import Table1Config, format_table1, run_table1
+from repro.graphs.loader import database_from_edge_file, write_edge_file
+from repro.mechanisms.mechanism import PrivateCountingQuery
+from repro.query.parser import parse_query
+from repro.sensitivity.elastic import ElasticSensitivity
+from repro.sensitivity.global_sensitivity import GlobalSensitivityBound
+from repro.sensitivity.residual import ResidualSensitivity
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_database(args: argparse.Namespace) -> Database:
+    """Load the database selected by ``--dataset`` or ``--edge-file``."""
+    if getattr(args, "edge_file", None):
+        return database_from_edge_file(args.edge_file)
+    dataset = getattr(args, "dataset", None) or "GrQc"
+    return surrogate_database(dataset, scale=getattr(args, "scale", None))
+
+
+def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset",
+        choices=available_datasets(),
+        help="surrogate dataset to use (default: GrQc)",
+    )
+    parser.add_argument("--edge-file", help="edge-list file to load instead of a surrogate")
+    parser.add_argument("--scale", type=float, default=None, help="surrogate scale factor")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dp",
+        description="Differentially private conjunctive-query counting via residual sensitivity",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    count = subparsers.add_parser("count", help="release a DP count of a query")
+    _add_data_arguments(count)
+    count.add_argument("--query", required=True, help="query in the datalog-style syntax")
+    count.add_argument("--epsilon", type=float, default=1.0, help="privacy parameter")
+    count.add_argument(
+        "--method",
+        default="residual",
+        choices=["residual", "elastic", "smooth-triangle", "smooth-star", "global"],
+        help="sensitivity engine used for calibration",
+    )
+    count.add_argument("--seed", type=int, default=None, help="noise seed (for reproducibility)")
+
+    sensitivity = subparsers.add_parser(
+        "sensitivity", help="print sensitivities of a query without releasing a count"
+    )
+    _add_data_arguments(sensitivity)
+    sensitivity.add_argument("--query", required=True, help="query in the datalog-style syntax")
+    sensitivity.add_argument("--beta", type=float, default=0.1, help="smoothing parameter")
+
+    table1 = subparsers.add_parser("table1", help="reproduce Table 1")
+    table1.add_argument("--datasets", nargs="*", default=[], choices=available_datasets())
+    table1.add_argument("--queries", nargs="*", default=[])
+    table1.add_argument("--beta", type=float, default=0.1)
+    table1.add_argument("--scale", type=float, default=None)
+
+    figure3 = subparsers.add_parser("figure3", help="reproduce the Figure 3 beta sweep")
+    figure3.add_argument("--datasets", nargs="*", default=[], choices=available_datasets())
+    figure3.add_argument("--queries", nargs="*", default=[])
+    figure3.add_argument("--scale", type=float, default=None)
+
+    subparsers.add_parser("example3", help="reproduce Example 3 (ES vs GS on path-4)")
+    subparsers.add_parser("nonfull", help="run the Section 6 projection study")
+
+    optimality = subparsers.add_parser("optimality", help="empirical optimality ratios")
+    optimality.add_argument("--datasets", nargs="*", default=[], choices=available_datasets())
+    optimality.add_argument("--epsilon", type=float, default=1.0)
+    optimality.add_argument("--scale", type=float, default=None)
+
+    scaling = subparsers.add_parser("scaling", help="RS cost vs instance size")
+    scaling.add_argument("--sizes", nargs="*", type=int, default=[100, 200, 400, 800])
+
+    run_all = subparsers.add_parser("run-all", help="run every experiment and write reports")
+    run_all.add_argument("--output-dir", default="experiment_results")
+    run_all.add_argument("--datasets", nargs="*", default=[], choices=available_datasets())
+    run_all.add_argument("--scale", type=float, default=None)
+
+    generate = subparsers.add_parser("generate", help="write a surrogate dataset edge list")
+    generate.add_argument("--dataset", required=True, choices=available_datasets())
+    generate.add_argument("--output", required=True, help="output edge-list path")
+    generate.add_argument("--scale", type=float, default=None)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "count":
+        database = _load_database(args)
+        query = parse_query(args.query)
+        releaser = PrivateCountingQuery(
+            query, epsilon=args.epsilon, method=args.method, rng=args.seed
+        )
+        release = releaser.release(database)
+        print(f"noisy count : {release.noisy_count:.2f}")
+        print(f"method      : {release.method}")
+        print(f"epsilon     : {release.epsilon}")
+        print(f"expected err: {release.expected_error:.2f}")
+        return 0
+
+    if args.command == "sensitivity":
+        database = _load_database(args)
+        query = parse_query(args.query)
+        residual = ResidualSensitivity(query, beta=args.beta).compute(database)
+        elastic = ElasticSensitivity(query, beta=args.beta).compute(database)
+        global_bound = GlobalSensitivityBound(query).compute(database)
+        print(f"residual sensitivity : {residual.value:.2f}")
+        print(f"elastic sensitivity  : {elastic.value:.2f}")
+        print(f"global bound (AGM)   : {global_bound.value:.2f}")
+        return 0
+
+    if args.command == "table1":
+        result = run_table1(
+            Table1Config(
+                beta=args.beta,
+                datasets=tuple(args.datasets),
+                queries=tuple(args.queries),
+                scale=args.scale,
+            )
+        )
+        print(format_table1(result))
+        return 0
+
+    if args.command == "figure3":
+        panels = run_figure3(
+            Figure3Config(
+                datasets=tuple(args.datasets),
+                queries=tuple(args.queries),
+                scale=args.scale,
+            )
+        )
+        print(format_figure3(panels))
+        return 0
+
+    if args.command == "example3":
+        print(format_example3(run_example3()))
+        return 0
+
+    if args.command == "nonfull":
+        print(format_nonfull_study(run_nonfull_study()))
+        return 0
+
+    if args.command == "optimality":
+        rows = run_optimality_study(
+            epsilon=args.epsilon, datasets=tuple(args.datasets), scale=args.scale
+        )
+        print(format_optimality_study(rows))
+        return 0
+
+    if args.command == "scaling":
+        print(format_scaling_study(run_scaling_study(sizes=tuple(args.sizes))))
+        return 0
+
+    if args.command == "run-all":
+        outputs = run_all_experiments(
+            args.output_dir, datasets=tuple(args.datasets), scale=args.scale
+        )
+        for path in outputs.files:
+            print(f"wrote {path}")
+        return 0
+
+    if args.command == "generate":
+        database = surrogate_database(args.dataset, scale=args.scale)
+        write_edge_file(database, args.output)
+        print(f"wrote {args.output} ({len(database.relation('Edge'))} directed edges)")
+        return 0
+
+    raise ReproError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Relational data substrate.
+
+This subpackage provides the storage layer that the rest of the library is
+built on: attribute domains, relation schemas, database schemas with a
+public/private split, set-semantics relation instances with lightweight
+statistics, and full database instances with the tuple-edit distance used by
+tuple-level differential privacy.
+"""
+
+from repro.data.domain import (
+    CategoricalDomain,
+    Domain,
+    IntegerDomain,
+    UNBOUNDED_INT,
+)
+from repro.data.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.data.relation import Relation
+from repro.data.database import Database
+
+__all__ = [
+    "Attribute",
+    "CategoricalDomain",
+    "Database",
+    "DatabaseSchema",
+    "Domain",
+    "IntegerDomain",
+    "Relation",
+    "RelationSchema",
+    "UNBOUNDED_INT",
+]

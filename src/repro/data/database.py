@@ -1,0 +1,213 @@
+"""Database instances and the tuple-DP neighborhood structure.
+
+A :class:`Database` holds one :class:`~repro.data.relation.Relation` instance
+per relation of a :class:`~repro.data.schema.DatabaseSchema`.  Besides being
+a container it implements the notions the paper's DP policy needs:
+
+* ``distance`` — the tuple-edit distance ``d(I, I')`` summed over *private*
+  physical relations (public relations must be identical);
+* ``neighbors`` — enumeration of all instances at distance exactly one over a
+  finite domain, used by the brute-force local/smooth sensitivity reference
+  implementations in :mod:`repro.sensitivity.local` and
+  :mod:`repro.sensitivity.smooth`;
+* ``size`` — the total number of tuples ``N = |I|`` (over private relations),
+  which relaxed DP treats as public.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.data.relation import Relation
+from repro.data.schema import DatabaseSchema, RelationSchema
+from repro.exceptions import SchemaError
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A database instance over a fixed :class:`DatabaseSchema`."""
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        relations: Mapping[str, Iterable[tuple]] | None = None,
+    ):
+        self._schema = schema
+        self._relations: dict[str, Relation] = {
+            rel_schema.name: Relation(rel_schema) for rel_schema in schema
+        }
+        if relations is not None:
+            for name, rows in relations.items():
+                rel = self.relation(name)
+                for row in rows:
+                    rel.add(row)
+
+    # ------------------------------------------------------------------ #
+    # Container protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def schema(self) -> DatabaseSchema:
+        """The database schema."""
+        return self._schema
+
+    def relation(self, name: str) -> Relation:
+        """The instance of relation ``name`` (raises if unknown)."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.relation(name)
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        if set(self._relations) != set(other._relations):
+            return False
+        return all(self._relations[n] == other._relations[n] for n in self._relations)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        parts = ", ".join(f"{name}:{len(rel)}" for name, rel in self._relations.items())
+        return f"Database({parts})"
+
+    # ------------------------------------------------------------------ #
+    # Sizes and distances
+    # ------------------------------------------------------------------ #
+    def size(self, private_only: bool = True) -> int:
+        """Total number of tuples ``N`` (by default over private relations only)."""
+        names: Iterable[str]
+        if private_only:
+            names = self._schema.private_relations
+        else:
+            names = self._relations
+        return sum(len(self._relations[name]) for name in names)
+
+    def distance(self, other: "Database") -> int:
+        """Tuple-DP distance ``d(I, I')``.
+
+        The distance is the sum over private physical relations of the
+        per-relation tuple-edit distance.  If the two instances differ on a
+        public relation the distance is infinite (they are not comparable
+        under the DP policy), signalled by raising :class:`SchemaError`.
+        """
+        if set(self._relations) != set(other._relations):
+            raise SchemaError("cannot compare databases over different schemas")
+        total = 0
+        for name, rel in self._relations.items():
+            other_rel = other._relations[name]
+            if self._schema.is_private(name):
+                total += rel.distance(other_rel)
+            elif rel != other_rel:
+                raise SchemaError(
+                    f"public relation {name!r} differs between the two instances"
+                )
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Copying / editing
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "Database":
+        """A deep copy (relation instances are copied, schema is shared)."""
+        clone = Database(self._schema)
+        for name, rel in self._relations.items():
+            clone._relations[name] = rel.copy()
+        return clone
+
+    def with_tuple_added(self, relation: str, row: tuple) -> "Database":
+        """A copy of this instance with ``row`` inserted into ``relation``."""
+        clone = self.copy()
+        clone.relation(relation).add(row)
+        return clone
+
+    def with_tuple_removed(self, relation: str, row: tuple) -> "Database":
+        """A copy of this instance with ``row`` deleted from ``relation``."""
+        clone = self.copy()
+        clone.relation(relation).remove(row)
+        return clone
+
+    def with_tuple_replaced(self, relation: str, old_row: tuple, new_row: tuple) -> "Database":
+        """A copy of this instance with ``old_row`` substituted by ``new_row``."""
+        clone = self.copy()
+        clone.relation(relation).replace(old_row, new_row)
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Neighborhood enumeration (brute-force support)
+    # ------------------------------------------------------------------ #
+    def candidate_tuples(self, relation: str) -> list[tuple]:
+        """All tuples the finite domains of ``relation`` allow.
+
+        Used by brute-force sensitivity computations, which must consider
+        every possible insertion.  Raises :class:`SchemaError` if any
+        attribute domain of the relation is infinite.
+        """
+        rel_schema: RelationSchema = self._schema.relation(relation)
+        value_lists = []
+        for attr in rel_schema.attributes:
+            if not attr.domain.is_finite:
+                raise SchemaError(
+                    f"attribute {relation}.{attr.name} has an infinite domain; "
+                    "candidate_tuples requires finite domains"
+                )
+            value_lists.append(list(attr.domain))
+        return [tuple(combo) for combo in itertools.product(*value_lists)]
+
+    def neighbors(
+        self,
+        allow_insert: bool = True,
+        allow_delete: bool = True,
+        allow_substitute: bool = True,
+    ) -> Iterator["Database"]:
+        """Yield every instance at tuple-DP distance exactly one.
+
+        Only private relations are edited.  Insertions and substitutions
+        require finite attribute domains (see :meth:`candidate_tuples`);
+        deletion-only enumeration works for any domain.  The iterator may
+        yield instances that coincide (e.g. substituting a tuple by itself is
+        skipped, but different edit paths can reach equal instances); callers
+        that need distinct neighbors should deduplicate.
+        """
+        for name in self._schema.private_relations:
+            rel = self._relations[name]
+            existing = list(rel)
+            if allow_delete:
+                for row in existing:
+                    yield self.with_tuple_removed(name, row)
+            if allow_insert or allow_substitute:
+                candidates = self.candidate_tuples(name)
+                if allow_insert:
+                    for candidate in candidates:
+                        if candidate not in rel:
+                            yield self.with_tuple_added(name, candidate)
+                if allow_substitute:
+                    for row in existing:
+                        for candidate in candidates:
+                            if candidate != row and candidate not in rel:
+                                yield self.with_tuple_replaced(name, row, candidate)
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_rows(
+        cls,
+        schema: DatabaseSchema,
+        **relations: Sequence[tuple],
+    ) -> "Database":
+        """Build an instance with keyword arguments naming relations.
+
+        Example
+        -------
+        >>> schema = DatabaseSchema.from_arities({"R": 2, "S": 1})
+        >>> db = Database.from_rows(schema, R=[(1, 2), (2, 3)], S=[(2,)])
+        """
+        return cls(schema, relations={name: rows for name, rows in relations.items()})

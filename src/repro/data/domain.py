@@ -1,0 +1,194 @@
+"""Attribute domains.
+
+Domains serve two purposes in this library:
+
+* they document what values an attribute may take, which matters for the
+  brute-force sensitivity computations (``LS``, ``LS^(k)``, ``SS``) that must
+  enumerate *all* neighboring instances over a finite domain; and
+* they provide the "fresh value" facility needed by several constructions in
+  the paper (e.g. the witness construction of Lemma 4.5 adds tuples whose
+  join-irrelevant attributes can take arbitrary values).
+
+Most of the library treats domains as effectively infinite (the paper assumes
+infinite domains for its predicates discussion); finite domains are mainly
+used by tests and the brute-force reference implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.exceptions import SchemaError
+
+__all__ = ["Domain", "IntegerDomain", "CategoricalDomain", "UNBOUNDED_INT"]
+
+
+class Domain:
+    """Abstract base class for attribute domains.
+
+    A domain knows whether a value belongs to it, whether it is finite (and
+    if so, how to enumerate it), and how to produce values that do not appear
+    in a given collection (``fresh_values``).
+    """
+
+    def contains(self, value: object) -> bool:
+        """Return ``True`` if ``value`` is a member of this domain."""
+        raise NotImplementedError
+
+    @property
+    def is_finite(self) -> bool:
+        """Whether the domain has finitely many values."""
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[object]:
+        """Iterate over all values of a finite domain.
+
+        Raises
+        ------
+        SchemaError
+            If the domain is infinite.
+        """
+        raise NotImplementedError
+
+    def size(self) -> int:
+        """Number of values in a finite domain.
+
+        Raises
+        ------
+        SchemaError
+            If the domain is infinite.
+        """
+        raise NotImplementedError
+
+    def fresh_values(self, used: Iterable[object], count: int = 1) -> list[object]:
+        """Return ``count`` domain values not present in ``used``.
+
+        Used by witness constructions that need join-irrelevant placeholder
+        values.  For finite domains this may raise :class:`SchemaError` when
+        fewer than ``count`` unused values remain.
+        """
+        raise NotImplementedError
+
+    def sample(self, rng, count: int = 1) -> list[object]:
+        """Sample ``count`` values uniformly (finite) or from a default range."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class IntegerDomain(Domain):
+    """An integer domain, either bounded (``low``..``high`` inclusive) or unbounded.
+
+    Parameters
+    ----------
+    low, high:
+        Inclusive bounds.  ``None`` for either bound makes the domain
+        unbounded on that side (and therefore infinite).
+    """
+
+    low: int | None = None
+    high: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.low is not None and self.high is not None and self.low > self.high:
+            raise SchemaError(
+                f"IntegerDomain bounds are inverted: low={self.low} > high={self.high}"
+            )
+
+    def contains(self, value: object) -> bool:
+        if not isinstance(value, int) or isinstance(value, bool):
+            return False
+        if self.low is not None and value < self.low:
+            return False
+        if self.high is not None and value > self.high:
+            return False
+        return True
+
+    @property
+    def is_finite(self) -> bool:
+        return self.low is not None and self.high is not None
+
+    def __iter__(self) -> Iterator[int]:
+        if not self.is_finite:
+            raise SchemaError("cannot iterate over an unbounded integer domain")
+        return iter(range(self.low, self.high + 1))  # type: ignore[arg-type]
+
+    def size(self) -> int:
+        if not self.is_finite:
+            raise SchemaError("an unbounded integer domain has no size")
+        return self.high - self.low + 1  # type: ignore[operator]
+
+    def fresh_values(self, used: Iterable[object], count: int = 1) -> list[object]:
+        used_set = set(used)
+        fresh: list[object] = []
+        if self.is_finite:
+            for candidate in self:
+                if candidate not in used_set:
+                    fresh.append(candidate)
+                    if len(fresh) == count:
+                        return fresh
+            raise SchemaError(
+                f"finite domain exhausted: needed {count} fresh values, found {len(fresh)}"
+            )
+        # Unbounded: walk upward from just above the largest used integer.
+        start = 0
+        int_used = [v for v in used_set if isinstance(v, int) and not isinstance(v, bool)]
+        if int_used:
+            start = max(int_used) + 1
+        if self.low is not None:
+            start = max(start, self.low)
+        candidate = start
+        while len(fresh) < count:
+            if candidate not in used_set:
+                fresh.append(candidate)
+            candidate += 1
+        return fresh
+
+    def sample(self, rng, count: int = 1) -> list[object]:
+        low = self.low if self.low is not None else 0
+        high = self.high if self.high is not None else low + 1_000_000
+        return [int(v) for v in rng.integers(low, high + 1, size=count)]
+
+
+#: Convenience singleton: the unbounded integer domain used as a default.
+UNBOUNDED_INT = IntegerDomain()
+
+
+@dataclass(frozen=True)
+class CategoricalDomain(Domain):
+    """A finite domain given by an explicit set of values (strings, ints, ...)."""
+
+    values: tuple
+
+    def __init__(self, values: Sequence[object]):
+        ordered = tuple(dict.fromkeys(values))
+        if not ordered:
+            raise SchemaError("a categorical domain must contain at least one value")
+        object.__setattr__(self, "values", ordered)
+
+    def contains(self, value: object) -> bool:
+        return value in self.values
+
+    @property
+    def is_finite(self) -> bool:
+        return True
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self.values)
+
+    def size(self) -> int:
+        return len(self.values)
+
+    def fresh_values(self, used: Iterable[object], count: int = 1) -> list[object]:
+        used_set = set(used)
+        fresh = [v for v in self.values if v not in used_set][:count]
+        if len(fresh) < count:
+            raise SchemaError(
+                f"categorical domain exhausted: needed {count} fresh values, "
+                f"found {len(fresh)}"
+            )
+        return fresh
+
+    def sample(self, rng, count: int = 1) -> list[object]:
+        idx = rng.integers(0, len(self.values), size=count)
+        return [self.values[i] for i in idx]

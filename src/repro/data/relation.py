@@ -1,0 +1,212 @@
+"""Set-semantics relation instances.
+
+A :class:`Relation` stores a set of tuples conforming to a
+:class:`~repro.data.schema.RelationSchema`.  On top of plain storage it
+offers the small amount of query-processing machinery the rest of the library
+needs directly:
+
+* hash indexes on attribute subsets (built lazily, invalidated on mutation),
+* maximum frequencies ``mf(x, R)`` over attribute subsets, which are the
+  building block of elastic sensitivity (Section 4.4), and
+* projection / selection helpers used by tests and data loading.
+
+Set semantics matches the paper: duplicate insertions are no-ops and the
+tuple-DP distance between two instances is the number of insertions,
+deletions, and substitutions needed to transform one into the other.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.data.schema import RelationSchema
+from repro.exceptions import SchemaError
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """A mutable set of tuples over a fixed :class:`RelationSchema`."""
+
+    def __init__(self, schema: RelationSchema, rows: Iterable[tuple] | None = None):
+        self._schema = schema
+        self._rows: set[tuple] = set()
+        self._indexes: dict[tuple[int, ...], dict[tuple, list[tuple]]] = {}
+        self._version = 0
+        if rows is not None:
+            for row in rows:
+                self.add(row)
+
+    # ------------------------------------------------------------------ #
+    # Basic container protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def schema(self) -> RelationSchema:
+        """The schema this instance conforms to."""
+        return self._schema
+
+    @property
+    def name(self) -> str:
+        """The relation name (from the schema)."""
+        return self._schema.name
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return self._schema.arity
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._rows)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._schema.name == other._schema.name and self._rows == other._rows
+
+    def __hash__(self):  # pragma: no cover - relations are mutable
+        raise TypeError("Relation instances are mutable and unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Relation({self.name}, {len(self)} tuples)"
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, row: Sequence) -> bool:
+        """Insert ``row`` (validated against the schema); return ``True`` if new."""
+        validated = self._schema.validate_tuple(tuple(row))
+        if validated in self._rows:
+            return False
+        self._rows.add(validated)
+        self._bump()
+        return True
+
+    def remove(self, row: Sequence) -> bool:
+        """Delete ``row`` if present; return ``True`` if it was present."""
+        key = tuple(row)
+        if key in self._rows:
+            self._rows.remove(key)
+            self._bump()
+            return True
+        return False
+
+    def replace(self, old_row: Sequence, new_row: Sequence) -> None:
+        """Substitute ``old_row`` by ``new_row`` (a single DP "change")."""
+        old_key = tuple(old_row)
+        if old_key not in self._rows:
+            raise SchemaError(f"cannot replace missing tuple {old_key!r} in {self.name!r}")
+        self._rows.remove(old_key)
+        self._rows.add(self._schema.validate_tuple(tuple(new_row)))
+        self._bump()
+
+    def clear(self) -> None:
+        """Remove all tuples."""
+        self._rows.clear()
+        self._bump()
+
+    def _bump(self) -> None:
+        self._version += 1
+        self._indexes.clear()
+
+    # ------------------------------------------------------------------ #
+    # Copying and comparison
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "Relation":
+        """An independent copy sharing the (immutable) schema."""
+        clone = Relation(self._schema)
+        clone._rows = set(self._rows)
+        return clone
+
+    def tuples(self) -> frozenset[tuple]:
+        """An immutable snapshot of the tuple set."""
+        return frozenset(self._rows)
+
+    def distance(self, other: "Relation") -> int:
+        """Tuple-edit distance to ``other``.
+
+        With substitutions allowed the distance between two sets ``A`` and
+        ``B`` is ``max(|A - B|, |B - A|)``: the smaller side of the symmetric
+        difference is covered by substitutions, the excess by insertions or
+        deletions.
+        """
+        if other.schema.name != self._schema.name or other.arity != self.arity:
+            raise SchemaError(
+                f"cannot compare instances of {self.name!r} and {other.name!r}"
+            )
+        only_self = len(self._rows - other._rows)
+        only_other = len(other._rows - self._rows)
+        return max(only_self, only_other)
+
+    # ------------------------------------------------------------------ #
+    # Indexes and statistics
+    # ------------------------------------------------------------------ #
+    def index_on(self, positions: Sequence[int]) -> dict[tuple, list[tuple]]:
+        """A hash index mapping value-combinations at ``positions`` to tuples.
+
+        The index is cached until the relation is mutated.  ``positions`` may
+        be empty, in which case the single key ``()`` maps to every tuple.
+        """
+        key = tuple(positions)
+        for pos in key:
+            if pos < 0 or pos >= self.arity:
+                raise SchemaError(f"index position {pos} out of range for {self.name!r}")
+        cached = self._indexes.get(key)
+        if cached is not None:
+            return cached
+        index: dict[tuple, list[tuple]] = defaultdict(list)
+        for row in self._rows:
+            index[tuple(row[p] for p in key)].append(row)
+        index = dict(index)
+        self._indexes[key] = index
+        return index
+
+    def max_frequency(self, positions: Sequence[int]) -> int:
+        """``mf(x, R)``: the largest number of tuples agreeing on ``positions``.
+
+        With ``positions`` empty this is simply ``|R|`` (every tuple agrees on
+        the empty attribute set); on an empty relation it is ``0``.
+        """
+        if not self._rows:
+            return 0
+        key = tuple(positions)
+        if not key:
+            return len(self._rows)
+        counts = Counter(tuple(row[p] for p in key) for row in self._rows)
+        return max(counts.values())
+
+    def frequency_histogram(self, positions: Sequence[int]) -> dict[tuple, int]:
+        """The full histogram of value-combination frequencies at ``positions``."""
+        key = tuple(positions)
+        counts: Counter = Counter(tuple(row[p] for p in key) for row in self._rows)
+        return dict(counts)
+
+    def active_domain(self, position: int | None = None) -> set:
+        """Values appearing in the instance (at ``position``, or anywhere)."""
+        if position is None:
+            return {value for row in self._rows for value in row}
+        if position < 0 or position >= self.arity:
+            raise SchemaError(f"position {position} out of range for {self.name!r}")
+        return {row[position] for row in self._rows}
+
+    # ------------------------------------------------------------------ #
+    # Relational-algebra helpers
+    # ------------------------------------------------------------------ #
+    def project(self, positions: Sequence[int]) -> set[tuple]:
+        """Distinct projections of every tuple onto ``positions``."""
+        key = tuple(positions)
+        return {tuple(row[p] for p in key) for row in self._rows}
+
+    def select(self, predicate: Callable[[tuple], bool]) -> list[tuple]:
+        """Tuples satisfying ``predicate`` (a Python callable on raw tuples)."""
+        return [row for row in self._rows if predicate(row)]
+
+    def matching(self, positions: Sequence[int], values: tuple) -> list[tuple]:
+        """Tuples whose projection on ``positions`` equals ``values`` (index-backed)."""
+        return list(self.index_on(positions).get(tuple(values), ()))

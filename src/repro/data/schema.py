@@ -1,0 +1,218 @@
+"""Relation and database schemas.
+
+A :class:`RelationSchema` is a named list of attributes; a
+:class:`DatabaseSchema` is a collection of relation schemas together with the
+designation of which relations are *private*.  The private/public split is
+part of the differential-privacy policy from Section 2.2 of the paper: two
+database instances are neighbors only if they differ in private relations,
+and only the private relations' tuples count toward the DP distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.data.domain import Domain, UNBOUNDED_INT
+from repro.exceptions import SchemaError
+
+__all__ = ["Attribute", "RelationSchema", "DatabaseSchema"]
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named attribute with a value domain.
+
+    Parameters
+    ----------
+    name:
+        The physical attribute name (e.g. ``"src"``).  Query atoms rename
+        attributes to variables, so the physical name is mostly for
+        documentation and data loading.
+    domain:
+        The :class:`~repro.data.domain.Domain` of values; defaults to the
+        unbounded integer domain.
+    """
+
+    name: str
+    domain: Domain = UNBOUNDED_INT
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"attribute name must be a non-empty string, got {self.name!r}")
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """The schema of a single relation: a name plus an ordered attribute list."""
+
+    name: str
+    attributes: tuple[Attribute, ...]
+
+    def __init__(self, name: str, attributes: Sequence[Attribute | str]):
+        if not name or not isinstance(name, str):
+            raise SchemaError(f"relation name must be a non-empty string, got {name!r}")
+        converted: list[Attribute] = []
+        for attr in attributes:
+            if isinstance(attr, Attribute):
+                converted.append(attr)
+            elif isinstance(attr, str):
+                converted.append(Attribute(attr))
+            else:
+                raise SchemaError(f"invalid attribute specification: {attr!r}")
+        if not converted:
+            raise SchemaError(f"relation {name!r} must have at least one attribute")
+        names = [a.name for a in converted]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"relation {name!r} has duplicate attribute names: {names}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", tuple(converted))
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attributes)
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """The attribute names in schema order."""
+        return tuple(a.name for a in self.attributes)
+
+    def attribute_index(self, name: str) -> int:
+        """Position of attribute ``name`` in the schema.
+
+        Raises :class:`SchemaError` if the attribute does not exist.
+        """
+        for i, attr in enumerate(self.attributes):
+            if attr.name == name:
+                return i
+        raise SchemaError(f"relation {self.name!r} has no attribute {name!r}")
+
+    def validate_tuple(self, row: tuple) -> tuple:
+        """Check arity (and domains, when finite) of ``row`` and return it.
+
+        Domain membership is only enforced for finite domains, so that the
+        common case of unbounded integer attributes accepts arbitrary
+        hashable values (strings included) without friction.
+        """
+        if len(row) != self.arity:
+            raise SchemaError(
+                f"tuple {row!r} has arity {len(row)}, relation {self.name!r} "
+                f"expects arity {self.arity}"
+            )
+        for value, attr in zip(row, self.attributes):
+            if attr.domain.is_finite and not attr.domain.contains(value):
+                raise SchemaError(
+                    f"value {value!r} is outside the domain of attribute "
+                    f"{self.name}.{attr.name}"
+                )
+        return tuple(row)
+
+
+class DatabaseSchema:
+    """A database schema: relation schemas plus the private-relation designation.
+
+    Parameters
+    ----------
+    relations:
+        The relation schemas.  Relation names must be unique.
+    private:
+        Names of the private relations (the paper's ``P_m`` on physical
+        relations).  If omitted, *all* relations are considered private,
+        which is the common single-table graph setting (edge-DP).
+    """
+
+    def __init__(
+        self,
+        relations: Sequence[RelationSchema],
+        private: Iterable[str] | None = None,
+    ):
+        self._relations: dict[str, RelationSchema] = {}
+        for schema in relations:
+            if schema.name in self._relations:
+                raise SchemaError(f"duplicate relation name {schema.name!r} in schema")
+            self._relations[schema.name] = schema
+        if not self._relations:
+            raise SchemaError("a database schema must contain at least one relation")
+        if private is None:
+            self._private = frozenset(self._relations)
+        else:
+            private_set = frozenset(private)
+            unknown = private_set - set(self._relations)
+            if unknown:
+                raise SchemaError(f"private relations not in schema: {sorted(unknown)}")
+            self._private = private_set
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        """All relation names in registration order."""
+        return tuple(self._relations)
+
+    @property
+    def private_relations(self) -> frozenset[str]:
+        """Names of the private relations."""
+        return self._private
+
+    @property
+    def public_relations(self) -> frozenset[str]:
+        """Names of the public relations."""
+        return frozenset(self._relations) - self._private
+
+    def is_private(self, name: str) -> bool:
+        """Whether relation ``name`` is private."""
+        self.relation(name)  # raises if unknown
+        return name in self._private
+
+    def relation(self, name: str) -> RelationSchema:
+        """The schema of relation ``name`` (raises :class:`SchemaError` if unknown)."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        rels = ", ".join(
+            f"{s.name}({', '.join(s.attribute_names)})"
+            + ("*" if s.name in self._private else "")
+            for s in self
+        )
+        return f"DatabaseSchema[{rels}]"
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def single_relation(
+        cls,
+        name: str,
+        attributes: Sequence[Attribute | str],
+        private: bool = True,
+    ) -> "DatabaseSchema":
+        """A schema with exactly one relation (e.g. the ``Edge`` graph schema)."""
+        schema = RelationSchema(name, attributes)
+        return cls([schema], private=[name] if private else [])
+
+    @classmethod
+    def from_arities(
+        cls,
+        arities: Mapping[str, int],
+        private: Iterable[str] | None = None,
+    ) -> "DatabaseSchema":
+        """Build a schema from ``{relation_name: arity}`` with anonymous attributes."""
+        relations = [
+            RelationSchema(name, [f"a{i}" for i in range(arity)])
+            for name, arity in arities.items()
+        ]
+        return cls(relations, private=private)

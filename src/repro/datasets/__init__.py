@@ -1,0 +1,34 @@
+"""Datasets: SNAP surrogates, synthetic relational data and a TPC-H-style schema.
+
+The paper's experiments use five SNAP collaboration graphs that are not
+available offline; :mod:`repro.datasets.snap_surrogates` generates seeded
+surrogates with the same relative sizes and similar structure (see DESIGN.md
+for the substitution rationale).  :mod:`repro.datasets.synthetic` provides
+generic random relational instances for property tests and scaling studies,
+and :mod:`repro.datasets.tpch` a small TPC-H-flavoured schema used by the
+relational (non-graph) examples.
+"""
+
+from repro.datasets.snap_surrogates import (
+    SNAP_DATASETS,
+    SnapDatasetSpec,
+    available_datasets,
+    default_scale,
+    surrogate_database,
+    surrogate_graph,
+)
+from repro.datasets.synthetic import random_database
+from repro.datasets.tpch import TPCH_RELATIONS, generate_tpch, tpch_schema
+
+__all__ = [
+    "SNAP_DATASETS",
+    "SnapDatasetSpec",
+    "TPCH_RELATIONS",
+    "available_datasets",
+    "default_scale",
+    "generate_tpch",
+    "random_database",
+    "surrogate_database",
+    "surrogate_graph",
+    "tpch_schema",
+]

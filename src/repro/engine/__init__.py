@@ -1,0 +1,37 @@
+"""Query evaluation engine.
+
+This subpackage evaluates conjunctive queries over the relational substrate.
+It provides two complementary strategies:
+
+* :mod:`repro.engine.join` — exact backtracking enumeration that applies
+  every predicate (used by tests, small instances, and anywhere exactness
+  with arbitrary predicates is required), and
+* :mod:`repro.engine.elimination` — bucket (variable) elimination over count
+  annotations, which evaluates the aggregate queries behind ``T_E(I)`` in
+  polynomial time for bounded-width residuals, applying each predicate in
+  the first joined factor that contains all of its variables.
+
+On top of these, :mod:`repro.engine.aggregates` computes the boundary
+multiplicities ``T_E(I)`` of residual queries (the building block of residual
+sensitivity), :mod:`repro.engine.agm` computes AGM bounds via the fractional
+edge cover LP, and :mod:`repro.engine.domains` builds the augmented active
+domain ``Z+(q, I)`` needed for comparison predicates (Section 5.2).
+"""
+
+from repro.engine.aggregates import MultiplicityResult, boundary_multiplicity
+from repro.engine.agm import AGMBound, fractional_edge_cover
+from repro.engine.evaluation import count_query, evaluate_query
+from repro.engine.join import count_assignments, group_counts, iterate_assignments
+
+__all__ = [
+    "AGMBound",
+    "MultiplicityResult",
+    "boundary_multiplicity",
+    "count_assignments",
+    "count_query",
+    "evaluate_query",
+    "fractional_edge_cover",
+    "group_counts",
+    "iterate_assignments",
+    "fractional_edge_cover",
+]

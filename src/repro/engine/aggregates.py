@@ -1,0 +1,386 @@
+"""Boundary multiplicities ``T_E(I)`` of residual queries.
+
+For a residual query ``q_E`` (the join of the atoms in ``E``) the *maximum
+boundary multiplicity* is
+
+    T_E(I) = max_{t ∈ dom(∂q_E)} | q_E(I) ⋉ t |                (full CQs)
+    T_E(I) = max_{t ∈ dom(∂q_E)} | π_{o_E}( q_E(I) ⋉ t ) |      (non-full CQs)
+
+with the conventions ``T_∅(I) = 1`` and, for non-full queries,
+``T_E(I) = 1`` whenever ``o_E = ∅`` (Section 6).
+
+This module computes ``T_E(I)`` with two interchangeable strategies:
+
+* ``"enumerate"`` — the exact backtracking join of :mod:`repro.engine.join`,
+  which applies *all* predicates (used on small inputs and in tests);
+* ``"eliminate"`` — bucket elimination (:mod:`repro.engine.elimination`),
+  polynomial for bounded-width residuals; predicates that cannot be applied
+  exactly are dropped, making the result a certified upper bound.
+
+The default ``"auto"`` strategy runs elimination first and falls back to
+bounded enumeration only when elimination had to drop a predicate and the
+instance is small enough for exact evaluation.
+
+Predicate-only boundary variables (``∂q2``, Section 5) are handled as
+follows: dropped predicates that are pure inequalities are ignored, which is
+exact for large domains (Corollary 5.1); dropped comparison predicates are
+resolved by ranging the ``∂q2`` variables over the augmented active domain
+``Z+(q, I)`` (Section 5.2); dropped generic predicates are rejected with an
+:class:`~repro.exceptions.EvaluationError` (the general Section 5.1
+algorithm is exponential and out of scope for the evaluation engine).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.data.database import Database
+from repro.engine import join as join_engine
+from repro.engine.domains import augmented_active_domain
+from repro.engine.elimination import eliminate_group_counts
+from repro.exceptions import EvaluationError
+from repro.query.atoms import Variable
+from repro.query.cq import ConjunctiveQuery
+from repro.query.predicates import Predicate
+from repro.query.residual import ResidualQuery, residual_query
+
+__all__ = ["MultiplicityResult", "boundary_multiplicity"]
+
+#: Default cap on backtracking extension steps before giving up on the exact
+#: enumeration fallback.
+DEFAULT_MAX_ENUMERATION = 500_000
+
+
+@dataclass(frozen=True)
+class MultiplicityResult:
+    """The outcome of a ``T_E(I)`` computation.
+
+    Attributes
+    ----------
+    value:
+        The maximum boundary multiplicity.
+    witness:
+        A boundary assignment attaining the maximum (aligned with
+        ``boundary``), or ``None`` when the boundary is empty or the residual
+        is empty.
+    boundary:
+        The relational boundary variables ``∂q1_E`` used for grouping.
+    strategy:
+        ``"convention"``, ``"enumerate"``, ``"eliminate"`` or
+        ``"eliminate+domain"`` — how the value was obtained.
+    exact:
+        ``True`` if every predicate was honoured exactly; ``False`` if the
+        value is an upper bound because predicates were dropped.
+    dropped_predicates:
+        The predicates that were not applied (empty when ``exact``).
+    """
+
+    value: int
+    witness: tuple | None
+    boundary: tuple[Variable, ...]
+    strategy: str
+    exact: bool
+    dropped_predicates: tuple[Predicate, ...] = ()
+
+
+def _max_entry(counts: dict[tuple, int]) -> tuple[int, tuple | None]:
+    if not counts:
+        return 0, None
+    best_key = max(counts, key=lambda k: counts[k])
+    return counts[best_key], best_key
+
+
+def _distinct_per_group(
+    counts: dict[tuple, int], group_arity: int
+) -> dict[tuple, int]:
+    """Collapse counts keyed by (boundary + output) to distinct-output counts per boundary."""
+    distinct: dict[tuple, set[tuple]] = {}
+    for key, count in counts.items():
+        if count <= 0:
+            continue
+        boundary_key = key[:group_arity]
+        output_key = key[group_arity:]
+        distinct.setdefault(boundary_key, set()).add(output_key)
+    return {key: len(values) for key, values in distinct.items()}
+
+
+def _enumerate_counts(
+    query: ConjunctiveQuery,
+    database: Database,
+    residual: ResidualQuery,
+    group_vars: tuple[Variable, ...],
+    distinct_on: tuple[Variable, ...] | None,
+    predicates: Sequence[Predicate],
+    max_intermediate: int | None,
+) -> dict[tuple, int]:
+    return join_engine.group_counts(
+        query,
+        database,
+        group_vars,
+        atom_indices=sorted(residual.atom_indices),
+        predicates=predicates,
+        distinct_on=distinct_on,
+        max_intermediate=max_intermediate,
+    )
+
+
+def _eliminate_counts(
+    query: ConjunctiveQuery,
+    database: Database,
+    residual: ResidualQuery,
+    group_vars: tuple[Variable, ...],
+    distinct_on: tuple[Variable, ...] | None,
+    predicates: Sequence[Predicate],
+) -> tuple[dict[tuple, int], tuple[Predicate, ...]]:
+    if distinct_on is None:
+        result = eliminate_group_counts(
+            query,
+            database,
+            group_vars,
+            atom_indices=sorted(residual.atom_indices),
+            predicates=predicates,
+        )
+        return result.counts, result.dropped_predicates
+    extended_group = group_vars + tuple(v for v in distinct_on if v not in group_vars)
+    result = eliminate_group_counts(
+        query,
+        database,
+        extended_group,
+        atom_indices=sorted(residual.atom_indices),
+        predicates=predicates,
+    )
+    collapsed = _distinct_per_group(result.counts, len(group_vars))
+    return collapsed, result.dropped_predicates
+
+
+def _comparison_boundary_value(
+    query: ConjunctiveQuery,
+    database: Database,
+    residual: ResidualQuery,
+    group_vars: tuple[Variable, ...],
+    distinct_on: tuple[Variable, ...] | None,
+    max_intermediate: int | None,
+) -> MultiplicityResult:
+    """Section 5.2: resolve comparison predicates crossing the boundary.
+
+    The ``∂q2`` variables (realised only outside the residual but linked to
+    it through comparison predicates) range over the augmented active domain
+    ``Z+(q, I)``.  We enumerate the residual exactly, then for every
+    boundary group and every assignment of the ``∂q2`` variables we count the
+    residual tuples that satisfy the crossing predicates, and take the
+    maximum.
+    """
+    crossing = [p for p in residual.dropped_predicates if not p.is_inequality]
+    q2_vars = tuple(sorted(residual.boundary_predicate_only, key=lambda v: v.name))
+    domain_values = augmented_active_domain(query, database)
+
+    inside_preds = list(residual.predicates) + [
+        p for p in residual.dropped_predicates if p.is_inequality and p.variables <= residual.variables
+    ]
+
+    assignments = list(
+        join_engine.iterate_assignments(
+            query,
+            database,
+            atom_indices=sorted(residual.atom_indices),
+            predicates=inside_preds,
+            max_intermediate=max_intermediate,
+        )
+    )
+
+    best_value = 0
+    best_witness: tuple | None = None
+    groups: dict[tuple, list[dict]] = {}
+    for assignment in assignments:
+        key = tuple(assignment[v] for v in group_vars)
+        groups.setdefault(key, []).append(assignment)
+
+    for key, rows in groups.items():
+        for combo in itertools.product(domain_values, repeat=len(q2_vars)):
+            extension = dict(zip(q2_vars, combo))
+            if distinct_on is None:
+                count = 0
+                for row in rows:
+                    merged = {**row, **extension}
+                    if all(p.evaluate(merged) for p in crossing if p.is_bound(merged)):
+                        count += 1
+            else:
+                distinct: set[tuple] = set()
+                for row in rows:
+                    merged = {**row, **extension}
+                    if all(p.evaluate(merged) for p in crossing if p.is_bound(merged)):
+                        distinct.add(tuple(row[v] for v in distinct_on))
+                count = len(distinct)
+            if count > best_value:
+                best_value = count
+                best_witness = key
+            if not q2_vars:
+                break
+    return MultiplicityResult(
+        value=best_value,
+        witness=best_witness,
+        boundary=group_vars,
+        strategy="eliminate+domain",
+        exact=True,
+        dropped_predicates=(),
+    )
+
+
+def boundary_multiplicity(
+    query: ConjunctiveQuery,
+    database: Database,
+    kept_atoms: Iterable[int],
+    *,
+    strategy: str = "auto",
+    max_enumeration: int | None = DEFAULT_MAX_ENUMERATION,
+) -> MultiplicityResult:
+    """Compute ``T_E(I)`` for the residual query on ``kept_atoms``.
+
+    Parameters
+    ----------
+    query:
+        The parent conjunctive query (full or non-full, with or without
+        predicates and self-joins).
+    database:
+        The instance ``I``.
+    kept_atoms:
+        The subset ``E`` of atom indices forming the residual query.  The
+        empty set returns the conventional value ``1``.
+    strategy:
+        ``"auto"`` (default), ``"enumerate"`` or ``"eliminate"``.
+    max_enumeration:
+        Step cap for the exact enumeration strategy / fallback; ``None``
+        disables the cap.
+
+    Returns
+    -------
+    MultiplicityResult
+    """
+    residual = residual_query(query, kept_atoms)
+    if residual.is_empty:
+        return MultiplicityResult(
+            value=1, witness=None, boundary=(), strategy="convention", exact=True
+        )
+
+    group_vars = tuple(sorted(residual.boundary_relational, key=lambda v: v.name))
+
+    # Residuals that fall apart into several connected components (atoms
+    # sharing no variables) are evaluated per component and multiplied:
+    # their boundaries are disjoint, so the maximum joint multiplicity is the
+    # product of the per-component maxima.  This avoids materialising cross
+    # products (e.g. the two opposite edges of the rectangle query).
+    if strategy != "enumerate":
+        from repro.query.hypergraph import QueryHypergraph
+
+        components = QueryHypergraph(query, residual.atom_indices).connected_components()
+        if len(components) > 1:
+            value = 1
+            exact = True
+            dropped: list[Predicate] = []
+            component_vars: list[frozenset[Variable]] = []
+            for component in components:
+                part = boundary_multiplicity(
+                    query,
+                    database,
+                    component,
+                    strategy=strategy,
+                    max_enumeration=max_enumeration,
+                )
+                value *= part.value
+                exact = exact and part.exact
+                dropped.extend(part.dropped_predicates)
+                component_vars.append(query.variables_of(component))
+            # Predicates inside the residual but spanning two components can
+            # never be applied by the per-component evaluation.
+            for pred in residual.predicates:
+                if not any(pred.variables <= vars_ for vars_ in component_vars):
+                    dropped.append(pred)
+                    exact = False
+            return MultiplicityResult(
+                value=value,
+                witness=None,
+                boundary=group_vars,
+                strategy="eliminate",
+                exact=exact,
+                dropped_predicates=tuple(dropped),
+            )
+
+    # Non-full queries: count distinct projections onto o_E; the convention
+    # T_E = 1 applies when no output variable is realised inside E.
+    distinct_on: tuple[Variable, ...] | None = None
+    if not query.is_full:
+        if not residual.output_variables:
+            return MultiplicityResult(
+                value=1, witness=None, boundary=group_vars, strategy="convention", exact=True
+            )
+        distinct_on = tuple(residual.output_variables)
+
+    # Predicate classification.
+    dropped_comparison_or_generic = [
+        p for p in residual.dropped_predicates if not p.is_inequality
+    ]
+    if dropped_comparison_or_generic:
+        if any(
+            not (p.is_inequality or p.is_comparison) for p in dropped_comparison_or_generic
+        ):
+            raise EvaluationError(
+                "generic predicates crossing a residual boundary are not supported by "
+                "the evaluation engine (Section 5.1 requires a satisfiability oracle); "
+                f"offending predicates: {dropped_comparison_or_generic!r}"
+            )
+        return _comparison_boundary_value(
+            query, database, residual, group_vars, distinct_on, max_enumeration
+        )
+
+    inside_preds = list(residual.predicates)
+
+    if strategy not in ("auto", "enumerate", "eliminate"):
+        raise EvaluationError(f"unknown strategy {strategy!r}")
+
+    if strategy == "enumerate":
+        counts = _enumerate_counts(
+            query, database, residual, group_vars, distinct_on, inside_preds, max_enumeration
+        )
+        value, witness = _max_entry(counts)
+        return MultiplicityResult(
+            value=value,
+            witness=witness,
+            boundary=group_vars,
+            strategy="enumerate",
+            exact=True,
+            dropped_predicates=(),
+        )
+
+    counts, dropped = _eliminate_counts(
+        query, database, residual, group_vars, distinct_on, inside_preds
+    )
+    value, witness = _max_entry(counts)
+    eliminate_result = MultiplicityResult(
+        value=value,
+        witness=witness,
+        boundary=group_vars,
+        strategy="eliminate",
+        exact=not dropped,
+        dropped_predicates=tuple(dropped),
+    )
+    if strategy == "eliminate" or eliminate_result.exact:
+        return eliminate_result
+
+    # auto: elimination dropped predicates — try exact enumeration under the cap.
+    try:
+        counts = _enumerate_counts(
+            query, database, residual, group_vars, distinct_on, inside_preds, max_enumeration
+        )
+    except EvaluationError:
+        return eliminate_result
+    value, witness = _max_entry(counts)
+    return MultiplicityResult(
+        value=value,
+        witness=witness,
+        boundary=group_vars,
+        strategy="enumerate",
+        exact=True,
+        dropped_predicates=(),
+    )

@@ -1,0 +1,113 @@
+"""Active and augmented active domains for comparison predicates (Section 5.2).
+
+For CQs whose predicates are inequalities and comparisons over an ordered
+(integer) domain, the paper shows that the boundary variables realised only
+through predicates (``∂q2``) need not range over the full infinite domain:
+it suffices to consider the *augmented active domain* ``Z+(q, I)``, which
+contains
+
+* every integer appearing in the instance on predicate attributes,
+* every constant appearing in a comparison predicate of the query,
+* sentinels below and above everything, and
+* up to ``2κ`` extra values strictly between each pair of consecutive values
+  of the above (κ = number of predicates), because the optimum of ``T_E`` may
+  be attained strictly between two active values (Example 5 of the paper).
+
+This module constructs ``Z*(q, I)`` and ``Z+(q, I)``.  Values are assumed to
+be integers (the paper's assumption w.l.o.g.); non-integer values appearing
+in the data are ignored for augmentation purposes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.data.database import Database
+from repro.query.atoms import Variable
+from repro.query.cq import ConjunctiveQuery
+from repro.query.predicates import ComparisonPredicate
+
+__all__ = ["active_domain", "augmented_active_domain", "predicate_variables"]
+
+
+def predicate_variables(query: ConjunctiveQuery) -> frozenset[Variable]:
+    """Variables mentioned by at least one predicate of ``query``."""
+    result: set[Variable] = set()
+    for pred in query.predicates:
+        result |= pred.variables
+    return frozenset(result)
+
+
+def active_domain(
+    query: ConjunctiveQuery,
+    database: Database,
+    variables: Iterable[Variable] | None = None,
+) -> set:
+    """``Z*(q, I)``: values of the instance on predicate variables, plus query constants.
+
+    Parameters
+    ----------
+    variables:
+        Restrict to values appearing at atom positions bound to these
+        variables; defaults to all predicate variables of the query.
+    """
+    if variables is None:
+        target_vars = predicate_variables(query)
+    else:
+        target_vars = frozenset(variables)
+
+    values: set = set()
+    for atom in query.atoms:
+        relation = database.relation(atom.relation)
+        positions = [
+            i
+            for i, term in enumerate(atom.terms)
+            if isinstance(term, Variable) and term in target_vars
+        ]
+        if not positions:
+            continue
+        for row in relation:
+            for pos in positions:
+                values.add(row[pos])
+
+    for pred in query.predicates:
+        if isinstance(pred, ComparisonPredicate):
+            values.update(pred.constants)
+    return values
+
+
+def augmented_active_domain(
+    query: ConjunctiveQuery,
+    database: Database,
+    variables: Iterable[Variable] | None = None,
+) -> list[int]:
+    """``Z+(q, I)``: the augmented active domain of Section 5.2, sorted ascending.
+
+    Between each pair of consecutive integer values of ``Z*(q, I)`` (extended
+    with one sentinel below the minimum and one above the maximum), up to
+    ``2κ`` intermediate integers are inserted, where ``κ`` is the number of
+    predicates of the query.  This is sufficient for the maximum of ``T_E``
+    to be attained on the augmented domain (Lemma 5.2).
+    """
+    base_values = active_domain(query, database, variables)
+    integer_values = sorted(v for v in base_values if isinstance(v, int) and not isinstance(v, bool))
+    kappa = len(query.predicates)
+    if not integer_values:
+        # No active values at all: any 2κ+1 distinct integers will do.
+        return list(range(0, 2 * kappa + 1))
+
+    # Sentinels: one value clearly below and one clearly above the active range.
+    low_sentinel = integer_values[0] - kappa - 1
+    high_sentinel = integer_values[-1] + kappa + 1
+    extended = [low_sentinel] + integer_values + [high_sentinel]
+
+    augmented: list[int] = []
+    for current, nxt in zip(extended, extended[1:]):
+        augmented.append(current)
+        gap = nxt - current - 1
+        if gap <= 0:
+            continue
+        extra = min(gap, 2 * kappa)
+        augmented.extend(current + offset for offset in range(1, extra + 1))
+    augmented.append(extended[-1])
+    return augmented

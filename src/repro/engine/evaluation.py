@@ -1,0 +1,106 @@
+"""High-level query evaluation: result sets and counting queries.
+
+The DP mechanisms of this library release ``|q(I)|``, the result size of a
+conjunctive query.  This module provides that top-level entry point
+(:func:`count_query`) together with :func:`evaluate_query`, which returns the
+actual result tuples (projections onto the output variables) and is used by
+examples and tests.
+
+For predicate-free (or fully-applicable-predicate) queries the count can be
+obtained through bucket elimination without materialising the result; when a
+predicate cannot be honoured exactly by elimination, the implementation falls
+back to exact enumeration (optionally capped).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.data.database import Database
+from repro.engine import join as join_engine
+from repro.engine.elimination import eliminate_group_counts
+from repro.exceptions import EvaluationError
+from repro.query.cq import ConjunctiveQuery
+
+__all__ = ["evaluate_query", "count_query"]
+
+
+def evaluate_query(
+    query: ConjunctiveQuery,
+    database: Database,
+    *,
+    max_intermediate: int | None = None,
+) -> list[tuple]:
+    """The distinct result tuples of ``query`` on ``database``.
+
+    Results are projections onto :attr:`ConjunctiveQuery.output_variables`
+    (all variables for a full query), returned in an unspecified but
+    deterministic-per-run order as plain tuples.
+    """
+    query.validate_against_schema(database.schema)
+    output_vars = query.output_variables
+    results: set[tuple] = set()
+    for assignment in join_engine.iterate_assignments(
+        query, database, max_intermediate=max_intermediate
+    ):
+        results.add(tuple(assignment[v] for v in output_vars))
+    return sorted(results, key=repr)
+
+
+def count_query(
+    query: ConjunctiveQuery,
+    database: Database,
+    *,
+    strategy: str = "auto",
+    max_intermediate: int | None = None,
+) -> int:
+    """The result size ``|q(I)|``.
+
+    Parameters
+    ----------
+    strategy:
+        ``"enumerate"`` forces exact backtracking enumeration;
+        ``"eliminate"`` forces bucket elimination (raises
+        :class:`EvaluationError` if a predicate cannot be applied exactly);
+        ``"auto"`` (default) uses elimination when it is exact for this query
+        and enumeration otherwise.
+    max_intermediate:
+        Step cap for the enumeration strategy.
+
+    Notes
+    -----
+    * For a **full** query the count is the number of satisfying
+      assignments.
+    * For a **non-full** query the count is the number of distinct
+      projections onto the output variables — elimination handles this by
+      grouping on the output variables and counting non-empty groups.
+    """
+    query.validate_against_schema(database.schema)
+    if strategy not in ("auto", "enumerate", "eliminate"):
+        raise EvaluationError(f"unknown strategy {strategy!r}")
+
+    if strategy in ("auto", "eliminate"):
+        if query.is_full:
+            result = eliminate_group_counts(query, database, ())
+            if result.is_exact:
+                return result.counts.get((), 0)
+        else:
+            result = eliminate_group_counts(query, database, tuple(query.output_variables))
+            if result.is_exact:
+                return sum(1 for count in result.counts.values() if count > 0)
+        if strategy == "eliminate":
+            raise EvaluationError(
+                "bucket elimination cannot honour these predicates exactly: "
+                f"{result.dropped_predicates!r}; use strategy='enumerate'"
+            )
+
+    # Exact enumeration.
+    distinct_on: Sequence | None = None
+    if not query.is_full:
+        distinct_on = tuple(query.output_variables)
+    return join_engine.count_assignments(
+        query,
+        database,
+        distinct_on=distinct_on,
+        max_intermediate=max_intermediate,
+    )

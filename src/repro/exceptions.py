@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so downstream users
+can catch everything coming out of this package with a single ``except``
+clause while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "QueryError",
+    "EvaluationError",
+    "SensitivityError",
+    "PrivacyError",
+    "DatasetError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A relation/database schema is malformed or violated.
+
+    Raised, for example, when a tuple of the wrong arity is inserted into a
+    relation, when two relations with the same name are registered, or when a
+    query references a relation that does not exist in the schema.
+    """
+
+
+class QueryError(ReproError):
+    """A conjunctive query is malformed.
+
+    Examples: an atom whose arity does not match its relation schema, a
+    projection variable that does not occur in any atom, a predicate over
+    variables that are not part of the query, or a parse error in the textual
+    query syntax.
+    """
+
+
+class EvaluationError(ReproError):
+    """Query evaluation failed or was asked to do something unsupported."""
+
+
+class SensitivityError(ReproError):
+    """A sensitivity computation was invoked with invalid arguments.
+
+    Examples: requesting residual sensitivity with ``beta <= 0``, asking for
+    the closed-form triangle smooth sensitivity on a query that is not the
+    triangle query, or marking no relation as private.
+    """
+
+
+class PrivacyError(ReproError):
+    """A differential-privacy mechanism was configured unsafely.
+
+    Examples: non-positive ``epsilon``, exhausting a privacy budget in the
+    accountant, or calibrating noise with a negative sensitivity.
+    """
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated or loaded."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

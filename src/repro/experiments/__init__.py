@@ -1,0 +1,48 @@
+"""Experiment harnesses reproducing the paper's evaluation.
+
+Each module regenerates one table, figure or example of the paper:
+
+* :mod:`repro.experiments.table1` — Table 1 (sensitivity values and running
+  times of SS/RS/ES on the four pattern queries over the five collaboration
+  datasets, β = 0.1);
+* :mod:`repro.experiments.figure3` — Figure 3 (the same sensitivities as β
+  sweeps from the high-privacy to the low-privacy regime);
+* :mod:`repro.experiments.example3` — Section 4.4's Example 3 (elastic
+  sensitivity exceeding the global-sensitivity bound on the path-4
+  adversarial instance);
+* :mod:`repro.experiments.nonfull` — the Section 6 projection study and the
+  Theorem 6.4 trade-off;
+* :mod:`repro.experiments.optimality` — empirical neighborhood-optimality
+  ratios (an extension quantifying Theorem 1.1 on real instances);
+* :mod:`repro.experiments.scaling` — RS computation cost versus instance
+  size (the poly(N) claim).
+
+:mod:`repro.experiments.reporting` provides the shared text-table / CSV
+formatting, and :mod:`repro.experiments.runner` orchestrates a full run.
+"""
+
+from repro.experiments.table1 import Table1Config, run_table1, format_table1
+from repro.experiments.figure3 import Figure3Config, run_figure3, format_figure3
+from repro.experiments.example3 import run_example3, format_example3
+from repro.experiments.nonfull import run_nonfull_study, format_nonfull_study
+from repro.experiments.optimality import run_optimality_study, format_optimality_study
+from repro.experiments.scaling import run_scaling_study, format_scaling_study
+from repro.experiments.runner import run_all_experiments
+
+__all__ = [
+    "Figure3Config",
+    "Table1Config",
+    "format_example3",
+    "format_figure3",
+    "format_nonfull_study",
+    "format_optimality_study",
+    "format_scaling_study",
+    "format_table1",
+    "run_all_experiments",
+    "run_example3",
+    "run_figure3",
+    "run_nonfull_study",
+    "run_optimality_study",
+    "run_scaling_study",
+    "run_table1",
+]

@@ -1,0 +1,90 @@
+"""Shared reporting helpers: aligned text tables, ratios and CSV output.
+
+The experiment harnesses produce plain Python data (lists of dictionaries /
+dataclasses); this module renders them the way the paper's tables read —
+values with thousands separators, ratios as ``"12.3×"`` — and writes CSV
+files so the series behind the figures can be re-plotted elsewhere.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_number", "format_ratio", "render_table", "write_csv"]
+
+
+def format_number(value: float | int | None, *, decimals: int = 0) -> str:
+    """Human-readable number: thousands separators, optional decimals, '-' for None."""
+    if value is None:
+        return "-"
+    if isinstance(value, float) and math.isinf(value):
+        return "inf"
+    if decimals == 0:
+        return f"{int(round(value)):,}"
+    return f"{value:,.{decimals}f}"
+
+
+def format_ratio(numerator: float | None, denominator: float | None) -> str:
+    """A ratio rendered like the paper's Table 1 (``"475×"``, ``"1.01×"``)."""
+    if numerator is None or denominator is None:
+        return "-"
+    if denominator == 0:
+        return "inf×" if numerator > 0 else "1.00×"
+    ratio = numerator / denominator
+    if ratio >= 100:
+        return f"{ratio:,.0f}×"
+    if ratio >= 10:
+        return f"{ratio:.1f}×"
+    return f"{ratio:.2f}×"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table (right-aligned numeric-looking cells)."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def _format_row(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[index]) if index else cell.ljust(widths[index]))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(_format_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialised:
+        lines.append(_format_row(row))
+    return "\n".join(lines)
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object] | Mapping[str, object]],
+) -> Path:
+    """Write rows (sequences or dicts keyed by header) to a CSV file; return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            if isinstance(row, Mapping):
+                writer.writerow([row.get(h, "") for h in headers])
+            else:
+                writer.writerow(list(row))
+    return path

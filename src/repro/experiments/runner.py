@@ -1,0 +1,139 @@
+"""Full experiment run: execute every harness and write the outputs to disk.
+
+``run_all_experiments`` produces, inside an output directory,
+
+* ``table1.txt`` / ``table1.csv`` — the Table 1 reproduction,
+* ``figure3.txt`` / ``figure3.csv`` — the Figure 3 β-sweep series,
+* ``example3.txt`` — the Example 3 (ES vs GS) sweep,
+* ``nonfull.txt`` — the Section 6 projection study,
+* ``optimality.txt`` — the neighborhood-optimality ratios, and
+* ``scaling.txt`` — the RS scaling ablation,
+
+and returns the collected in-memory results.  The CLI's ``run-all``
+sub-command and EXPERIMENTS.md are generated from this entry point; the
+per-experiment benchmark files under ``benchmarks/`` time the same harnesses
+individually.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.experiments.example3 import format_example3, run_example3
+from repro.experiments.figure3 import Figure3Config, format_figure3, run_figure3
+from repro.experiments.nonfull import format_nonfull_study, run_nonfull_study
+from repro.experiments.optimality import format_optimality_study, run_optimality_study
+from repro.experiments.reporting import write_csv
+from repro.experiments.scaling import format_scaling_study, run_scaling_study
+from repro.experiments.table1 import Table1Config, format_table1, run_table1
+
+__all__ = ["ExperimentOutputs", "run_all_experiments"]
+
+
+@dataclass
+class ExperimentOutputs:
+    """In-memory results plus the paths of the files written."""
+
+    table1: object
+    figure3: object
+    example3: object
+    nonfull: object
+    optimality: object
+    scaling: object
+    files: list[Path]
+
+
+def run_all_experiments(
+    output_dir: str | Path = "experiment_results",
+    *,
+    datasets: Sequence[str] = (),
+    scale: float | None = None,
+    beta: float = 0.1,
+) -> ExperimentOutputs:
+    """Run every experiment harness and write text/CSV reports to ``output_dir``."""
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    files: list[Path] = []
+
+    table1 = run_table1(
+        Table1Config(beta=beta, datasets=tuple(datasets), scale=scale)
+    )
+    table1_text = output_dir / "table1.txt"
+    table1_text.write_text(format_table1(table1) + "\n")
+    files.append(table1_text)
+    files.append(
+        write_csv(
+            output_dir / "table1.csv",
+            [
+                "dataset",
+                "query",
+                "query_result",
+                "rs_value",
+                "rs_seconds",
+                "es_value",
+                "es_seconds",
+                "ss_value",
+                "ss_seconds",
+            ],
+            [
+                [
+                    cell.dataset,
+                    cell.query,
+                    cell.query_result,
+                    cell.rs_value,
+                    cell.rs_seconds,
+                    cell.es_value,
+                    cell.es_seconds,
+                    cell.ss_value if cell.ss_value is not None else "",
+                    cell.ss_seconds if cell.ss_seconds is not None else "",
+                ]
+                for cell in table1.cells
+            ],
+        )
+    )
+
+    figure3 = run_figure3(Figure3Config(datasets=tuple(datasets), scale=scale))
+    figure3_text = output_dir / "figure3.txt"
+    figure3_text.write_text(format_figure3(figure3) + "\n")
+    files.append(figure3_text)
+    files.append(
+        write_csv(
+            output_dir / "figure3.csv",
+            ["dataset", "query", "beta", "query_result", "rs", "es", "ss"],
+            [row for panel in figure3 for row in panel.as_rows()],
+        )
+    )
+
+    example3 = run_example3()
+    example3_text = output_dir / "example3.txt"
+    example3_text.write_text(format_example3(example3) + "\n")
+    files.append(example3_text)
+
+    nonfull = run_nonfull_study()
+    nonfull_text = output_dir / "nonfull.txt"
+    nonfull_text.write_text(format_nonfull_study(nonfull) + "\n")
+    files.append(nonfull_text)
+
+    optimality = run_optimality_study(
+        datasets=tuple(datasets), scale=scale, epsilon=beta * 10.0
+    )
+    optimality_text = output_dir / "optimality.txt"
+    optimality_text.write_text(format_optimality_study(optimality) + "\n")
+    files.append(optimality_text)
+
+    scaling = run_scaling_study()
+    scaling_text = output_dir / "scaling.txt"
+    scaling_text.write_text(format_scaling_study(scaling) + "\n")
+    files.append(scaling_text)
+
+    return ExperimentOutputs(
+        table1=table1,
+        figure3=figure3,
+        example3=example3,
+        nonfull=nonfull,
+        optimality=optimality,
+        scaling=scaling,
+        files=files,
+    )

@@ -1,0 +1,51 @@
+"""Graph substrate: edge relations, pattern queries, generators and statistics.
+
+The paper's experiments are sub-graph counting queries over collaboration
+networks stored in a single binary relation ``Edge(src, dst)``.  This
+subpackage provides
+
+* :mod:`repro.graphs.patterns` — the four benchmark queries (triangle,
+  3-star, rectangle, 2-triangle) plus general k-path / k-cycle / k-star
+  builders, all equipped with the all-pairs inequality predicates the paper
+  uses,
+* :mod:`repro.graphs.generators` — seeded random graph generators producing
+  collaboration-style (power-law, clustered) graphs,
+* :mod:`repro.graphs.loader` — conversion between edge lists, networkx graphs
+  and :class:`~repro.data.database.Database` instances, and
+* :mod:`repro.graphs.statistics` — exact pattern counts and degree statistics
+  (closed-form, cross-checked against the generic engine in the tests).
+"""
+
+from repro.graphs.generators import collaboration_graph, erdos_renyi_graph
+from repro.graphs.loader import (
+    database_from_edges,
+    database_from_networkx,
+    edge_schema,
+    edges_from_database,
+)
+from repro.graphs.patterns import (
+    k_cycle_query,
+    k_path_query,
+    k_star_query,
+    rectangle_query,
+    triangle_query,
+    two_triangle_query,
+)
+from repro.graphs.statistics import GraphStatistics, pattern_count
+
+__all__ = [
+    "GraphStatistics",
+    "collaboration_graph",
+    "database_from_edges",
+    "database_from_networkx",
+    "edge_schema",
+    "edges_from_database",
+    "erdos_renyi_graph",
+    "k_cycle_query",
+    "k_path_query",
+    "k_star_query",
+    "pattern_count",
+    "rectangle_query",
+    "triangle_query",
+    "two_triangle_query",
+]

@@ -1,0 +1,85 @@
+"""Seeded random graph generators for collaboration-style workloads.
+
+The SNAP collaboration networks the paper evaluates on (ca-CondMat,
+ca-AstroPh, ...) are undirected, heavy-tailed and strongly clustered (papers
+induce cliques of co-authors).  Offline we cannot download them, so the
+dataset layer (:mod:`repro.datasets.snap_surrogates`) generates *surrogates*
+with the same qualitative structure using the generators in this module:
+
+* :func:`collaboration_graph` — a Holme–Kim / power-law-cluster graph
+  (preferential attachment plus triad closure) that reproduces the degree
+  skew and the abundant triangles driving the sensitivity values;
+* :func:`erdos_renyi_graph` — a G(n, m) control used by tests and the
+  scaling ablation.
+
+Every generator takes an integer seed and returns an undirected
+``networkx.Graph`` with integer node labels; use
+:func:`repro.graphs.loader.database_from_networkx` to obtain the symmetric
+``Edge`` relation.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.exceptions import DatasetError
+
+__all__ = ["collaboration_graph", "erdos_renyi_graph"]
+
+
+def collaboration_graph(
+    num_nodes: int,
+    average_degree: float,
+    *,
+    triangle_probability: float = 0.35,
+    seed: int = 0,
+) -> "nx.Graph":
+    """A clustered power-law graph mimicking a collaboration network.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of vertices.
+    average_degree:
+        Target average (undirected) degree; the generator attaches
+        ``m ≈ average_degree / 2`` edges per arriving node.
+    triangle_probability:
+        Probability of closing a triangle after each attachment (Holme–Kim
+        model); higher values give more clustering, like real co-authorship
+        graphs.
+    seed:
+        Seed for reproducibility.
+
+    Returns
+    -------
+    networkx.Graph
+        A simple undirected graph (no self-loops, no parallel edges).
+    """
+    if num_nodes < 3:
+        raise DatasetError(f"need at least 3 nodes, got {num_nodes}")
+    if average_degree <= 0:
+        raise DatasetError(f"average degree must be positive, got {average_degree}")
+    if not 0.0 <= triangle_probability <= 1.0:
+        raise DatasetError(
+            f"triangle probability must be in [0, 1], got {triangle_probability}"
+        )
+    edges_per_node = max(1, min(num_nodes - 1, round(average_degree / 2)))
+    graph = nx.powerlaw_cluster_graph(
+        n=num_nodes, m=edges_per_node, p=triangle_probability, seed=seed
+    )
+    graph.remove_edges_from(nx.selfloop_edges(graph))
+    return graph
+
+
+def erdos_renyi_graph(num_nodes: int, num_edges: int, *, seed: int = 0) -> "nx.Graph":
+    """A uniformly random simple graph with a fixed number of edges (G(n, m))."""
+    if num_nodes < 2:
+        raise DatasetError(f"need at least 2 nodes, got {num_nodes}")
+    max_edges = num_nodes * (num_nodes - 1) // 2
+    if not 0 <= num_edges <= max_edges:
+        raise DatasetError(
+            f"num_edges must be between 0 and {max_edges} for {num_nodes} nodes, got {num_edges}"
+        )
+    graph = nx.gnm_random_graph(num_nodes, num_edges, seed=seed)
+    graph.remove_edges_from(nx.selfloop_edges(graph))
+    return graph

@@ -1,0 +1,124 @@
+"""Graph pattern counting queries (Figure 2 of the paper).
+
+All builders produce :class:`~repro.query.cq.ConjunctiveQuery` objects over a
+single binary relation (default name ``"Edge"``) and, following the paper's
+experimental setup, attach **all pairwise inequality predicates** between
+distinct variables so that only injective pattern embeddings are counted.
+
+The four benchmark queries of the paper:
+
+* :func:`triangle_query` — ``q△``: ``Edge(x1,x2) ⋈ Edge(x2,x3) ⋈ Edge(x1,x3)``
+* :func:`k_star_query` (k=3) — ``q3∗``: ``Edge(x0,x1) ⋈ Edge(x0,x2) ⋈ Edge(x0,x3)``
+* :func:`rectangle_query` — ``q□``: the 4-cycle
+* :func:`two_triangle_query` — ``q2△``: two triangles sharing an edge
+
+plus the general families :func:`k_path_query` and :func:`k_cycle_query`
+(the path-4 query of Examples 2 and 3 is ``k_path_query(4)``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from repro.exceptions import QueryError
+from repro.query.atoms import Atom, Variable
+from repro.query.cq import ConjunctiveQuery
+from repro.query.predicates import InequalityPredicate, Predicate
+
+__all__ = [
+    "triangle_query",
+    "k_star_query",
+    "rectangle_query",
+    "two_triangle_query",
+    "k_path_query",
+    "k_cycle_query",
+    "all_pairs_inequalities",
+]
+
+
+def all_pairs_inequalities(variables: Sequence[Variable]) -> list[Predicate]:
+    """``x_i != x_j`` for every pair of distinct variables (injective embeddings)."""
+    return [
+        InequalityPredicate(u, v)
+        for u, v in itertools.combinations(variables, 2)
+    ]
+
+
+def _edge_atoms(pairs: Sequence[tuple[str, str]], relation: str) -> tuple[list[Atom], list[Variable]]:
+    variables: dict[str, Variable] = {}
+    atoms = []
+    for src, dst in pairs:
+        variables.setdefault(src, Variable(src))
+        variables.setdefault(dst, Variable(dst))
+        atoms.append(Atom(relation, [variables[src], variables[dst]]))
+    return atoms, list(variables.values())
+
+
+def _pattern_query(
+    pairs: Sequence[tuple[str, str]],
+    relation: str,
+    name: str,
+    inequalities: bool,
+) -> ConjunctiveQuery:
+    atoms, variables = _edge_atoms(pairs, relation)
+    predicates = all_pairs_inequalities(variables) if inequalities else []
+    return ConjunctiveQuery(atoms, predicates, name=name)
+
+
+def triangle_query(relation: str = "Edge", *, inequalities: bool = True) -> ConjunctiveQuery:
+    """``q△``: the oriented triangle ``Edge(x1,x2) ⋈ Edge(x2,x3) ⋈ Edge(x1,x3)``."""
+    return _pattern_query(
+        [("x1", "x2"), ("x2", "x3"), ("x1", "x3")], relation, "q_triangle", inequalities
+    )
+
+
+def k_star_query(k: int = 3, relation: str = "Edge", *, inequalities: bool = True) -> ConjunctiveQuery:
+    """``qk∗``: a centre ``x0`` with ``k`` distinct out-neighbours ``x1..xk``."""
+    if k < 1:
+        raise QueryError(f"a star needs at least one leaf, got k={k}")
+    pairs = [("x0", f"x{i}") for i in range(1, k + 1)]
+    return _pattern_query(pairs, relation, f"q_{k}star", inequalities)
+
+
+def rectangle_query(relation: str = "Edge", *, inequalities: bool = True) -> ConjunctiveQuery:
+    """``q□``: the oriented 4-cycle ``x1 → x2 → x3 → x4 → x1``."""
+    return k_cycle_query(4, relation, inequalities=inequalities, name="q_rectangle")
+
+
+def two_triangle_query(relation: str = "Edge", *, inequalities: bool = True) -> ConjunctiveQuery:
+    """``q2△``: two triangles sharing the edge ``(x2, x3)``.
+
+    Atoms: ``Edge(x1,x2), Edge(x2,x3), Edge(x1,x3), Edge(x2,x4), Edge(x3,x4)``.
+    """
+    return _pattern_query(
+        [("x1", "x2"), ("x2", "x3"), ("x1", "x3"), ("x2", "x4"), ("x3", "x4")],
+        relation,
+        "q_2triangle",
+        inequalities,
+    )
+
+
+def k_path_query(k: int, relation: str = "Edge", *, inequalities: bool = True) -> ConjunctiveQuery:
+    """The length-``k`` path ``x1 → x2 → ... → x_{k+1}`` (``k`` edge atoms).
+
+    ``k_path_query(4)`` is the path-4 query of the paper's Examples 2 and 3.
+    """
+    if k < 1:
+        raise QueryError(f"a path needs at least one edge, got k={k}")
+    pairs = [(f"x{i}", f"x{i + 1}") for i in range(1, k + 1)]
+    return _pattern_query(pairs, relation, f"q_path{k}", inequalities)
+
+
+def k_cycle_query(
+    k: int,
+    relation: str = "Edge",
+    *,
+    inequalities: bool = True,
+    name: str | None = None,
+) -> ConjunctiveQuery:
+    """The directed ``k``-cycle ``x1 → x2 → ... → xk → x1``."""
+    if k < 3:
+        raise QueryError(f"a cycle needs at least three edges, got k={k}")
+    pairs = [(f"x{i}", f"x{i + 1}") for i in range(1, k)] + [(f"x{k}", "x1")]
+    return _pattern_query(pairs, relation, name or f"q_cycle{k}", inequalities)

@@ -1,0 +1,33 @@
+"""Differentially private release mechanisms.
+
+The mechanisms in this subpackage turn a sensitivity measure into an ε-DP
+release of a query's result size:
+
+* :mod:`repro.mechanisms.noise` — Laplace and general-Cauchy noise samplers;
+* :mod:`repro.mechanisms.laplace` — the classic global-sensitivity Laplace
+  mechanism (relaxed DP);
+* :mod:`repro.mechanisms.smooth_mechanism` — the smooth-sensitivity noise
+  framework of Nissim et al. used by the paper (β = ε/10, general Cauchy
+  noise, error ``10·S(I)/ε``);
+* :mod:`repro.mechanisms.mechanism` — :class:`PrivateCountingQuery`, the
+  user-facing front end that picks a sensitivity engine (residual, elastic,
+  smooth closed forms or global) and releases a noisy count;
+* :mod:`repro.mechanisms.accountant` — a simple sequential-composition
+  privacy budget accountant.
+"""
+
+from repro.mechanisms.accountant import PrivacyAccountant
+from repro.mechanisms.laplace import LaplaceMechanism
+from repro.mechanisms.mechanism import PrivateCountingQuery, PrivateRelease
+from repro.mechanisms.noise import GeneralCauchyNoise, LaplaceNoise
+from repro.mechanisms.smooth_mechanism import SmoothSensitivityMechanism
+
+__all__ = [
+    "GeneralCauchyNoise",
+    "LaplaceMechanism",
+    "LaplaceNoise",
+    "PrivacyAccountant",
+    "PrivateCountingQuery",
+    "PrivateRelease",
+    "SmoothSensitivityMechanism",
+]

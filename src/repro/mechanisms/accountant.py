@@ -1,0 +1,88 @@
+"""A simple sequential-composition privacy accountant.
+
+The paper notes (Section 8) that answering ``k`` queries costs an ``O(k)``
+factor under standard sequential composition.  The accountant implemented
+here tracks exactly that: every release charges its ``ε`` against a global
+budget and the accountant refuses further releases once the budget is
+exhausted.  It is intentionally conservative (pure ε-DP sequential
+composition, no advanced/Rényi accounting), matching the mechanisms in this
+library, which are all pure ε-DP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exceptions import PrivacyError
+
+__all__ = ["PrivacyAccountant", "BudgetCharge"]
+
+
+@dataclass(frozen=True)
+class BudgetCharge:
+    """A single charge against the budget (for auditing)."""
+
+    epsilon: float
+    label: str
+
+
+@dataclass
+class PrivacyAccountant:
+    """Tracks cumulative ε under sequential composition.
+
+    Parameters
+    ----------
+    total_budget:
+        The overall ε budget available.
+
+    Examples
+    --------
+    >>> accountant = PrivacyAccountant(total_budget=2.0)
+    >>> accountant.charge(0.5, label="q1")
+    >>> accountant.remaining
+    1.5
+    >>> accountant.can_afford(1.6)
+    False
+    """
+
+    total_budget: float
+    charges: list[BudgetCharge] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.total_budget <= 0:
+            raise PrivacyError(f"the total budget must be positive, got {self.total_budget}")
+
+    @property
+    def spent(self) -> float:
+        """Total ε consumed so far."""
+        return sum(charge.epsilon for charge in self.charges)
+
+    @property
+    def remaining(self) -> float:
+        """Budget still available."""
+        return self.total_budget - self.spent
+
+    def can_afford(self, epsilon: float) -> bool:
+        """Whether a charge of ``epsilon`` fits in the remaining budget."""
+        if epsilon <= 0:
+            raise PrivacyError(f"epsilon must be positive, got {epsilon}")
+        return epsilon <= self.remaining + 1e-12
+
+    def charge(self, epsilon: float, label: str = "") -> None:
+        """Record a charge of ``epsilon``; raises if the budget is exceeded."""
+        if not self.can_afford(epsilon):
+            raise PrivacyError(
+                f"privacy budget exhausted: requested {epsilon}, remaining {self.remaining}"
+            )
+        self.charges.append(BudgetCharge(epsilon=epsilon, label=label))
+
+    def run(self, epsilon: float, release: Callable[[], object], label: str = "") -> object:
+        """Charge ``epsilon`` and, only if affordable, execute ``release()``.
+
+        The charge is recorded *before* running the release so that a failure
+        inside the release function still counts against the budget (the data
+        may already have been touched).
+        """
+        self.charge(epsilon, label=label)
+        return release()

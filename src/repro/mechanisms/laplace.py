@@ -1,0 +1,98 @@
+"""The global-sensitivity Laplace mechanism.
+
+The classic mechanism of Dwork et al.: release ``|q(I)| + Lap(GS/ε)``.  For
+conjunctive queries it is only applicable under *relaxed* DP (the global
+sensitivity is infinite under strict DP), and even then the noise scale can
+be polynomially larger than instance-specific measures — which is exactly the
+gap the paper's residual-sensitivity mechanism closes.  It is included as a
+baseline and for the GS-based experiments (Examples 1–3).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data.database import Database
+from repro.engine.evaluation import count_query
+from repro.exceptions import PrivacyError
+from repro.mechanisms.noise import LaplaceNoise
+from repro.query.cq import ConjunctiveQuery
+from repro.sensitivity.global_sensitivity import GlobalSensitivityBound
+
+__all__ = ["LaplaceMechanism"]
+
+
+class LaplaceMechanism:
+    """Release ``|q(I)|`` with Laplace noise calibrated to a global sensitivity bound.
+
+    Parameters
+    ----------
+    query:
+        The counting query.
+    epsilon:
+        The privacy parameter ``ε``.
+    global_sensitivity:
+        Optional explicit global-sensitivity value.  If omitted, the
+        AGM-based relaxed-DP bound of
+        :class:`~repro.sensitivity.global_sensitivity.GlobalSensitivityBound`
+        is computed on the instance at release time.
+    rng:
+        numpy Generator or seed for the noise.
+    """
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        epsilon: float,
+        *,
+        global_sensitivity: float | None = None,
+        rng: np.random.Generator | int | None = None,
+    ):
+        if epsilon <= 0:
+            raise PrivacyError(f"epsilon must be positive, got {epsilon}")
+        if global_sensitivity is not None and (
+            global_sensitivity < 0 or not math.isfinite(global_sensitivity)
+        ):
+            raise PrivacyError(
+                f"global sensitivity must be finite and non-negative, got {global_sensitivity}"
+            )
+        self._query = query
+        self._epsilon = float(epsilon)
+        self._gs = global_sensitivity
+        # Materialise the generator once so that successive releases draw
+        # fresh (independent) noise even when a seed was supplied.
+        self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+
+    @property
+    def epsilon(self) -> float:
+        """The privacy parameter ``ε``."""
+        return self._epsilon
+
+    def noise_scale(self, database: Database) -> float:
+        """The Laplace scale ``GS/ε`` used on this instance."""
+        gs = self._gs
+        if gs is None:
+            gs = GlobalSensitivityBound(self._query).compute(database).value
+        if not math.isfinite(gs):
+            raise PrivacyError(
+                "the global sensitivity of this query is unbounded under strict DP; "
+                "use the residual-sensitivity mechanism instead"
+            )
+        return gs / self._epsilon
+
+    def expected_error(self, database: Database) -> float:
+        """The expected ℓ2-error ``sqrt(2)·GS/ε``."""
+        return math.sqrt(2.0) * self.noise_scale(database)
+
+    def release(self, database: Database, *, true_count: int | None = None) -> float:
+        """An ε-DP noisy count of ``q`` on ``database``.
+
+        ``true_count`` can be supplied to avoid re-evaluating the query when
+        the caller already has it (e.g. the experiment harnesses).
+        """
+        if true_count is None:
+            true_count = count_query(self._query, database)
+        noise = LaplaceNoise(self.noise_scale(database), rng=self._rng)
+        return float(true_count) + noise.sample()

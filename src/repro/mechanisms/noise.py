@@ -1,0 +1,157 @@
+"""Noise distributions for sensitivity-based DP mechanisms.
+
+Two samplers are provided:
+
+* :class:`LaplaceNoise` — the textbook Laplace distribution, used with the
+  global sensitivity (``scale = GS/ε``);
+* :class:`GeneralCauchyNoise` — the polynomially-tailed distribution with
+  density ``h(z) ∝ 1/(1 + |z|^γ)`` used by the smooth-sensitivity framework.
+  The paper (and Nissim et al.) use ``γ = 4``, for which the distribution has
+  **unit variance**: ``∫ z²·(√2/π)/(1+z⁴) dz = 1``.  Adding
+  ``(S(I)/β)·Z`` with ``Z`` from this distribution therefore yields an
+  unbiased release with expected ℓ2-error exactly ``S(I)/β = 10·S(I)/ε``.
+
+Sampling from the general Cauchy distribution uses rejection sampling with a
+standard Cauchy envelope, which has acceptance probability about 0.58 for
+``γ = 4`` — plenty fast for the per-query use here.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import PrivacyError
+
+__all__ = ["LaplaceNoise", "GeneralCauchyNoise"]
+
+
+def _as_generator(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+class LaplaceNoise:
+    """Zero-mean Laplace noise with a given scale ``b`` (variance ``2b²``)."""
+
+    def __init__(self, scale: float, rng: np.random.Generator | int | None = None):
+        if not math.isfinite(scale) or scale < 0:
+            raise PrivacyError(f"Laplace scale must be finite and non-negative, got {scale}")
+        self._scale = float(scale)
+        self._rng = _as_generator(rng)
+
+    @property
+    def scale(self) -> float:
+        """The scale parameter ``b``."""
+        return self._scale
+
+    @property
+    def standard_deviation(self) -> float:
+        """``sqrt(2)·b`` — the standard deviation of the distribution."""
+        return math.sqrt(2.0) * self._scale
+
+    def sample(self, size: int | None = None):
+        """Draw one sample (``size=None``) or a numpy array of samples."""
+        if self._scale == 0:
+            return 0.0 if size is None else np.zeros(size)
+        samples = self._rng.laplace(loc=0.0, scale=self._scale, size=size)
+        return float(samples) if size is None else samples
+
+
+class GeneralCauchyNoise:
+    """Zero-mean noise with density ``h(z) = c_γ / (1 + |z/scale|^γ)``.
+
+    Parameters
+    ----------
+    scale:
+        The dispersion parameter; the release mechanism sets it to
+        ``S(I)/β``.
+    gamma:
+        The tail exponent (must be > 3 for finite variance); the paper uses
+        4.  With ``γ = 4`` the *standard* (scale 1) distribution has variance
+        exactly 1, so the expected ℓ2-error of the mechanism equals ``scale``.
+    rng:
+        A numpy Generator or a seed.
+    """
+
+    def __init__(
+        self,
+        scale: float,
+        gamma: float = 4.0,
+        rng: np.random.Generator | int | None = None,
+    ):
+        if not math.isfinite(scale) or scale < 0:
+            raise PrivacyError(f"noise scale must be finite and non-negative, got {scale}")
+        if gamma <= 3:
+            raise PrivacyError(
+                f"gamma must exceed 3 for the noise to have finite variance, got {gamma}"
+            )
+        self._scale = float(scale)
+        self._gamma = float(gamma)
+        self._rng = _as_generator(rng)
+
+    @property
+    def scale(self) -> float:
+        """The dispersion parameter."""
+        return self._scale
+
+    @property
+    def gamma(self) -> float:
+        """The tail exponent ``γ``."""
+        return self._gamma
+
+    @property
+    def standard_deviation(self) -> float:
+        """The standard deviation of the scaled distribution.
+
+        For ``γ = 4`` the unit-scale variance is exactly 1; for other ``γ`` it
+        is ``∫z²h(z)dz`` computed from the Beta-function expressions
+        ``Var = tan(3π/γ)·... `` — we evaluate it numerically once.
+        """
+        return self._scale * math.sqrt(self._unit_variance())
+
+    def _unit_variance(self) -> float:
+        if self._gamma == 4.0:
+            return 1.0
+        # ∫ z^2/(1+|z|^γ) dz / ∫ 1/(1+|z|^γ) dz, both over the real line,
+        # expressible through the Beta function: ∫_0^∞ z^{a-1}/(1+z^γ) dz =
+        # (π/γ)/sin(aπ/γ).
+        numerator = (math.pi / self._gamma) / math.sin(3.0 * math.pi / self._gamma)
+        denominator = (math.pi / self._gamma) / math.sin(math.pi / self._gamma)
+        return numerator / denominator
+
+    def _sample_unit(self, count: int) -> np.ndarray:
+        """Rejection sampling of the unit-scale distribution from a Cauchy envelope."""
+        out = np.empty(0)
+        # Acceptance probability is bounded below by ~1/2 for γ >= 4, so a few
+        # rounds of oversampling suffice.
+        while out.size < count:
+            need = count - out.size
+            batch = max(16, int(need * 2.5))
+            candidates = self._rng.standard_cauchy(batch)
+            # Target density ∝ 1/(1+|z|^γ); envelope density ∝ 1/(1+z²).
+            # Accept with probability proportional to (1+z²)/(1+|z|^γ), scaled
+            # by its maximum so the ratio is at most 1.
+            ratio = (1.0 + candidates**2) / (1.0 + np.abs(candidates) ** self._gamma)
+            ratio_max = self._envelope_ratio_max()
+            accept = self._rng.random(batch) < ratio / ratio_max
+            out = np.concatenate([out, candidates[accept]])
+        return out[:count]
+
+    def _envelope_ratio_max(self) -> float:
+        """``max_z (1+z²)/(1+|z|^γ)`` — computed on a grid (exact for γ=4)."""
+        if self._gamma == 4.0:
+            # Maximum at z² = sqrt(2) - 1.
+            z2 = math.sqrt(2.0) - 1.0
+            return (1.0 + z2) / (1.0 + z2**2)
+        grid = np.linspace(0.0, 10.0, 10_001)
+        values = (1.0 + grid**2) / (1.0 + grid**self._gamma)
+        return float(values.max()) * 1.01
+
+    def sample(self, size: int | None = None):
+        """Draw one sample (``size=None``) or a numpy array of samples."""
+        count = 1 if size is None else int(size)
+        samples = self._scale * self._sample_unit(count)
+        return float(samples[0]) if size is None else samples

@@ -1,0 +1,35 @@
+"""Conjunctive-query model.
+
+The classes in this subpackage represent the query language of the paper:
+full and non-full conjunctive queries with self-joins and with predicate
+selections (inequalities, comparisons, or arbitrary computable predicates).
+"""
+
+from repro.query.atoms import Atom, Constant, Term, Variable
+from repro.query.predicates import (
+    ComparisonPredicate,
+    GenericPredicate,
+    InequalityPredicate,
+    Predicate,
+)
+from repro.query.cq import ConjunctiveQuery, SelfJoinBlock
+from repro.query.parser import parse_query
+from repro.query.hypergraph import QueryHypergraph
+from repro.query.residual import ResidualQuery, residual_query
+
+__all__ = [
+    "Atom",
+    "ComparisonPredicate",
+    "ConjunctiveQuery",
+    "Constant",
+    "GenericPredicate",
+    "InequalityPredicate",
+    "Predicate",
+    "QueryHypergraph",
+    "ResidualQuery",
+    "SelfJoinBlock",
+    "Term",
+    "Variable",
+    "parse_query",
+    "residual_query",
+]

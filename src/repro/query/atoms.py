@@ -1,0 +1,120 @@
+"""Terms and atoms of conjunctive queries.
+
+An atom ``R(x1, x2, 5)`` names a relation and lists *terms*, each of which is
+either a :class:`Variable` or a :class:`Constant`.  Following the paper we
+allow constants in atoms (they are handled by a linear-time selection during
+evaluation) but most of the sensitivity machinery works with variable-only
+atoms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.exceptions import QueryError
+
+__all__ = ["Variable", "Constant", "Term", "Atom"]
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A query variable, identified by its name."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise QueryError(f"variable name must be a non-empty string, got {self.name!r}")
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant term appearing in an atom or predicate."""
+
+    value: object
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+
+#: A term is either a variable or a constant.
+Term = Union[Variable, Constant]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A single atom ``R(t1, ..., tk)`` of a conjunctive query.
+
+    Parameters
+    ----------
+    relation:
+        The *physical* relation name.  Two atoms over the same relation name
+        form a self-join; the paper's logical relations ``I_i(x_i)`` are the
+        per-atom renamings of the shared physical instance.
+    terms:
+        The terms, one per attribute of the relation, in schema order.
+    """
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    def __init__(self, relation: str, terms):
+        if not relation or not isinstance(relation, str):
+            raise QueryError(f"atom relation name must be a non-empty string, got {relation!r}")
+        converted: list[Term] = []
+        for term in terms:
+            if isinstance(term, (Variable, Constant)):
+                converted.append(term)
+            elif isinstance(term, str):
+                converted.append(Variable(term))
+            else:
+                converted.append(Constant(term))
+        if not converted:
+            raise QueryError(f"atom over {relation!r} must have at least one term")
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", tuple(converted))
+
+    @property
+    def arity(self) -> int:
+        """Number of terms."""
+        return len(self.terms)
+
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        """The variables of the atom, in term order, without duplicates."""
+        seen: dict[Variable, None] = {}
+        for term in self.terms:
+            if isinstance(term, Variable):
+                seen.setdefault(term)
+        return tuple(seen)
+
+    @property
+    def variable_set(self) -> frozenset[Variable]:
+        """The set of variables of the atom."""
+        return frozenset(t for t in self.terms if isinstance(t, Variable))
+
+    @property
+    def has_constants(self) -> bool:
+        """Whether any term is a constant."""
+        return any(isinstance(t, Constant) for t in self.terms)
+
+    def positions_of(self, variable: Variable) -> tuple[int, ...]:
+        """The term positions at which ``variable`` occurs."""
+        return tuple(i for i, t in enumerate(self.terms) if t == variable)
+
+    def rename(self, mapping: dict[Variable, Variable]) -> "Atom":
+        """A copy of the atom with variables renamed according to ``mapping``."""
+        new_terms = [
+            mapping.get(t, t) if isinstance(t, Variable) else t for t in self.terms
+        ]
+        return Atom(self.relation, new_terms)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            t.name if isinstance(t, Variable) else repr(t.value) for t in self.terms
+        )
+        return f"{self.relation}({inner})"

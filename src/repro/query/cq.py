@@ -1,0 +1,296 @@
+"""Conjunctive queries (full and non-full, with self-joins and predicates).
+
+A :class:`ConjunctiveQuery` is the central query object of the library.  It
+captures the paper's query class
+
+    q := pi_o ( sigma_{P1 ∧ ... ∧ Pκ} ( R1(x1) ⋈ ... ⋈ Rn(xn) ) )
+
+where the projection ``o`` is optional (``o = var(q)`` makes the query
+*full*), the predicates are optional, and relation names may repeat
+(self-joins).  The class also exposes the bookkeeping the residual
+sensitivity machinery needs: the grouping of atom indices into *self-join
+blocks* (the paper's ``D_i``), the private logical/physical relation sets
+(``P_n`` / ``P_m``), and convenience constructors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.data.schema import DatabaseSchema
+from repro.exceptions import QueryError
+from repro.query.atoms import Atom, Constant, Variable
+from repro.query.predicates import Predicate
+
+__all__ = ["ConjunctiveQuery", "SelfJoinBlock"]
+
+
+@dataclass(frozen=True)
+class SelfJoinBlock:
+    """A maximal group of atom indices referring to the same physical relation.
+
+    Attributes
+    ----------
+    relation:
+        The shared physical relation name.
+    atom_indices:
+        The indices (into :attr:`ConjunctiveQuery.atoms`) of the atoms in the
+        block, in query order.  This is the paper's ``D_i``; its size is
+        ``n_i``, the number of logical copies of the relation.
+    """
+
+    relation: str
+    atom_indices: tuple[int, ...]
+
+    @property
+    def copies(self) -> int:
+        """Number of logical copies ``n_i``."""
+        return len(self.atom_indices)
+
+
+class ConjunctiveQuery:
+    """A conjunctive query with optional predicates and projection.
+
+    Parameters
+    ----------
+    atoms:
+        The relational atoms, in order.  Atom order is irrelevant
+        semantically but fixes the indexing used throughout the library.
+    predicates:
+        Selection predicates applied to the join result.
+    output_variables:
+        The projection list ``o``.  ``None`` means the query is *full* (all
+        variables are output); an explicit list makes the query non-full.
+        Output variables must occur in some atom.
+    name:
+        Optional display name used in reports.
+    """
+
+    def __init__(
+        self,
+        atoms: Sequence[Atom],
+        predicates: Sequence[Predicate] = (),
+        output_variables: Sequence[Variable | str] | None = None,
+        name: str | None = None,
+    ):
+        if not atoms:
+            raise QueryError("a conjunctive query must have at least one atom")
+        self._atoms = tuple(atoms)
+        self._predicates = tuple(predicates)
+        self._name = name
+
+        all_vars: dict[Variable, None] = {}
+        for atom in self._atoms:
+            for var in atom.variables:
+                all_vars.setdefault(var)
+        self._variables = tuple(all_vars)
+        var_set = frozenset(self._variables)
+
+        for pred in self._predicates:
+            missing = pred.variables - var_set
+            if missing:
+                raise QueryError(
+                    f"predicate {pred!r} mentions variables not in the query: "
+                    f"{sorted(v.name for v in missing)}"
+                )
+
+        if output_variables is None:
+            self._output_variables: tuple[Variable, ...] | None = None
+        else:
+            converted = tuple(
+                Variable(v) if isinstance(v, str) else v for v in output_variables
+            )
+            unknown = [v for v in converted if v not in var_set]
+            if unknown:
+                raise QueryError(
+                    f"output variables not in any atom: {sorted(v.name for v in unknown)}"
+                )
+            if len(set(converted)) != len(converted):
+                raise QueryError("output variables must be distinct")
+            self._output_variables = converted
+
+        # Self-join blocks: group atom indices by relation name, preserving
+        # the order of first appearance.  The paper assumes atoms of the same
+        # relation are consecutive; we do not require that, the grouping is
+        # by name regardless of position.
+        blocks: dict[str, list[int]] = {}
+        for idx, atom in enumerate(self._atoms):
+            blocks.setdefault(atom.relation, []).append(idx)
+        self._blocks = tuple(
+            SelfJoinBlock(relation=rel, atom_indices=tuple(indices))
+            for rel, indices in blocks.items()
+        )
+
+    # ------------------------------------------------------------------ #
+    # Basic structure
+    # ------------------------------------------------------------------ #
+    @property
+    def atoms(self) -> tuple[Atom, ...]:
+        """The atoms in query order."""
+        return self._atoms
+
+    @property
+    def predicates(self) -> tuple[Predicate, ...]:
+        """The selection predicates."""
+        return self._predicates
+
+    @property
+    def name(self) -> str:
+        """A display name (auto-generated if not provided)."""
+        if self._name:
+            return self._name
+        return " ⋈ ".join(repr(a) for a in self._atoms)
+
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        """All variables, ordered by first appearance."""
+        return self._variables
+
+    @property
+    def variable_set(self) -> frozenset[Variable]:
+        """The set of all variables ``var(q)``."""
+        return frozenset(self._variables)
+
+    @property
+    def output_variables(self) -> tuple[Variable, ...]:
+        """The projection list ``o`` (all variables for a full query)."""
+        if self._output_variables is None:
+            return self._variables
+        return self._output_variables
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the query is full (no projection, or projection onto all variables)."""
+        if self._output_variables is None:
+            return True
+        return set(self._output_variables) == set(self._variables)
+
+    @property
+    def has_predicates(self) -> bool:
+        """Whether the query carries any selection predicate."""
+        return bool(self._predicates)
+
+    @property
+    def num_atoms(self) -> int:
+        """The number of atoms ``n``."""
+        return len(self._atoms)
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        """Distinct physical relation names, in order of first appearance."""
+        return tuple(block.relation for block in self._blocks)
+
+    # ------------------------------------------------------------------ #
+    # Self-joins and privacy bookkeeping
+    # ------------------------------------------------------------------ #
+    @property
+    def self_join_blocks(self) -> tuple[SelfJoinBlock, ...]:
+        """The self-join blocks ``D_1, ..., D_m`` (one per physical relation)."""
+        return self._blocks
+
+    @property
+    def is_self_join_free(self) -> bool:
+        """Whether every physical relation is mentioned at most once."""
+        return all(block.copies == 1 for block in self._blocks)
+
+    def block_of_atom(self, atom_index: int) -> SelfJoinBlock:
+        """The self-join block containing atom ``atom_index``."""
+        self._check_atom_index(atom_index)
+        relation = self._atoms[atom_index].relation
+        for block in self._blocks:
+            if block.relation == relation:
+                return block
+        raise QueryError(f"no block found for atom index {atom_index}")  # pragma: no cover
+
+    def private_blocks(self, schema: DatabaseSchema) -> tuple[SelfJoinBlock, ...]:
+        """The blocks over private relations (the paper's ``P_m``), per ``schema``."""
+        self.validate_against_schema(schema)
+        return tuple(b for b in self._blocks if schema.is_private(b.relation))
+
+    def private_atom_indices(self, schema: DatabaseSchema) -> tuple[int, ...]:
+        """Indices of atoms over private relations (the paper's ``P_n``)."""
+        return tuple(
+            idx for block in self.private_blocks(schema) for idx in block.atom_indices
+        )
+
+    # ------------------------------------------------------------------ #
+    # Validation and derived queries
+    # ------------------------------------------------------------------ #
+    def validate_against_schema(self, schema: DatabaseSchema) -> None:
+        """Check that every atom matches a relation of ``schema`` with the right arity."""
+        for atom in self._atoms:
+            if atom.relation not in schema:
+                raise QueryError(f"query references unknown relation {atom.relation!r}")
+            expected = schema.relation(atom.relation).arity
+            if atom.arity != expected:
+                raise QueryError(
+                    f"atom {atom!r} has arity {atom.arity}, relation "
+                    f"{atom.relation!r} expects {expected}"
+                )
+
+    def atom_variables(self, atom_index: int) -> frozenset[Variable]:
+        """The variable set of atom ``atom_index``."""
+        self._check_atom_index(atom_index)
+        return self._atoms[atom_index].variable_set
+
+    def variables_of(self, atom_indices: Iterable[int]) -> frozenset[Variable]:
+        """The union of variable sets over ``atom_indices``."""
+        result: set[Variable] = set()
+        for idx in atom_indices:
+            result |= self.atom_variables(idx)
+        return frozenset(result)
+
+    def with_predicates(self, predicates: Sequence[Predicate]) -> "ConjunctiveQuery":
+        """A copy with additional predicates appended."""
+        return ConjunctiveQuery(
+            self._atoms,
+            self._predicates + tuple(predicates),
+            self._output_variables,
+            name=self._name,
+        )
+
+    def with_projection(self, output_variables: Sequence[Variable | str]) -> "ConjunctiveQuery":
+        """A copy projecting onto ``output_variables`` (making the query non-full)."""
+        return ConjunctiveQuery(
+            self._atoms, self._predicates, output_variables, name=self._name
+        )
+
+    def as_full(self) -> "ConjunctiveQuery":
+        """A copy with the projection dropped (all variables output)."""
+        return ConjunctiveQuery(self._atoms, self._predicates, None, name=self._name)
+
+    def without_predicates(self) -> "ConjunctiveQuery":
+        """A copy with all predicates dropped."""
+        return ConjunctiveQuery(self._atoms, (), self._output_variables, name=self._name)
+
+    # ------------------------------------------------------------------ #
+    # Dunder methods
+    # ------------------------------------------------------------------ #
+    def _check_atom_index(self, atom_index: int) -> None:
+        if atom_index < 0 or atom_index >= len(self._atoms):
+            raise QueryError(
+                f"atom index {atom_index} out of range (query has {len(self._atoms)} atoms)"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return (
+            self._atoms == other._atoms
+            and self._predicates == other._predicates
+            and self._output_variables == other._output_variables
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._atoms, self._predicates, self._output_variables))
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(a) for a in self._atoms)
+        if self._predicates:
+            body += ", " + ", ".join(repr(p) for p in self._predicates)
+        if self._output_variables is None:
+            head_vars = ""
+        else:
+            head_vars = ", ".join(v.name for v in self._output_variables)
+        return f"Q({head_vars}) :- {body}"

@@ -1,0 +1,208 @@
+"""Query hypergraphs: structure analysis for conjunctive queries.
+
+The hypergraph of a CQ has one vertex per variable and one hyperedge per
+atom.  The library uses it for
+
+* **acyclicity detection** via the GYO (Graham–Yu–Özsoyoğlu) reduction and
+  construction of a join tree when the query is α-acyclic,
+* **connectivity** queries (connected components, traversal orders) used by
+  the join planner and by elastic sensitivity, and
+* input to the **fractional edge cover LP** behind the AGM bound
+  (:mod:`repro.engine.agm`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.exceptions import QueryError
+from repro.query.atoms import Variable
+from repro.query.cq import ConjunctiveQuery
+
+__all__ = ["QueryHypergraph", "JoinTreeNode"]
+
+
+@dataclass
+class JoinTreeNode:
+    """A node of a join tree: an atom index plus its children."""
+
+    atom_index: int
+    children: list["JoinTreeNode"]
+
+    def all_indices(self) -> list[int]:
+        """The atom indices of the subtree rooted here (pre-order)."""
+        result = [self.atom_index]
+        for child in self.children:
+            result.extend(child.all_indices())
+        return result
+
+
+class QueryHypergraph:
+    """The hypergraph of a conjunctive query (restricted to a subset of atoms)."""
+
+    def __init__(self, query: ConjunctiveQuery, atom_indices: Iterable[int] | None = None):
+        self._query = query
+        if atom_indices is None:
+            self._indices = tuple(range(query.num_atoms))
+        else:
+            self._indices = tuple(sorted(set(atom_indices)))
+            for idx in self._indices:
+                if idx < 0 or idx >= query.num_atoms:
+                    raise QueryError(f"atom index {idx} out of range")
+        self._edges: dict[int, frozenset[Variable]] = {
+            idx: query.atom_variables(idx) for idx in self._indices
+        }
+        vertices: set[Variable] = set()
+        for edge in self._edges.values():
+            vertices |= edge
+        self._vertices = frozenset(vertices)
+
+    # ------------------------------------------------------------------ #
+    # Basic structure
+    # ------------------------------------------------------------------ #
+    @property
+    def query(self) -> ConjunctiveQuery:
+        """The underlying query."""
+        return self._query
+
+    @property
+    def atom_indices(self) -> tuple[int, ...]:
+        """The atom indices this hypergraph covers."""
+        return self._indices
+
+    @property
+    def vertices(self) -> frozenset[Variable]:
+        """The variables (hypergraph vertices)."""
+        return self._vertices
+
+    def edge(self, atom_index: int) -> frozenset[Variable]:
+        """The variable set (hyperedge) of ``atom_index``."""
+        try:
+            return self._edges[atom_index]
+        except KeyError:
+            raise QueryError(f"atom {atom_index} is not part of this hypergraph") from None
+
+    def atoms_containing(self, variable: Variable) -> tuple[int, ...]:
+        """Indices of atoms whose hyperedge contains ``variable``."""
+        return tuple(idx for idx, edge in self._edges.items() if variable in edge)
+
+    # ------------------------------------------------------------------ #
+    # Connectivity
+    # ------------------------------------------------------------------ #
+    def connected_components(self) -> list[tuple[int, ...]]:
+        """Atom-index components connected through shared variables."""
+        remaining = set(self._indices)
+        components: list[tuple[int, ...]] = []
+        while remaining:
+            start = min(remaining)
+            component = {start}
+            frontier = [start]
+            while frontier:
+                current = frontier.pop()
+                current_vars = self._edges[current]
+                for other in list(remaining - component):
+                    if self._edges[other] & current_vars:
+                        component.add(other)
+                        frontier.append(other)
+            remaining -= component
+            components.append(tuple(sorted(component)))
+        return components
+
+    @property
+    def is_connected(self) -> bool:
+        """Whether all atoms form a single connected component."""
+        return len(self.connected_components()) <= 1
+
+    def connected_order(self, seeds: Sequence[Variable] = ()) -> list[int]:
+        """An atom ordering in which each atom (when possible) shares a variable
+        with a previously placed atom or with ``seeds``.
+
+        Used by the backtracking join planner and by elastic sensitivity's
+        traversal of the remaining atoms.  Disconnected atoms are appended in
+        index order after their component is exhausted.
+        """
+        seen_vars: set[Variable] = set(seeds)
+        remaining = list(self._indices)
+        order: list[int] = []
+        while remaining:
+            # Prefer atoms sharing the most already-seen variables.
+            best = None
+            best_key = None
+            for idx in remaining:
+                shared = len(self._edges[idx] & seen_vars)
+                key = (-shared, idx)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = idx
+            assert best is not None
+            order.append(best)
+            remaining.remove(best)
+            seen_vars |= self._edges[best]
+        return order
+
+    # ------------------------------------------------------------------ #
+    # GYO reduction / acyclicity / join trees
+    # ------------------------------------------------------------------ #
+    def gyo_reduction(self) -> tuple[bool, list[tuple[int, int | None]]]:
+        """Run the GYO ear-removal procedure.
+
+        Returns
+        -------
+        (acyclic, ears):
+            ``acyclic`` is ``True`` iff the query is α-acyclic; ``ears`` is
+            the removal sequence as ``(ear_atom, witness_atom_or_None)``
+            pairs (the witness is the atom the ear was absorbed into).
+        """
+        active: dict[int, set[Variable]] = {idx: set(edge) for idx, edge in self._edges.items()}
+        ears: list[tuple[int, int | None]] = []
+        changed = True
+        while changed and len(active) > 1:
+            changed = False
+            for idx in list(active):
+                others = [o for o in active if o != idx]
+                # Variables of idx appearing in some other active atom.
+                shared = {
+                    v for v in active[idx] if any(v in active[o] for o in others)
+                }
+                witness = None
+                for o in others:
+                    if shared <= active[o]:
+                        witness = o
+                        break
+                if witness is not None or not shared:
+                    ears.append((idx, witness))
+                    del active[idx]
+                    changed = True
+                    break
+        acyclic = len(active) <= 1
+        if acyclic and active:
+            ears.append((next(iter(active)), None))
+        return acyclic, ears
+
+    @property
+    def is_acyclic(self) -> bool:
+        """Whether the query (restricted to these atoms) is α-acyclic."""
+        acyclic, _ = self.gyo_reduction()
+        return acyclic
+
+    def join_tree(self) -> JoinTreeNode:
+        """A join tree for an α-acyclic query.
+
+        Raises
+        ------
+        QueryError
+            If the query is cyclic (no join tree exists).
+        """
+        acyclic, ears = self.gyo_reduction()
+        if not acyclic:
+            raise QueryError("query is cyclic; no join tree exists")
+        nodes: dict[int, JoinTreeNode] = {}
+        root_index = ears[-1][0]
+        for idx, _ in ears:
+            nodes[idx] = JoinTreeNode(atom_index=idx, children=[])
+        # Attach each ear to its witness; ears removed later are closer to the root.
+        for idx, witness in ears[:-1]:
+            parent = witness if witness is not None else root_index
+            nodes[parent].children.append(nodes[idx])
+        return nodes[root_index]

@@ -1,0 +1,227 @@
+"""A small datalog-style text syntax for conjunctive queries.
+
+The syntax is deliberately tiny but convenient for examples, tests and the
+CLI::
+
+    # Full CQ (no head): count all triangles
+    Edge(x1, x2), Edge(x2, x3), Edge(x1, x3), x1 != x2, x1 != x3, x2 != x3
+
+    # Non-full CQ with an explicit head (projection)
+    Q(x1) :- R1(x1, x2), R2(x2)
+
+    # Constants and comparisons
+    Q(*) :- Orders(o, c, d), Lineitem(o, p, qty), qty >= 5, d != 0
+
+Grammar (informal)::
+
+    query      := [ head ":-" ] body
+    head       := NAME "(" ( "*" | varlist? ) ")"
+    body       := item ("," item)*
+    item       := atom | predicate
+    atom       := NAME "(" term ("," term)* ")"
+    predicate  := term OP term          with OP in  != < <= > >=
+    term       := NAME | NUMBER | STRING
+
+Identifiers starting with a letter are variables inside atoms/predicates
+(relation names are recognised positionally, i.e. ``NAME (`` starts an atom).
+Numbers and quoted strings are constants.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.exceptions import QueryError
+from repro.query.atoms import Atom, Constant, Term, Variable
+from repro.query.cq import ConjunctiveQuery
+from repro.query.predicates import (
+    ComparisonPredicate,
+    InequalityPredicate,
+    Predicate,
+)
+
+__all__ = ["parse_query"]
+
+
+_TOKEN_SPEC = [
+    ("ARROW", r":-"),
+    ("OP", r"!=|<=|>=|<|>"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("STAR", r"\*"),
+    ("NUMBER", r"-?\d+"),
+    ("STRING", r"'[^']*'|\"[^\"]*\""),
+    ("NAME", r"[A-Za-z_][A-Za-z_0-9]*"),
+    ("WS", r"\s+"),
+]
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise QueryError(f"unexpected character {text[pos]!r} at position {pos}")
+        kind = match.lastgroup or ""
+        if kind != "WS":
+            tokens.append(_Token(kind, match.group(), pos))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: Sequence[_Token], text: str):
+        self._tokens = list(tokens)
+        self._text = text
+        self._pos = 0
+
+    # -------------------------- token helpers -------------------------- #
+    def _peek(self, offset: int = 0) -> _Token | None:
+        idx = self._pos + offset
+        if idx < len(self._tokens):
+            return self._tokens[idx]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QueryError(f"unexpected end of query: {self._text!r}")
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise QueryError(
+                f"expected {kind} but found {token.text!r} at position {token.position}"
+            )
+        return token
+
+    def _at_end(self) -> bool:
+        return self._pos >= len(self._tokens)
+
+    # -------------------------- grammar rules --------------------------- #
+    def parse(self) -> ConjunctiveQuery:
+        head_name, head_vars = self._maybe_head()
+        atoms, predicates = self._body()
+        if not atoms:
+            raise QueryError("a query must contain at least one relational atom")
+        return ConjunctiveQuery(
+            atoms,
+            predicates,
+            output_variables=head_vars,
+            name=head_name,
+        )
+
+    def _maybe_head(self) -> tuple[str | None, list[Variable] | None]:
+        """Parse ``NAME ( ... ) :-`` if present; return (name, projection or None)."""
+        # Look ahead for an ARROW token; if none, there is no head.
+        has_arrow = any(t.kind == "ARROW" for t in self._tokens)
+        if not has_arrow:
+            return None, None
+        name_token = self._expect("NAME")
+        self._expect("LPAREN")
+        head_vars: list[Variable] | None = []
+        token = self._peek()
+        if token is not None and token.kind == "STAR":
+            self._next()
+            head_vars = None  # Q(*) means full query.
+        else:
+            while token is not None and token.kind != "RPAREN":
+                var_token = self._expect("NAME")
+                assert head_vars is not None
+                head_vars.append(Variable(var_token.text))
+                token = self._peek()
+                if token is not None and token.kind == "COMMA":
+                    self._next()
+                    token = self._peek()
+        self._expect("RPAREN")
+        self._expect("ARROW")
+        if head_vars == []:
+            # ``Q() :- ...`` — an empty head also means "just the count", i.e. full.
+            head_vars = None
+        return name_token.text, head_vars
+
+    def _body(self) -> tuple[list[Atom], list[Predicate]]:
+        atoms: list[Atom] = []
+        predicates: list[Predicate] = []
+        while not self._at_end():
+            nxt = self._peek(1)
+            if self._peek().kind == "NAME" and nxt is not None and nxt.kind == "LPAREN":
+                atoms.append(self._atom())
+            else:
+                predicates.append(self._predicate())
+            if not self._at_end():
+                self._expect("COMMA")
+        return atoms, predicates
+
+    def _atom(self) -> Atom:
+        name = self._expect("NAME").text
+        self._expect("LPAREN")
+        terms: list[Term] = [self._term()]
+        while self._peek() is not None and self._peek().kind == "COMMA":
+            self._next()
+            terms.append(self._term())
+        self._expect("RPAREN")
+        return Atom(name, terms)
+
+    def _term(self) -> Term:
+        token = self._next()
+        if token.kind == "NAME":
+            return Variable(token.text)
+        if token.kind == "NUMBER":
+            return Constant(int(token.text))
+        if token.kind == "STRING":
+            return Constant(token.text[1:-1])
+        raise QueryError(f"expected a term but found {token.text!r} at {token.position}")
+
+    def _predicate(self) -> Predicate:
+        left = self._term()
+        op = self._expect("OP").text
+        right = self._term()
+        if op == "!=":
+            return InequalityPredicate(left, right)
+        return ComparisonPredicate(left, op, right)
+
+
+def parse_query(text: str, name: str | None = None) -> ConjunctiveQuery:
+    """Parse ``text`` into a :class:`~repro.query.cq.ConjunctiveQuery`.
+
+    Parameters
+    ----------
+    text:
+        The query in the datalog-style syntax described in the module
+        docstring.
+    name:
+        Optional display name overriding the head name.
+
+    Raises
+    ------
+    QueryError
+        On any lexical or syntactic error.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise QueryError("empty query text")
+    query = _Parser(tokens, text).parse()
+    if name is not None:
+        return ConjunctiveQuery(
+            query.atoms, query.predicates,
+            None if query.is_full else query.output_variables,
+            name=name,
+        )
+    return query

@@ -1,0 +1,189 @@
+"""Residual queries and their boundaries (Sections 3.1, 5, 6 of the paper).
+
+For a CQ ``q`` over atoms ``[n]`` and a subset ``E ⊆ [n]``, the *residual
+query* ``q_E`` is the join of the atoms in ``E``.  Its *boundary* ``∂q_E`` is
+the set of variables shared between atoms inside and outside ``E``; the
+residual sensitivity is built from the maximum boundary multiplicities
+``T_E(I)`` of these residual queries.
+
+With predicates (Section 5) the boundary splits into
+
+* ``∂q1_E`` — boundary variables realised by atoms of ``E`` (they range over
+  the active domain of the residual join), and
+* ``∂q2_E`` — variables that occur in atoms *outside* ``E`` and in some
+  predicate together with residual variables, but not in ``∂q1_E`` (they
+  range, in principle, over the whole attribute domain).
+
+With a projection (Section 6), ``o_E = o ∩ var(q_E)`` is the part of the
+output variables realised inside ``E`` and ``T_E`` counts *distinct*
+projections instead of raw join tuples.
+
+This module contains only the *structural* computation; the numeric
+evaluation of ``T_E(I)`` lives in :mod:`repro.engine.aggregates`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+from repro.exceptions import QueryError
+from repro.query.atoms import Variable
+from repro.query.cq import ConjunctiveQuery
+from repro.query.predicates import Predicate
+
+__all__ = ["ResidualQuery", "residual_query", "all_subsets_of_block"]
+
+
+@dataclass(frozen=True)
+class ResidualQuery:
+    """The structural description of a residual query ``q_E``.
+
+    Attributes
+    ----------
+    parent:
+        The query the residual was taken from.
+    atom_indices:
+        The subset ``E`` of atom indices (frozen, possibly empty).
+    boundary:
+        The full boundary ``∂q_E = ∂q1_E ∪ ∂q2_E``.
+    boundary_relational:
+        ``∂q1_E``: boundary variables occurring in some atom of ``E`` *and*
+        some atom outside ``E``.
+    boundary_predicate_only:
+        ``∂q2_E``: variables occurring in atoms outside ``E`` and linked to
+        the residual only through predicates.  Empty for predicate-free
+        queries.
+    output_variables:
+        ``o_E = o ∩ var(q_E)`` — relevant only for non-full parents.
+    predicates:
+        The parent predicates whose variables are entirely contained in
+        ``var(q_E)``; these are the predicates that the Corollary 5.1 /
+        Section 5.2 evaluation applies inside the residual.
+    dropped_predicates:
+        Parent predicates that mention at least one variable of ``E``'s atoms
+        but are not entirely contained in ``var(q_E)``; inequality-only
+        dropped predicates are harmless (Corollary 5.1), comparison or
+        generic dropped predicates require the Section 5.1/5.2 treatment.
+    """
+
+    parent: ConjunctiveQuery
+    atom_indices: frozenset[int]
+    boundary: frozenset[Variable]
+    boundary_relational: frozenset[Variable]
+    boundary_predicate_only: frozenset[Variable]
+    output_variables: tuple[Variable, ...]
+    predicates: tuple[Predicate, ...]
+    dropped_predicates: tuple[Predicate, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether ``E`` is the empty set (then ``T_E(I) = 1`` by convention)."""
+        return not self.atom_indices
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        """``var(q_E)``: variables of the atoms in ``E``."""
+        return self.parent.variables_of(self.atom_indices)
+
+    @property
+    def internal_variables(self) -> frozenset[Variable]:
+        """Variables of ``q_E`` that are *not* boundary variables."""
+        return self.variables - self.boundary
+
+    def as_query(self) -> ConjunctiveQuery:
+        """The residual as a standalone :class:`ConjunctiveQuery`.
+
+        The standalone query keeps only the applicable predicates; it is full
+        (sensitivity evaluation handles projections separately through
+        :attr:`output_variables`).
+        """
+        if self.is_empty:
+            raise QueryError("the empty residual query has no standalone form")
+        atoms = [self.parent.atoms[i] for i in sorted(self.atom_indices)]
+        return ConjunctiveQuery(atoms, self.predicates)
+
+
+def residual_query(query: ConjunctiveQuery, atom_indices: Iterable[int]) -> ResidualQuery:
+    """Construct the :class:`ResidualQuery` for subset ``E = atom_indices`` of ``query``.
+
+    Parameters
+    ----------
+    query:
+        The parent conjunctive query.
+    atom_indices:
+        The subset ``E`` of atom indices (each in ``range(query.num_atoms)``).
+
+    Returns
+    -------
+    ResidualQuery
+        The structural description, including the ``∂q1``/``∂q2`` boundary
+        split and the per-residual predicate classification.
+    """
+    indices = frozenset(atom_indices)
+    for idx in indices:
+        if idx < 0 or idx >= query.num_atoms:
+            raise QueryError(
+                f"atom index {idx} out of range (query has {query.num_atoms} atoms)"
+            )
+
+    inside_vars = query.variables_of(indices)
+    outside_indices = frozenset(range(query.num_atoms)) - indices
+    outside_vars = query.variables_of(outside_indices)
+
+    # ∂q1: realised by atoms on both sides.
+    boundary_relational = inside_vars & outside_vars
+
+    # Predicate classification and ∂q2.
+    applicable: list[Predicate] = []
+    dropped: list[Predicate] = []
+    predicate_only: set[Variable] = set()
+    for pred in query.predicates:
+        pvars = pred.variables
+        if not indices:
+            # The empty residual applies no predicates.
+            continue
+        if pvars and pvars <= inside_vars:
+            applicable.append(pred)
+        elif pvars & inside_vars:
+            dropped.append(pred)
+            # Variables of the predicate realised only outside E contribute
+            # to ∂q2 (unless they are already relational boundary vars).
+            predicate_only |= (pvars - inside_vars) - boundary_relational
+        # Predicates entirely outside E are irrelevant for q_E.
+
+    # Per the paper's definition, ∂q2 collects variables of atoms *in E* that
+    # co-occur with predicates linking to the outside; symmetrically, when E
+    # is the residual kept (the paper's \bar{E}), the roles swap.  We expose
+    # the outside-realised predicate variables because that is what the
+    # Section 5 algorithms need to range over the (augmented) domain.
+    boundary_predicate_only = frozenset(predicate_only)
+    boundary = frozenset(boundary_relational) | boundary_predicate_only
+
+    output_variables = tuple(v for v in query.output_variables if v in inside_vars)
+
+    return ResidualQuery(
+        parent=query,
+        atom_indices=indices,
+        boundary=boundary,
+        boundary_relational=frozenset(boundary_relational),
+        boundary_predicate_only=boundary_predicate_only,
+        output_variables=output_variables,
+        predicates=tuple(applicable),
+        dropped_predicates=tuple(dropped),
+    )
+
+
+def all_subsets_of_block(block_indices: Iterable[int]) -> list[frozenset[int]]:
+    """All non-empty subsets of a self-join block's atom indices.
+
+    The residual-sensitivity formulas sum over ``E ⊆ D_i, E != ∅``; this
+    helper enumerates those subsets deterministically (by increasing size,
+    then lexicographically), which keeps reports and tests stable.
+    """
+    indices = sorted(set(block_indices))
+    subsets: list[frozenset[int]] = []
+    for mask in range(1, 1 << len(indices)):
+        subsets.append(frozenset(indices[i] for i in range(len(indices)) if mask >> i & 1))
+    subsets.sort(key=lambda s: (len(s), tuple(sorted(s))))
+    return subsets

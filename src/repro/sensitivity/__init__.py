@@ -1,0 +1,58 @@
+"""Sensitivity measures for conjunctive queries.
+
+The noise added by a sensitivity-based DP mechanism is calibrated to one of
+the measures implemented here:
+
+* :mod:`repro.sensitivity.local` — local sensitivity ``LS(I)`` and its
+  distance-``k`` variant ``LS^(k)(I)`` (exact brute force on finite domains,
+  plus the residual-query characterisations of Lemma 3.3 / Theorem 3.5);
+* :mod:`repro.sensitivity.global_sensitivity` — AGM-based global-sensitivity
+  upper bounds (Section 3.3);
+* :mod:`repro.sensitivity.smooth` — smooth sensitivity ``SS(I)`` (generic
+  brute-force reference implementation and the generic smoothing operator);
+* :mod:`repro.sensitivity.smooth_triangle` / ``smooth_star`` — closed-form
+  smooth sensitivity for triangle and k-star counting (the only CQ families
+  with known polynomial exact algorithms, used as the SS baseline of
+  Table 1);
+* :mod:`repro.sensitivity.residual` — **residual sensitivity** ``RS(I)``,
+  the paper's mechanism, for full CQs with self-joins, predicates and
+  projections (Sections 3, 5, 6);
+* :mod:`repro.sensitivity.elastic` — elastic sensitivity ``ES(I)`` (the
+  FLEX baseline, Section 4.4);
+* :mod:`repro.sensitivity.lower_bounds` — neighborhood lower bounds
+  (Lemmas 4.2 and 4.5) and empirical optimality ratios.
+"""
+
+from repro.sensitivity.base import SensitivityResult, beta_from_epsilon
+from repro.sensitivity.elastic import ElasticSensitivity
+from repro.sensitivity.global_sensitivity import GlobalSensitivityBound
+from repro.sensitivity.local import (
+    local_sensitivity_at_distance,
+    local_sensitivity_exact,
+    local_sensitivity_upper_bound,
+)
+from repro.sensitivity.lower_bounds import (
+    lemma_4_5_lower_bound,
+    neighborhood_lower_bound,
+)
+from repro.sensitivity.residual import ResidualSensitivity
+from repro.sensitivity.smooth import SmoothSensitivityBruteForce, smooth_from_series
+from repro.sensitivity.smooth_star import StarSmoothSensitivity
+from repro.sensitivity.smooth_triangle import TriangleSmoothSensitivity
+
+__all__ = [
+    "ElasticSensitivity",
+    "GlobalSensitivityBound",
+    "ResidualSensitivity",
+    "SensitivityResult",
+    "SmoothSensitivityBruteForce",
+    "StarSmoothSensitivity",
+    "TriangleSmoothSensitivity",
+    "beta_from_epsilon",
+    "lemma_4_5_lower_bound",
+    "local_sensitivity_at_distance",
+    "local_sensitivity_exact",
+    "local_sensitivity_upper_bound",
+    "neighborhood_lower_bound",
+    "smooth_from_series",
+]

@@ -1,0 +1,93 @@
+"""Common types and helpers for sensitivity measures.
+
+Every sensitivity engine in this package produces a :class:`SensitivityResult`
+that records the value, the smoothing parameter used, and measure-specific
+diagnostics (per-``k`` series, witnessing residual multiplicities, dropped
+predicates, ...).  The DP mechanisms in :mod:`repro.mechanisms` consume only
+the ``value`` and ``beta`` fields; the diagnostics feed the experiment
+harnesses and the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.exceptions import SensitivityError
+
+__all__ = [
+    "SensitivityResult",
+    "beta_from_epsilon",
+    "validate_beta",
+    "DEFAULT_BETA_FRACTION",
+]
+
+#: The paper (following Nissim et al.) sets ``β = ε / 10`` when using the
+#: general Cauchy distribution with exponent 4; see Section 2.3.
+DEFAULT_BETA_FRACTION = 10.0
+
+
+def beta_from_epsilon(epsilon: float, fraction: float = DEFAULT_BETA_FRACTION) -> float:
+    """The smoothing parameter ``β = ε / fraction`` (default ``ε / 10``).
+
+    Raises
+    ------
+    SensitivityError
+        If ``epsilon`` or ``fraction`` is not strictly positive.
+    """
+    if epsilon <= 0:
+        raise SensitivityError(f"epsilon must be positive, got {epsilon}")
+    if fraction <= 0:
+        raise SensitivityError(f"fraction must be positive, got {fraction}")
+    return epsilon / fraction
+
+
+def validate_beta(beta: float) -> float:
+    """Validate the smoothing parameter ``β`` (must be strictly positive and finite)."""
+    if not isinstance(beta, (int, float)) or isinstance(beta, bool):
+        raise SensitivityError(f"beta must be a number, got {beta!r}")
+    if not math.isfinite(beta) or beta <= 0:
+        raise SensitivityError(f"beta must be positive and finite, got {beta}")
+    return float(beta)
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """The outcome of a sensitivity computation.
+
+    Attributes
+    ----------
+    measure:
+        Short identifier of the measure (``"RS"``, ``"SS"``, ``"ES"``,
+        ``"GS"``, ``"LS"``, ...).
+    value:
+        The sensitivity value.  Always non-negative and finite unless the
+        measure is genuinely unbounded (global sensitivity under strict DP),
+        in which case it is ``math.inf``.
+    beta:
+        The smoothing parameter used (``None`` for unsmoothed measures such
+        as ``LS`` and ``GS``).
+    details:
+        Measure-specific diagnostics (per-``k`` series, witnesses, timings,
+        dropped predicates, ...).  Keys are strings; values are plain Python
+        objects so results can be serialised easily.
+    """
+
+    measure: str
+    value: float
+    beta: float | None = None
+    details: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise SensitivityError(
+                f"sensitivity values must be non-negative, got {self.value} for {self.measure}"
+            )
+
+    def detail(self, key: str, default: Any = None) -> Any:
+        """Convenience accessor into :attr:`details`."""
+        return self.details.get(key, default)
+
+    def __float__(self) -> float:
+        return float(self.value)

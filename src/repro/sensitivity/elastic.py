@@ -1,0 +1,199 @@
+"""Elastic sensitivity ``ES(I)`` (Johnson, Near and Song — the FLEX baseline).
+
+Elastic sensitivity is the other polynomial-time smooth upper bound for CQs
+with self-joins.  It only looks at *per-attribute maximum frequencies* of the
+base relations, which makes it extremely cheap but, as Section 4.4 of the
+paper shows, not even worst-case optimal.
+
+This implementation reconstructs the measure from the way the paper uses it:
+
+* the distance-``k`` bound is a **sum over the private atom copies** ``j`` of
+  a **product over the remaining atoms** of single-attribute maximum
+  frequencies, where the frequency of a private relation is inflated by
+  ``k`` (``mf + k``) because ``k`` changed tuples can all pile onto the most
+  frequent value;
+* the product walks the remaining atoms in a connected order seeded by the
+  removed atom's variables, and each atom contributes the maximum frequency
+  of its *first* attribute already reachable (an atom sharing no variable
+  contributes its full cardinality — a cross product);
+* ``ES(I) = max_k e^{-βk} · L̂S_ES^(k)(I)``.
+
+This reproduces the paper's Example 3 value ``L̂S^(0) = 4·(N/2)³`` on the
+path-4 adversarial instance and the Table 1 identities
+``ES(q△) = ES(q3∗) = 3·mf²``, ``ES(q□) = 4·mf³``, ``ES(q2△) = 5·mf⁴``
+(with ``mf`` the maximum in/out-degree), which is exactly the role elastic
+sensitivity plays in the evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.data.database import Database
+from repro.exceptions import SensitivityError
+from repro.query.atoms import Variable
+from repro.query.cq import ConjunctiveQuery
+from repro.query.hypergraph import QueryHypergraph
+from repro.sensitivity.base import (
+    SensitivityResult,
+    beta_from_epsilon,
+    validate_beta,
+)
+
+__all__ = ["ElasticSensitivity"]
+
+
+@dataclass(frozen=True)
+class _AtomFrequencyPlan:
+    """Pre-computed traversal for one removed private atom.
+
+    Attributes
+    ----------
+    removed_atom:
+        Index of the private atom copy whose change is being bounded.
+    factors:
+        One entry per remaining atom, in traversal order:
+        ``(atom_index, positions, is_private)`` where ``positions`` are the
+        attribute positions whose maximum frequency enters the product
+        (empty positions mean the full cardinality is used).
+    """
+
+    removed_atom: int
+    factors: tuple[tuple[int, tuple[int, ...], bool], ...]
+
+
+class ElasticSensitivity:
+    """Elastic sensitivity for counting CQs (with or without self-joins).
+
+    Parameters
+    ----------
+    query:
+        The conjunctive query.  Predicates and projections are ignored by
+        elastic sensitivity (this mirrors the baseline's behaviour that the
+        paper criticises in Sections 5 and 6).
+    beta / epsilon:
+        Exactly one must be given; ``epsilon`` implies ``β = ε / 10``.
+    """
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        *,
+        beta: float | None = None,
+        epsilon: float | None = None,
+    ):
+        if (beta is None) == (epsilon is None):
+            raise SensitivityError("provide exactly one of beta= or epsilon=")
+        self._beta = validate_beta(beta if beta is not None else beta_from_epsilon(epsilon))
+        self._query = query
+
+    @property
+    def query(self) -> ConjunctiveQuery:
+        """The query whose sensitivity is computed."""
+        return self._query
+
+    @property
+    def beta(self) -> float:
+        """The smoothing parameter ``β``."""
+        return self._beta
+
+    # ------------------------------------------------------------------ #
+    # Traversal plans
+    # ------------------------------------------------------------------ #
+    def _plans(self, database: Database) -> list[_AtomFrequencyPlan]:
+        self._query.validate_against_schema(database.schema)
+        private_atoms = self._query.private_atom_indices(database.schema)
+        if not private_atoms:
+            raise SensitivityError(
+                "the query touches no private relation; elastic sensitivity is undefined"
+            )
+        plans: list[_AtomFrequencyPlan] = []
+        n = self._query.num_atoms
+        for removed in private_atoms:
+            remaining = [idx for idx in range(n) if idx != removed]
+            factors: list[tuple[int, tuple[int, ...], bool]] = []
+            if remaining:
+                hypergraph = QueryHypergraph(self._query, remaining)
+                seen: set[Variable] = set(self._query.atom_variables(removed))
+                order = hypergraph.connected_order(seeds=tuple(seen))
+                for idx in order:
+                    atom = self._query.atoms[idx]
+                    positions: tuple[int, ...] = ()
+                    for pos, term in enumerate(atom.terms):
+                        if isinstance(term, Variable) and term in seen:
+                            positions = (pos,)
+                            break
+                    is_private = database.schema.is_private(atom.relation)
+                    factors.append((idx, positions, is_private))
+                    seen |= set(atom.variables)
+            plans.append(_AtomFrequencyPlan(removed_atom=removed, factors=tuple(factors)))
+        return plans
+
+    # ------------------------------------------------------------------ #
+    # Distance-k bound and the smoothed value
+    # ------------------------------------------------------------------ #
+    def _base_frequencies(self, database: Database) -> list[list[tuple[int, bool]]]:
+        """Per removed atom: the ``(mf, is_private)`` pairs entering the product."""
+        per_plan: list[list[tuple[int, bool]]] = []
+        for plan in self._plans(database):
+            factors: list[tuple[int, bool]] = []
+            for atom_index, positions, is_private in plan.factors:
+                atom = self._query.atoms[atom_index]
+                relation = database.relation(atom.relation)
+                factors.append((relation.max_frequency(positions), is_private))
+            per_plan.append(factors)
+        return per_plan
+
+    @staticmethod
+    def _ls_hat_from_frequencies(
+        per_plan: Sequence[Sequence[tuple[int, bool]]], k: int
+    ) -> float:
+        total = 0.0
+        for factors in per_plan:
+            product = 1.0
+            for frequency, is_private in factors:
+                product *= frequency + k if is_private else frequency
+            total += product
+        return total
+
+    def ls_hat(self, database: Database, k: int) -> float:
+        """The elastic distance-``k`` bound ``L̂S_ES^(k)(I)``."""
+        if k < 0:
+            raise SensitivityError(f"k must be non-negative, got {k}")
+        return self._ls_hat_from_frequencies(self._base_frequencies(database), k)
+
+    def _k_cutoff(self) -> int:
+        """A safe truncation point for the maximisation over ``k``.
+
+        ``e^{-βk}·Π(mf_i + k)`` has at most ``n-1`` increasing factors, so its
+        logarithmic derivative ``Σ 1/(mf_i+k) - β`` is negative once
+        ``k > (n-1)/β``; beyond that the series only decreases.
+        """
+        return int(math.ceil(max(1, self._query.num_atoms) / self._beta)) + 1
+
+    def compute(self, database: Database) -> SensitivityResult:
+        """``ES(I) = max_k e^{-βk}·L̂S_ES^(k)(I)``."""
+        k_max = self._k_cutoff()
+        best = 0.0
+        best_k = 0
+        series: list[float] = []
+        per_plan = self._base_frequencies(database)
+        for k in range(k_max + 1):
+            raw = self._ls_hat_from_frequencies(per_plan, k)
+            series.append(raw)
+            smoothed = math.exp(-self._beta * k) * raw
+            if smoothed > best:
+                best = smoothed
+                best_k = k
+        return SensitivityResult(
+            measure="ES",
+            value=best,
+            beta=self._beta,
+            details={"k_star": best_k, "k_max": k_max, "ls_hat_series": tuple(series)},
+        )
+
+    def value(self, database: Database) -> float:
+        """Shorthand for ``self.compute(database).value``."""
+        return self.compute(database).value

@@ -1,0 +1,188 @@
+"""Global sensitivity upper bounds via the AGM bound (Section 3.3).
+
+Under strict (add/remove) DP the global sensitivity of any non-trivial
+multi-way join is infinite: a single tuple can participate in an unbounded
+number of join results.  Under *relaxed* DP (substitutions only, the
+instance size ``N`` public) the paper derives
+
+    GS <= max_{i ∈ P_m} Σ_{E ⊆ D_i, E ≠ ∅} max_I T_{[n]-E}(I)            (16)
+
+and bounds ``max_I T_{[n]-E}(I)`` with the AGM bound of the residual query
+after collapsing its boundary variables (treating the logical copies of each
+physical relation as distinct relations).  For the triangle query this gives
+``GS = O(N)``, for the path-4 query ``GS = O(N²)`` (Examples 1 and 2),
+versus the trivial ``O(N^{n_P - 1})``.
+
+The module computes both the symbolic exponent (the power of ``N``) and the
+numeric bound for a concrete instance (using the actual relation sizes), plus
+the honest ``GS = ∞`` answer for strict DP.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.data.database import Database
+from repro.engine.agm import fractional_edge_cover
+from repro.exceptions import SensitivityError
+from repro.query.cq import ConjunctiveQuery
+from repro.query.residual import all_subsets_of_block, residual_query
+from repro.sensitivity.base import SensitivityResult
+
+__all__ = ["GlobalSensitivityBound"]
+
+
+@dataclass(frozen=True)
+class _ResidualCover:
+    """One AGM term of the GS bound: the cover of ``q_{[n]-E}`` with ``∂q`` removed."""
+
+    removed_atoms: tuple[int, ...]
+    kept_atoms: tuple[int, ...]
+    rho: float
+    weights: tuple[tuple[int, float], ...]
+
+
+class GlobalSensitivityBound:
+    """AGM-based global sensitivity bound for counting CQs (relaxed DP).
+
+    Parameters
+    ----------
+    query:
+        The conjunctive query.  Predicates are ignored (dropping predicates
+        can only increase counts, so the bound remains valid); projections
+        are likewise ignored (the projected count is at most the full count).
+    """
+
+    def __init__(self, query: ConjunctiveQuery):
+        self._query = query
+
+    @property
+    def query(self) -> ConjunctiveQuery:
+        """The query whose global sensitivity is bounded."""
+        return self._query
+
+    # ------------------------------------------------------------------ #
+    # Structure: one fractional cover per (block, removed subset)
+    # ------------------------------------------------------------------ #
+    def _covers(self, database: Database) -> dict[str, list[_ResidualCover]]:
+        self._query.validate_against_schema(database.schema)
+        blocks = self._query.private_blocks(database.schema)
+        if not blocks:
+            raise SensitivityError(
+                "the query touches no private relation; its global sensitivity is zero"
+            )
+        n = self._query.num_atoms
+        all_atoms = frozenset(range(n))
+        covers: dict[str, list[_ResidualCover]] = {}
+        for block in blocks:
+            block_covers: list[_ResidualCover] = []
+            for removed in all_subsets_of_block(block.atom_indices):
+                kept = all_atoms - removed
+                if not kept:
+                    # Removing every atom: the residual is the empty query, T = 1.
+                    block_covers.append(
+                        _ResidualCover(
+                            removed_atoms=tuple(sorted(removed)),
+                            kept_atoms=(),
+                            rho=0.0,
+                            weights=(),
+                        )
+                    )
+                    continue
+                residual = residual_query(self._query, kept)
+                cover = fractional_edge_cover(
+                    self._query,
+                    atom_indices=sorted(kept),
+                    ignore_variables=residual.boundary_relational,
+                )
+                block_covers.append(
+                    _ResidualCover(
+                        removed_atoms=tuple(sorted(removed)),
+                        kept_atoms=tuple(sorted(kept)),
+                        rho=cover.rho,
+                        weights=cover.weights,
+                    )
+                )
+            covers[block.relation] = block_covers
+        return covers
+
+    # ------------------------------------------------------------------ #
+    # Public results
+    # ------------------------------------------------------------------ #
+    def exponent(self, database: Database) -> float:
+        """The exponent ``ρ`` such that ``GS = O(N^ρ)`` under relaxed DP.
+
+        This is the largest fractional-edge-cover number among the residual
+        queries appearing in Equation (16); e.g. 1.0 for the triangle query
+        and 2.0 for the path-4 query.
+        """
+        covers = self._covers(database)
+        return max(
+            (cover.rho for block_covers in covers.values() for cover in block_covers),
+            default=0.0,
+        )
+
+    def compute(self, database: Database, *, strict: bool = False) -> SensitivityResult:
+        """The numeric GS bound for the given instance sizes.
+
+        Parameters
+        ----------
+        strict:
+            If ``True``, return the honest strict-DP answer ``GS = ∞`` (the
+            paper's Section 2.3): insertions can create unboundedly many
+            join results for any query joining two or more private atoms.
+        """
+        if strict:
+            blocks = self._query.private_blocks(database.schema)
+            joins_privately = (
+                sum(block.copies for block in blocks) >= 2 or self._query.num_atoms >= 2
+            )
+            value = math.inf if joins_privately else 1.0
+            return SensitivityResult(
+                measure="GS", value=value, beta=None, details={"policy": "strict"}
+            )
+
+        covers = self._covers(database)
+        sizes: Mapping[int, int] = {
+            idx: len(database.relation(atom.relation))
+            for idx, atom in enumerate(self._query.atoms)
+        }
+        per_block: dict[str, float] = {}
+        terms: dict[str, list[dict]] = {}
+        for relation, block_covers in covers.items():
+            total = 0.0
+            block_terms = []
+            for cover in block_covers:
+                bound = 1.0
+                for atom_index, weight in cover.weights:
+                    if weight <= 0:
+                        continue
+                    size = sizes[atom_index]
+                    if size == 0:
+                        bound = 0.0
+                        break
+                    bound *= float(size) ** weight
+                total += bound
+                block_terms.append(
+                    {
+                        "removed_atoms": cover.removed_atoms,
+                        "rho": cover.rho,
+                        "bound": bound,
+                    }
+                )
+            per_block[relation] = total
+            terms[relation] = block_terms
+        value = max(per_block.values()) if per_block else 0.0
+        return SensitivityResult(
+            measure="GS",
+            value=value,
+            beta=None,
+            details={
+                "policy": "relaxed",
+                "per_block": per_block,
+                "terms": terms,
+                "exponent": self.exponent(database),
+            },
+        )

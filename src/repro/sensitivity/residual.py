@@ -1,0 +1,313 @@
+"""Residual sensitivity ``RS(I)`` — the paper's mechanism (Sections 3, 5, 6).
+
+Residual sensitivity is a smooth upper bound of smooth sensitivity that can
+be computed in polynomial time.  For a full CQ ``q`` over atoms ``[n]`` with
+self-join blocks ``D_1, ..., D_m`` (atoms grouped by physical relation) and
+private physical relations ``P_m`` (with logical copies ``P_n``), it is
+
+    RS(I)      = max_{k >= 0} e^{-βk} · L̂S^(k)(I)                        (21)
+    L̂S^(k)(I)  = max_{s ∈ S_k} max_{i ∈ P_m} Σ_{E ⊆ D_i, E ≠ ∅} T̂_{[n]-E, s}(I)   (19)
+    T̂_{F, s}(I) = Σ_{E' ⊆ F} T_{F - E'}(I) · Π_{j ∈ E'} s_j               (20)
+
+where ``S_k`` is the set of valid distance vectors (every logical copy of the
+same physical relation carries the same distance, public relations carry
+zero, private distances sum to ``k``), and ``T_F(I)`` is the maximum boundary
+multiplicity of the residual query on atom subset ``F`` (computed by
+:mod:`repro.engine.aggregates`).
+
+Lemma 3.10 shows the maximisation over ``k`` can stop at
+``k̂ = m_P / (1 - exp(-β / max_i n_i))``; we iterate ``k = 0 .. ceil(k̂)``.
+
+Predicates (Section 5) and projections (Section 6) are handled entirely
+inside the ``T_F`` evaluation: predicates via the Corollary 5.1 /
+Section 5.2 boundary treatment, projections by counting distinct output
+projections per boundary group.  The formulas above are unchanged.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.data.database import Database
+from repro.engine.aggregates import MultiplicityResult, boundary_multiplicity
+from repro.exceptions import SensitivityError
+from repro.query.cq import ConjunctiveQuery, SelfJoinBlock
+from repro.query.residual import all_subsets_of_block
+from repro.sensitivity.base import (
+    SensitivityResult,
+    beta_from_epsilon,
+    validate_beta,
+)
+
+__all__ = ["ResidualSensitivity", "ResidualSensitivityReport"]
+
+
+@dataclass(frozen=True)
+class ResidualSensitivityReport:
+    """Detailed diagnostics of a residual-sensitivity computation.
+
+    Attributes
+    ----------
+    value:
+        ``RS(I)``.
+    beta:
+        The smoothing parameter used.
+    k_star:
+        The distance attaining the maximum in Equation (21).
+    k_max:
+        The largest distance considered (Lemma 3.10 truncation).
+    ls_hat_series:
+        ``L̂S^(k)(I)`` for ``k = 0 .. k_max``.
+    multiplicities:
+        ``T_F(I)`` for every residual subset ``F`` the formula needed, keyed
+        by the sorted tuple of kept atom indices.
+    exact_multiplicities:
+        ``True`` if every ``T_F`` was evaluated exactly (no predicate had to
+        be dropped by the elimination engine).
+    """
+
+    value: float
+    beta: float
+    k_star: int
+    k_max: int
+    ls_hat_series: tuple[float, ...]
+    multiplicities: Mapping[tuple[int, ...], int]
+    exact_multiplicities: bool
+
+
+class ResidualSensitivity:
+    """Residual sensitivity for full and non-full CQs with self-joins and predicates.
+
+    Parameters
+    ----------
+    query:
+        The conjunctive query (its projection and predicates, if any, are
+        honoured as described in the module docstring).
+    beta:
+        The smoothing parameter ``β``.  Exactly one of ``beta`` / ``epsilon``
+        must be provided; with ``epsilon`` the paper's choice ``β = ε/10`` is
+        used.
+    epsilon:
+        The privacy parameter, used only to derive ``β``.
+    strategy:
+        Evaluation strategy for the boundary multiplicities (``"auto"``,
+        ``"enumerate"`` or ``"eliminate"``); see
+        :func:`repro.engine.aggregates.boundary_multiplicity`.
+    k_max:
+        Optional override of the Lemma 3.10 truncation point (mainly for
+        tests).
+
+    Examples
+    --------
+    >>> from repro.data import DatabaseSchema, Database
+    >>> from repro.query import parse_query
+    >>> schema = DatabaseSchema.from_arities({"R": 2, "S": 2})
+    >>> db = Database.from_rows(schema, R=[(1, 2), (2, 2)], S=[(2, 5), (2, 7)])
+    >>> q = parse_query("R(x, y), S(y, z)")
+    >>> rs = ResidualSensitivity(q, beta=0.1)
+    >>> rs.compute(db).value > 0
+    True
+    """
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        *,
+        beta: float | None = None,
+        epsilon: float | None = None,
+        strategy: str = "auto",
+        k_max: int | None = None,
+    ):
+        if (beta is None) == (epsilon is None):
+            raise SensitivityError("provide exactly one of beta= or epsilon=")
+        self._beta = validate_beta(beta if beta is not None else beta_from_epsilon(epsilon))
+        self._query = query
+        self._strategy = strategy
+        self._k_max_override = k_max
+
+    # ------------------------------------------------------------------ #
+    # Public accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def query(self) -> ConjunctiveQuery:
+        """The query whose sensitivity is computed."""
+        return self._query
+
+    @property
+    def beta(self) -> float:
+        """The smoothing parameter ``β``."""
+        return self._beta
+
+    # ------------------------------------------------------------------ #
+    # Structural preparation
+    # ------------------------------------------------------------------ #
+    def _private_blocks(self, database: Database) -> tuple[SelfJoinBlock, ...]:
+        self._query.validate_against_schema(database.schema)
+        blocks = self._query.private_blocks(database.schema)
+        if not blocks:
+            raise SensitivityError(
+                "the query touches no private relation; residual sensitivity is "
+                "undefined (the count can be released without noise)"
+            )
+        return blocks
+
+    def required_subsets(self, database: Database) -> list[frozenset[int]]:
+        """The kept-atom subsets ``F`` whose ``T_F`` the formula needs.
+
+        For every private block ``D_i``, every non-empty ``E ⊆ D_i`` and
+        every ``E' ⊆ P_n - E``, the subset ``F = [n] - E - E'`` is required
+        (terms with ``E'`` touching a public atom vanish because the distance
+        of public relations is zero).
+        """
+        blocks = self._private_blocks(database)
+        private_atoms = frozenset(
+            idx for block in blocks for idx in block.atom_indices
+        )
+        n = self._query.num_atoms
+        all_atoms = frozenset(range(n))
+        needed: set[frozenset[int]] = set()
+        for block in blocks:
+            for removed in all_subsets_of_block(block.atom_indices):
+                remaining_private = private_atoms - removed
+                for size in range(len(remaining_private) + 1):
+                    for extra in itertools.combinations(sorted(remaining_private), size):
+                        needed.add(all_atoms - removed - frozenset(extra))
+        return sorted(needed, key=lambda s: (len(s), tuple(sorted(s))))
+
+    def lemma_3_10_k_max(self, database: Database) -> int:
+        """The truncation point ``ceil(m_P / (1 - exp(-β / max_i n_i)))`` of Lemma 3.10."""
+        blocks = self._private_blocks(database)
+        m_p = len(blocks)
+        max_copies = max(block.copies for block in self._query.self_join_blocks)
+        denominator = 1.0 - math.exp(-self._beta / max_copies)
+        return int(math.ceil(m_p / denominator))
+
+    # ------------------------------------------------------------------ #
+    # Core computation
+    # ------------------------------------------------------------------ #
+    def multiplicities(self, database: Database) -> dict[frozenset[int], MultiplicityResult]:
+        """Evaluate ``T_F(I)`` for every required subset ``F`` (cached per call)."""
+        results: dict[frozenset[int], MultiplicityResult] = {}
+        for kept in self.required_subsets(database):
+            results[kept] = boundary_multiplicity(
+                self._query, database, kept, strategy=self._strategy
+            )
+        return results
+
+    @staticmethod
+    def _distance_vectors(total: int, parts: int) -> Iterable[tuple[int, ...]]:
+        """All compositions of ``total`` into ``parts`` non-negative integers."""
+        if parts == 1:
+            yield (total,)
+            return
+        for first in range(total + 1):
+            for rest in ResidualSensitivity._distance_vectors(total - first, parts - 1):
+                yield (first,) + rest
+
+    def ls_hat(
+        self,
+        database: Database,
+        k: int,
+        multiplicities: Mapping[frozenset[int], MultiplicityResult] | None = None,
+    ) -> float:
+        """``L̂S^(k)(I)`` (Equation 19)."""
+        if k < 0:
+            raise SensitivityError(f"k must be non-negative, got {k}")
+        blocks = self._private_blocks(database)
+        if multiplicities is None:
+            multiplicities = self.multiplicities(database)
+        t_value = {kept: result.value for kept, result in multiplicities.items()}
+
+        private_atoms = [idx for block in blocks for idx in block.atom_indices]
+        atom_block = {
+            idx: block_pos
+            for block_pos, block in enumerate(blocks)
+            for idx in block.atom_indices
+        }
+        n = self._query.num_atoms
+        all_atoms = frozenset(range(n))
+
+        best = 0.0
+        for vector in self._distance_vectors(k, len(blocks)):
+            s_of_atom = {idx: vector[atom_block[idx]] for idx in private_atoms}
+            for block_pos, block in enumerate(blocks):
+                total = 0.0
+                for removed in all_subsets_of_block(block.atom_indices):
+                    remaining_private = [a for a in private_atoms if a not in removed]
+                    # T̂_{[n]-E, s} = Σ_{E' ⊆ P_n - E} T_{[n]-E-E'} Π_{j ∈ E'} s_j
+                    for size in range(len(remaining_private) + 1):
+                        for extra in itertools.combinations(remaining_private, size):
+                            product = 1
+                            for j in extra:
+                                product *= s_of_atom[j]
+                            if product == 0 and size > 0:
+                                continue
+                            kept = all_atoms - removed - frozenset(extra)
+                            total += t_value[kept] * product
+                best = max(best, total)
+        return best
+
+    def compute(
+        self,
+        database: Database,
+        multiplicities: Mapping[frozenset[int], MultiplicityResult] | None = None,
+    ) -> SensitivityResult:
+        """``RS(I)`` with full diagnostics (Equation 21, truncated by Lemma 3.10).
+
+        ``multiplicities`` may be supplied to reuse previously computed
+        ``T_F`` values (they do not depend on ``β``); the β-sweep experiment
+        (Figure 3) relies on this to evaluate many values of ``β`` with a
+        single round of residual-query evaluation.
+        """
+        if multiplicities is None:
+            multiplicities = self.multiplicities(database)
+        k_max = (
+            self._k_max_override
+            if self._k_max_override is not None
+            else self.lemma_3_10_k_max(database)
+        )
+        series: list[float] = []
+        best = 0.0
+        best_k = 0
+        for k in range(k_max + 1):
+            ls_hat_k = self.ls_hat(database, k, multiplicities)
+            series.append(ls_hat_k)
+            smoothed = math.exp(-self._beta * k) * ls_hat_k
+            if smoothed > best:
+                best = smoothed
+                best_k = k
+        exact = all(result.exact for result in multiplicities.values())
+        report = ResidualSensitivityReport(
+            value=best,
+            beta=self._beta,
+            k_star=best_k,
+            k_max=k_max,
+            ls_hat_series=tuple(series),
+            multiplicities={
+                tuple(sorted(kept)): result.value for kept, result in multiplicities.items()
+            },
+            exact_multiplicities=exact,
+        )
+        return SensitivityResult(
+            measure="RS",
+            value=best,
+            beta=self._beta,
+            details={
+                "k_star": best_k,
+                "k_max": k_max,
+                "ls_hat_series": tuple(series),
+                "multiplicities": report.multiplicities,
+                "exact_multiplicities": exact,
+                "report": report,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def value(self, database: Database) -> float:
+        """Shorthand for ``self.compute(database).value``."""
+        return self.compute(database).value

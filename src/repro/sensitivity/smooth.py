@@ -1,0 +1,139 @@
+"""Smooth sensitivity ``SS_β(I)`` — generic machinery and brute-force reference.
+
+Smooth sensitivity (Nissim, Raskhodnikova and Smith) is
+
+    SS_β(I) = max_{k >= 0} e^{-βk} · LS^(k)(I),
+
+and any *smooth upper bound* obtained by replacing ``LS^(k)`` with a series
+``L̂S^(k)`` that (a) upper-bounds ``LS^(k)`` and (b) satisfies the smoothness
+property ``L̂S^(k)(I) <= L̂S^(k+1)(I')`` for neighbors ``I, I'`` can be used to
+calibrate noise while preserving ε-DP (Equations 6–8 of the paper).
+
+This module provides:
+
+* :func:`smooth_from_series` — the generic smoothing operator
+  ``max_k e^{-βk}·series[k]`` used by every concrete measure (residual,
+  elastic, closed-form triangle/star, brute force);
+* :class:`SmoothSensitivityBruteForce` — the exact (exponential-time)
+  ``SS_β`` computed from the brute-force ``LS^(k)`` of
+  :mod:`repro.sensitivity.local`; it exists so tests can validate the
+  polynomial measures on tiny instances.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from repro.data.database import Database
+from repro.exceptions import SensitivityError
+from repro.query.cq import ConjunctiveQuery
+from repro.sensitivity.base import SensitivityResult, validate_beta
+from repro.sensitivity.local import local_sensitivity_at_distance
+
+__all__ = ["smooth_from_series", "smooth_from_function", "SmoothSensitivityBruteForce"]
+
+
+def smooth_from_series(series: Sequence[float], beta: float) -> tuple[float, int]:
+    """``max_k e^{-βk}·series[k]`` and the maximising ``k``.
+
+    Parameters
+    ----------
+    series:
+        The values ``L̂S^(0), L̂S^(1), ...`` (any finite prefix — the caller is
+        responsible for the prefix being long enough, e.g. via Lemma 3.10).
+    beta:
+        The smoothing parameter.
+
+    Returns
+    -------
+    (value, k_star):
+        The smoothed value and the index attaining it (0 if the series is
+        empty).
+    """
+    beta = validate_beta(beta)
+    best = 0.0
+    best_k = 0
+    for k, raw in enumerate(series):
+        if raw < 0:
+            raise SensitivityError(f"sensitivity series must be non-negative, got {raw} at k={k}")
+        smoothed = math.exp(-beta * k) * raw
+        if smoothed > best:
+            best = smoothed
+            best_k = k
+    return best, best_k
+
+
+def smooth_from_function(
+    ls_at_distance: Callable[[int], float],
+    beta: float,
+    k_max: int,
+) -> tuple[float, int, list[float]]:
+    """Evaluate the smoothing operator for ``k = 0..k_max`` given a callable.
+
+    Returns the smoothed value, the maximising ``k``, and the raw series
+    (useful for diagnostics and the β-sweep experiments).
+    """
+    if k_max < 0:
+        raise SensitivityError(f"k_max must be non-negative, got {k_max}")
+    series = [float(ls_at_distance(k)) for k in range(k_max + 1)]
+    value, k_star = smooth_from_series(series, beta)
+    return value, k_star, series
+
+
+class SmoothSensitivityBruteForce:
+    """Exact smooth sensitivity by brute force (reference implementation).
+
+    The distance-``k`` local sensitivities are computed by exhaustive search
+    over the distance-``k`` ball (see
+    :func:`repro.sensitivity.local.local_sensitivity_at_distance`), so this
+    class is only usable on tiny instances with finite domains.  The series
+    is truncated at ``k_max``; because ``LS^(k)`` is bounded by the largest
+    possible query answer on the (finite) domain, a moderate ``k_max``
+    together with the exponential discount makes the truncation error
+    negligible for test purposes, and the truncated value is always a lower
+    bound on the true ``SS_β``.
+
+    Parameters
+    ----------
+    query:
+        The counting query.
+    beta:
+        Smoothing parameter ``β``.
+    k_max:
+        Largest distance included in the maximisation (default 3).
+    """
+
+    def __init__(self, query: ConjunctiveQuery, beta: float, k_max: int = 3):
+        self._query = query
+        self._beta = validate_beta(beta)
+        if k_max < 0:
+            raise SensitivityError(f"k_max must be non-negative, got {k_max}")
+        self._k_max = k_max
+
+    @property
+    def query(self) -> ConjunctiveQuery:
+        """The query whose sensitivity is computed."""
+        return self._query
+
+    @property
+    def beta(self) -> float:
+        """The smoothing parameter."""
+        return self._beta
+
+    def ls_at_distance(self, database: Database, k: int) -> int:
+        """Exact ``LS^(k)(I)`` (brute force)."""
+        result = local_sensitivity_at_distance(self._query, database, k)
+        return int(result.value)
+
+    def compute(self, database: Database) -> SensitivityResult:
+        """Exact (truncated) ``SS_β(I)``."""
+        value, k_star, series = smooth_from_function(
+            lambda k: self.ls_at_distance(database, k), self._beta, self._k_max
+        )
+        return SensitivityResult(
+            measure="SS",
+            value=value,
+            beta=self._beta,
+            details={"series": series, "k_star": k_star, "k_max": self._k_max},
+        )

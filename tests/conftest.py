@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.domain import IntegerDomain
+from repro.data.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.graphs.loader import database_from_edges
+from repro.query.parser import parse_query
+
+
+@pytest.fixture
+def two_table_schema() -> DatabaseSchema:
+    """``R(a, b)`` and ``S(b, c)``, both private, unbounded integer domains."""
+    return DatabaseSchema.from_arities({"R": 2, "S": 2})
+
+
+@pytest.fixture
+def small_join_db(two_table_schema: DatabaseSchema) -> Database:
+    """A small instance for ``R(x, y) ⋈ S(y, z)`` with skewed join keys."""
+    return Database.from_rows(
+        two_table_schema,
+        R=[(1, 10), (2, 10), (3, 10), (4, 20)],
+        S=[(10, 100), (10, 200), (20, 100)],
+    )
+
+
+@pytest.fixture
+def join_query():
+    """The full CQ ``R(x, y) ⋈ S(y, z)``."""
+    return parse_query("R(x, y), S(y, z)")
+
+
+@pytest.fixture
+def finite_domain_schema() -> DatabaseSchema:
+    """Two binary relations over the tiny domain {0, 1, 2} (for brute-force tests)."""
+    domain = IntegerDomain(0, 2)
+    return DatabaseSchema(
+        [
+            RelationSchema("R", [Attribute("a", domain), Attribute("b", domain)]),
+            RelationSchema("S", [Attribute("b", domain), Attribute("c", domain)]),
+        ]
+    )
+
+
+@pytest.fixture
+def k4_db() -> Database:
+    """The complete graph K4 stored symmetrically in ``Edge``."""
+    edges = [(a, b) for a in range(4) for b in range(4) if a != b]
+    return database_from_edges(edges)
+
+
+@pytest.fixture
+def small_graph_db() -> Database:
+    """A small asymmetric-degree undirected graph (stored symmetrically).
+
+    Vertices 0..5; vertex 0 is a hub connected to everyone, plus a triangle
+    1-2-3 and an edge 4-5.
+    """
+    undirected = [(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (1, 2), (2, 3), (1, 3), (4, 5)]
+    return database_from_edges(undirected, symmetric=True)

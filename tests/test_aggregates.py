@@ -1,0 +1,143 @@
+"""Tests for boundary multiplicities T_E(I)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.schema import DatabaseSchema
+from repro.engine.aggregates import boundary_multiplicity
+from repro.exceptions import EvaluationError
+from repro.graphs.patterns import rectangle_query, triangle_query
+from repro.query.atoms import Variable
+from repro.query.parser import parse_query
+from repro.query.predicates import GenericPredicate
+
+
+class TestConventions:
+    def test_empty_subset_is_one(self, join_query, small_join_db):
+        result = boundary_multiplicity(join_query, small_join_db, [])
+        assert result.value == 1
+        assert result.strategy == "convention"
+
+    def test_nonfull_with_no_output_vars_is_one(self, small_join_db):
+        query = parse_query("Q(z) :- R(x, y), S(y, z)")
+        # Keep only atom 0 (R): no output variable is realised inside it.
+        result = boundary_multiplicity(query, small_join_db, [0])
+        assert result.value == 1
+        assert result.strategy == "convention"
+
+
+class TestFullQueries:
+    def test_single_atom_boundary(self, join_query, small_join_db):
+        # T_{R}: group R(x, y) by the boundary {y}; the heaviest key is y=10
+        # with 3 tuples.
+        result = boundary_multiplicity(join_query, small_join_db, [0])
+        assert result.value == 3
+        assert result.witness == (10,)
+        assert result.boundary == (Variable("y"),)
+
+    def test_other_atom_boundary(self, join_query, small_join_db):
+        # T_{S}: group S(y, z) by {y}; y=10 has 2 tuples.
+        result = boundary_multiplicity(join_query, small_join_db, [1])
+        assert result.value == 2
+
+    def test_whole_query_has_empty_boundary(self, join_query, small_join_db):
+        result = boundary_multiplicity(join_query, small_join_db, [0, 1])
+        assert result.boundary == ()
+        assert result.value == 7  # the full join size
+
+    def test_strategies_agree(self, join_query, small_join_db):
+        for kept in ([0], [1], [0, 1]):
+            enumerate_result = boundary_multiplicity(
+                join_query, small_join_db, kept, strategy="enumerate"
+            )
+            eliminate_result = boundary_multiplicity(
+                join_query, small_join_db, kept, strategy="eliminate"
+            )
+            assert enumerate_result.value == eliminate_result.value
+
+    def test_unknown_strategy(self, join_query, small_join_db):
+        with pytest.raises(EvaluationError):
+            boundary_multiplicity(join_query, small_join_db, [0], strategy="bogus")
+
+
+class TestGraphResiduals:
+    def test_triangle_two_atom_residual(self, k4_db):
+        query = triangle_query()
+        # Kept atoms {0,1}: paths x1 -> x2 -> x3 grouped by (x1, x3); in K4
+        # with all-distinct constraints there are exactly 2 midpoints per pair.
+        result = boundary_multiplicity(query, k4_db, [0, 1])
+        assert result.value == 2
+
+    def test_triangle_single_atom_residual(self, k4_db):
+        query = triangle_query()
+        # A single edge atom whose both endpoints are boundary: multiplicity 1.
+        result = boundary_multiplicity(query, k4_db, [0])
+        assert result.value == 1
+
+    def test_disconnected_residual_is_product(self, k4_db):
+        query = rectangle_query()
+        # Atoms 0 and 2 (Edge(x1,x2) and Edge(x3,x4)) share no variables; each
+        # has full boundary so each contributes 1, and the product is 1.
+        result = boundary_multiplicity(query, k4_db, [0, 2], strategy="eliminate")
+        assert result.value == 1
+
+    def test_enumerate_and_eliminate_agree_on_k4(self, k4_db):
+        query = triangle_query()
+        for kept in ([0], [1], [2], [0, 1], [0, 2], [1, 2]):
+            exact = boundary_multiplicity(query, k4_db, kept, strategy="enumerate")
+            fast = boundary_multiplicity(query, k4_db, kept, strategy="eliminate")
+            # Elimination may only over-count (when it drops predicates).
+            assert fast.value >= exact.value
+            if fast.exact:
+                assert fast.value == exact.value
+
+
+class TestNonFullQueries:
+    def test_projection_counts_distinct(self, small_join_db):
+        full_query = parse_query("R(x, y), S(y, z)")
+        projected = parse_query("Q(z) :- R(x, y), S(y, z)")
+        # Keep the whole query: full counts all 7 joins, the projection only
+        # the distinct z values (2).
+        assert boundary_multiplicity(full_query, small_join_db, [0, 1]).value == 7
+        assert boundary_multiplicity(projected, small_join_db, [0, 1]).value == 2
+
+    def test_projection_with_boundary(self, small_join_db):
+        projected = parse_query("Q(x) :- R(x, y), S(y, z)")
+        # Keep atom 0: group by boundary {y}, count distinct x: y=10 has 3.
+        result = boundary_multiplicity(projected, small_join_db, [0])
+        assert result.value == 3
+
+    def test_projection_strategies_agree(self, small_join_db):
+        projected = parse_query("Q(x) :- R(x, y), S(y, z)")
+        for kept in ([0], [1], [0, 1]):
+            exact = boundary_multiplicity(projected, small_join_db, kept, strategy="enumerate")
+            fast = boundary_multiplicity(projected, small_join_db, kept, strategy="eliminate")
+            assert exact.value == fast.value
+
+
+class TestPredicateBoundaries:
+    def test_comparison_crossing_boundary_uses_augmented_domain(self):
+        # Example 5 of the paper (simplified): the predicate links a residual
+        # variable to an outside variable through a comparison, so the
+        # maximising value may lie strictly between active-domain values.
+        schema = DatabaseSchema.from_arities({"R": 2, "S": 2})
+        db = Database.from_rows(
+            schema,
+            R=[(1, 3), (1, 5)],
+            S=[(1, 1), (1, 2), (1, 3)],
+        )
+        # Keep S; x2 (from R) appears only outside and in the predicates.
+        query = parse_query("R(x1, x2), S(x1, x4), x2 > x4, x2 <= 5")
+        result = boundary_multiplicity(query, db, [1])
+        # With x2 = 5 (or 4), all three S tuples with x4 in {1,2,3} qualify.
+        assert result.value == 3
+        assert result.exact
+
+    def test_generic_predicate_crossing_boundary_rejected(self, small_join_db):
+        query = parse_query("R(x, y), S(y, z)").with_predicates(
+            [GenericPredicate(lambda x, z: x != z, ["x", "z"])]
+        )
+        with pytest.raises(EvaluationError):
+            boundary_multiplicity(query, small_join_db, [0])

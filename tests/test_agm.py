@@ -1,0 +1,72 @@
+"""Tests for the fractional edge cover LP and AGM bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.agm import agm_bound, fractional_edge_cover
+from repro.exceptions import EvaluationError
+from repro.graphs.patterns import k_path_query, triangle_query
+from repro.query.atoms import Variable
+from repro.query.parser import parse_query
+
+
+class TestFractionalEdgeCover:
+    def test_single_atom(self):
+        query = parse_query("R(x, y)")
+        cover = fractional_edge_cover(query)
+        assert cover.rho == pytest.approx(1.0)
+
+    def test_two_way_join_chain(self):
+        query = parse_query("R(x, y), S(y, z)")
+        cover = fractional_edge_cover(query)
+        # Both atoms are needed to cover x and z.
+        assert cover.rho == pytest.approx(2.0)
+
+    def test_triangle_cover_is_three_halves(self):
+        query = triangle_query(inequalities=False)
+        cover = fractional_edge_cover(query)
+        assert cover.rho == pytest.approx(1.5)
+
+    def test_path4_cover(self):
+        query = k_path_query(4, inequalities=False)
+        cover = fractional_edge_cover(query)
+        # A chain of 4 binary atoms over 5 variables needs weight about 3
+        # (alternating cover picks atoms 1, 3 fully plus part of the middle).
+        assert cover.rho == pytest.approx(3.0)
+
+    def test_ignored_variables_reduce_cover(self):
+        query = parse_query("R(x, y), S(y, z)")
+        cover = fractional_edge_cover(query, ignore_variables=[Variable("x"), Variable("z")])
+        assert cover.rho == pytest.approx(1.0)
+
+    def test_restriction_to_atom_subset(self):
+        query = parse_query("R(x, y), S(y, z)")
+        # Variables are taken from the selected atoms only, so restricting to
+        # atom 0 never leaves an uncoverable variable.
+        cover = fractional_edge_cover(query, atom_indices=[0], ignore_variables=[Variable("z")])
+        assert cover.rho == pytest.approx(1.0)
+        assert fractional_edge_cover(query, atom_indices=[0]).rho == pytest.approx(1.0)
+
+    def test_empty_atom_set(self):
+        query = parse_query("R(x, y)")
+        assert fractional_edge_cover(query, atom_indices=[]).rho == 0.0
+
+
+class TestNumericBounds:
+    def test_uniform_sizes(self):
+        query = triangle_query(inequalities=False)
+        assert agm_bound(query, 100) == pytest.approx(100**1.5)
+
+    def test_per_atom_sizes(self):
+        query = parse_query("R(x, y), S(y, z)")
+        bound = agm_bound(query, {0: 10, 1: 20})
+        assert bound == pytest.approx(200.0)
+
+    def test_zero_size_relation(self):
+        query = parse_query("R(x, y), S(y, z)")
+        assert agm_bound(query, {0: 0, 1: 20}) == 0.0
+
+    def test_bound_monotone_in_sizes(self):
+        query = triangle_query(inequalities=False)
+        assert agm_bound(query, 50) <= agm_bound(query, 100)

@@ -1,0 +1,131 @@
+"""Tests for atoms, terms and the conjunctive-query model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.schema import DatabaseSchema
+from repro.exceptions import QueryError
+from repro.query.atoms import Atom, Constant, Variable
+from repro.query.cq import ConjunctiveQuery
+from repro.query.predicates import InequalityPredicate
+
+
+class TestAtom:
+    def test_terms_from_strings_and_values(self):
+        atom = Atom("R", ["x", 5, Variable("y")])
+        assert atom.arity == 3
+        assert atom.terms[0] == Variable("x")
+        assert atom.terms[1] == Constant(5)
+        assert atom.terms[2] == Variable("y")
+
+    def test_variables_deduplicated_in_order(self):
+        atom = Atom("R", ["x", "y", "x"])
+        assert atom.variables == (Variable("x"), Variable("y"))
+        assert atom.variable_set == frozenset({Variable("x"), Variable("y")})
+
+    def test_positions_of(self):
+        atom = Atom("R", ["x", "y", "x"])
+        assert atom.positions_of(Variable("x")) == (0, 2)
+        assert atom.positions_of(Variable("y")) == (1,)
+
+    def test_has_constants(self):
+        assert Atom("R", ["x", 1]).has_constants
+        assert not Atom("R", ["x", "y"]).has_constants
+
+    def test_rename(self):
+        atom = Atom("R", ["x", "y"])
+        renamed = atom.rename({Variable("x"): Variable("z")})
+        assert renamed.variables == (Variable("z"), Variable("y"))
+
+    def test_invalid_atoms(self):
+        with pytest.raises(QueryError):
+            Atom("", ["x"])
+        with pytest.raises(QueryError):
+            Atom("R", [])
+
+
+class TestConjunctiveQuery:
+    def test_variables_in_order_of_appearance(self):
+        query = ConjunctiveQuery([Atom("R", ["x", "y"]), Atom("S", ["y", "z"])])
+        assert query.variables == (Variable("x"), Variable("y"), Variable("z"))
+        assert query.num_atoms == 2
+
+    def test_full_versus_projection(self):
+        atoms = [Atom("R", ["x", "y"])]
+        full = ConjunctiveQuery(atoms)
+        assert full.is_full
+        assert full.output_variables == (Variable("x"), Variable("y"))
+        projected = ConjunctiveQuery(atoms, output_variables=["x"])
+        assert not projected.is_full
+        assert projected.output_variables == (Variable("x"),)
+        # Projecting onto all variables is still "full".
+        assert ConjunctiveQuery(atoms, output_variables=["x", "y"]).is_full
+
+    def test_unknown_output_variable_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([Atom("R", ["x"])], output_variables=["z"])
+
+    def test_predicate_variable_validation(self):
+        atoms = [Atom("R", ["x", "y"])]
+        ConjunctiveQuery(atoms, [InequalityPredicate("x", "y")])
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(atoms, [InequalityPredicate("x", "z")])
+
+    def test_self_join_blocks(self):
+        query = ConjunctiveQuery(
+            [Atom("Edge", ["a", "b"]), Atom("Edge", ["b", "c"]), Atom("Other", ["a"])]
+        )
+        blocks = {block.relation: block.atom_indices for block in query.self_join_blocks}
+        assert blocks == {"Edge": (0, 1), "Other": (2,)}
+        assert not query.is_self_join_free
+        assert query.block_of_atom(1).relation == "Edge"
+
+    def test_private_blocks(self):
+        schema = DatabaseSchema.from_arities({"Edge": 2, "Other": 1}, private=["Edge"])
+        query = ConjunctiveQuery(
+            [Atom("Edge", ["a", "b"]), Atom("Edge", ["b", "c"]), Atom("Other", ["a"])]
+        )
+        private = query.private_blocks(schema)
+        assert [block.relation for block in private] == ["Edge"]
+        assert query.private_atom_indices(schema) == (0, 1)
+
+    def test_validate_against_schema(self):
+        schema = DatabaseSchema.from_arities({"R": 2})
+        ConjunctiveQuery([Atom("R", ["x", "y"])]).validate_against_schema(schema)
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([Atom("R", ["x"])]).validate_against_schema(schema)
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([Atom("Missing", ["x"])]).validate_against_schema(schema)
+
+    def test_derived_queries(self):
+        query = ConjunctiveQuery(
+            [Atom("R", ["x", "y"])], [InequalityPredicate("x", "y")], output_variables=["x"]
+        )
+        assert query.as_full().is_full
+        assert not query.as_full().predicates == ()
+        assert query.without_predicates().predicates == ()
+        extended = query.with_predicates([InequalityPredicate("y", Constant(3))])
+        assert len(extended.predicates) == 2
+        reprojected = query.as_full().with_projection(["y"])
+        assert reprojected.output_variables == (Variable("y"),)
+
+    def test_variables_of(self):
+        query = ConjunctiveQuery([Atom("R", ["x", "y"]), Atom("S", ["y", "z"])])
+        assert query.variables_of([0]) == frozenset({Variable("x"), Variable("y")})
+        assert query.variables_of([0, 1]) == frozenset(
+            {Variable("x"), Variable("y"), Variable("z")}
+        )
+        with pytest.raises(QueryError):
+            query.variables_of([5])
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([])
+
+    def test_equality_and_hash(self):
+        a = ConjunctiveQuery([Atom("R", ["x", "y"])])
+        b = ConjunctiveQuery([Atom("R", ["x", "y"])])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != ConjunctiveQuery([Atom("R", ["x", "z"])])

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface (fast paths only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs.loader import database_from_edges, write_edge_file
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    """A tiny edge-list file (K4) the CLI can load."""
+    db = database_from_edges([(a, b) for a in range(4) for b in range(4) if a != b])
+    path = tmp_path / "k4.txt"
+    write_edge_file(db, path)
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_count_arguments(self):
+        args = build_parser().parse_args(
+            ["count", "--query", "Edge(x, y)", "--epsilon", "0.5", "--method", "elastic"]
+        )
+        assert args.command == "count"
+        assert args.epsilon == 0.5
+        assert args.method == "elastic"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--datasets", "NotADataset"])
+
+
+class TestCommands:
+    def test_count_on_edge_file(self, edge_file, capsys):
+        code = main(
+            [
+                "count",
+                "--edge-file",
+                str(edge_file),
+                "--query",
+                "Edge(x, y), Edge(y, z), Edge(x, z), x != y, y != z, x != z",
+                "--epsilon",
+                "1.0",
+                "--seed",
+                "0",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "noisy count" in output
+        assert "residual" in output
+
+    def test_sensitivity_on_edge_file(self, edge_file, capsys):
+        code = main(
+            [
+                "sensitivity",
+                "--edge-file",
+                str(edge_file),
+                "--query",
+                "Edge(x, y), Edge(y, z)",
+                "--beta",
+                "0.2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "residual sensitivity" in output
+        assert "elastic sensitivity" in output
+
+    def test_invalid_query_returns_error_code(self, edge_file, capsys):
+        code = main(
+            ["count", "--edge-file", str(edge_file), "--query", "Edge(x, y", "--epsilon", "1"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_nonfull_command(self, capsys):
+        assert main(["nonfull"]) == 0
+        assert "Theorem 6.4" in capsys.readouterr().out
+
+    def test_example3_command(self, capsys):
+        assert main(["example3"]) == 0
+        assert "Example 3" in capsys.readouterr().out
+
+    def test_generate_command(self, tmp_path, capsys):
+        output = tmp_path / "grqc.txt"
+        code = main(
+            ["generate", "--dataset", "GrQc", "--output", str(output), "--scale", "0.01"]
+        )
+        assert code == 0
+        assert output.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_scaling_command(self, capsys):
+        assert main(["scaling", "--sizes", "30", "40"]) == 0
+        assert "nodes" in capsys.readouterr().out

@@ -1,0 +1,94 @@
+"""Tests for database instances, distances and neighbor enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.domain import IntegerDomain
+from repro.data.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.exceptions import SchemaError
+
+
+@pytest.fixture
+def schema() -> DatabaseSchema:
+    return DatabaseSchema.from_arities({"R": 2, "S": 1}, private=["R"])
+
+
+@pytest.fixture
+def db(schema: DatabaseSchema) -> Database:
+    return Database.from_rows(schema, R=[(1, 2), (3, 4)], S=[(2,)])
+
+
+class TestContainer:
+    def test_relation_access(self, db: Database):
+        assert len(db.relation("R")) == 2
+        assert len(db["S"]) == 1
+        with pytest.raises(SchemaError):
+            db.relation("X")
+
+    def test_size(self, db: Database):
+        assert db.size() == 2  # private tuples only
+        assert db.size(private_only=False) == 3
+
+    def test_equality_and_copy(self, db: Database):
+        clone = db.copy()
+        assert clone == db
+        clone.relation("R").add((9, 9))
+        assert clone != db
+
+    def test_iteration(self, db: Database):
+        assert sorted(rel.name for rel in db) == ["R", "S"]
+        assert len(db) == 2
+
+
+class TestDistance:
+    def test_distance_private_only(self, db: Database):
+        other = db.with_tuple_added("R", (7, 7))
+        assert db.distance(other) == 1
+        assert other.distance(db) == 1
+
+    def test_distance_substitution(self, db: Database):
+        other = db.with_tuple_replaced("R", (1, 2), (1, 5))
+        assert db.distance(other) == 1
+
+    def test_public_difference_rejected(self, db: Database):
+        other = db.copy()
+        other.relation("S").add((99,))
+        with pytest.raises(SchemaError):
+            db.distance(other)
+
+    def test_editing_helpers(self, db: Database):
+        removed = db.with_tuple_removed("R", (1, 2))
+        assert (1, 2) not in removed.relation("R")
+        assert (1, 2) in db.relation("R")
+
+
+class TestNeighbors:
+    def test_neighbors_require_finite_domain_for_insert(self, db: Database):
+        with pytest.raises(SchemaError):
+            list(db.neighbors(allow_insert=True, allow_delete=False, allow_substitute=False))
+
+    def test_delete_only_neighbors(self, db: Database):
+        neighbors = list(
+            db.neighbors(allow_insert=False, allow_delete=True, allow_substitute=False)
+        )
+        assert len(neighbors) == 2  # one per private tuple
+        assert all(db.distance(n) == 1 for n in neighbors)
+
+    def test_neighbors_finite_domain(self):
+        domain = IntegerDomain(0, 1)
+        schema = DatabaseSchema(
+            [RelationSchema("R", [Attribute("a", domain), Attribute("b", domain)])]
+        )
+        db = Database.from_rows(schema, R=[(0, 0)])
+        neighbors = list(db.neighbors())
+        # 1 deletion + 3 insertions + 3 substitutions.
+        assert len(neighbors) == 7
+        assert all(db.distance(n) == 1 for n in neighbors)
+
+    def test_candidate_tuples(self):
+        domain = IntegerDomain(0, 1)
+        schema = DatabaseSchema([RelationSchema("R", [Attribute("a", domain)])])
+        db = Database(schema)
+        assert sorted(db.candidate_tuples("R")) == [(0,), (1,)]

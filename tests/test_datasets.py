@@ -1,0 +1,145 @@
+"""Tests for the dataset layer: SNAP surrogates, synthetic data, TPC-H slice."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.schema import DatabaseSchema
+from repro.datasets.snap_surrogates import (
+    SNAP_DATASETS,
+    available_datasets,
+    default_scale,
+    surrogate_database,
+    surrogate_graph,
+)
+from repro.datasets.synthetic import random_database, skewed_values
+from repro.datasets.tpch import (
+    customer_order_lineitem_query,
+    customers_with_large_orders_query,
+    generate_tpch,
+    tpch_schema,
+)
+from repro.engine.evaluation import count_query
+from repro.exceptions import DatasetError
+
+
+class TestSnapSurrogates:
+    def test_registry_matches_paper(self):
+        assert available_datasets() == ["CondMat", "AstroPh", "HepPh", "HepTh", "GrQc"]
+        assert SNAP_DATASETS["CondMat"].nodes == 23133
+        assert SNAP_DATASETS["GrQc"].directed_edges == 28980
+        assert SNAP_DATASETS["AstroPh"].average_degree == pytest.approx(396100 / 18772)
+
+    def test_default_scale_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DATASET_SCALE", "0.01")
+        assert default_scale() == pytest.approx(0.01)
+        monkeypatch.setenv("REPRO_DATASET_SCALE", "banana")
+        with pytest.raises(DatasetError):
+            default_scale()
+        monkeypatch.setenv("REPRO_DATASET_SCALE", "3.0")
+        with pytest.raises(DatasetError):
+            default_scale()
+
+    def test_surrogate_graph_scaled_size(self):
+        graph = surrogate_graph("GrQc", scale=0.02)
+        expected_nodes = max(30, int(round(SNAP_DATASETS["GrQc"].nodes * 0.02)))
+        assert graph.number_of_nodes() == expected_nodes
+
+    def test_surrogate_reproducibility(self):
+        first = surrogate_graph("HepTh", scale=0.02)
+        second = surrogate_graph("HepTh", scale=0.02)
+        assert set(first.edges()) == set(second.edges())
+
+    def test_surrogate_database_is_symmetric(self):
+        db = surrogate_database("GrQc", scale=0.02)
+        edge = db.relation("Edge")
+        assert len(edge) > 0
+        assert all((dst, src) in edge for src, dst in edge)
+
+    def test_relative_sizes_preserved(self):
+        small = surrogate_graph("GrQc", scale=0.02)
+        large = surrogate_graph("CondMat", scale=0.02)
+        assert large.number_of_nodes() > small.number_of_nodes()
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            surrogate_database("NotADataset")
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError):
+            surrogate_graph("GrQc", scale=0.0)
+
+
+class TestSynthetic:
+    def test_skewed_values_range_and_skew(self):
+        rng = np.random.default_rng(0)
+        values = skewed_values(5000, 50, rng, skew=1.5)
+        assert values.min() >= 0 and values.max() < 50
+        counts = np.bincount(values, minlength=50)
+        assert counts[0] > counts[25]
+
+    def test_skewed_values_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DatasetError):
+            skewed_values(-1, 10, rng)
+        with pytest.raises(DatasetError):
+            skewed_values(10, 0, rng)
+        with pytest.raises(DatasetError):
+            skewed_values(10, 10, rng, skew=-1)
+
+    def test_random_database_sizes(self):
+        schema = DatabaseSchema.from_arities({"R": 2, "S": 3})
+        db = random_database(schema, {"R": 40, "S": 25}, domain_size=200, seed=1)
+        assert len(db.relation("R")) == 40
+        assert len(db.relation("S")) == 25
+
+    def test_random_database_reproducible(self):
+        schema = DatabaseSchema.from_arities({"R": 2})
+        first = random_database(schema, {"R": 30}, seed=7)
+        second = random_database(schema, {"R": 30}, seed=7)
+        assert first == second
+
+    def test_negative_size_rejected(self):
+        schema = DatabaseSchema.from_arities({"R": 2})
+        with pytest.raises(DatasetError):
+            random_database(schema, {"R": -1})
+
+
+class TestTpch:
+    def test_schema(self):
+        schema = tpch_schema()
+        assert set(schema.relation_names) == {"Customer", "Orders", "Lineitem"}
+        assert schema.relation("Lineitem").attribute_names == ("orderkey", "partkey", "quantity")
+        assert schema.is_private("Orders")
+
+    def test_generation_sizes(self):
+        db = generate_tpch(num_customers=20, orders_per_customer=2.0, seed=0)
+        assert len(db.relation("Customer")) == 20
+        assert len(db.relation("Orders")) == 40
+        assert len(db.relation("Lineitem")) > 0
+
+    def test_foreign_keys_are_valid(self):
+        db = generate_tpch(num_customers=15, seed=1)
+        custkeys = {row[0] for row in db.relation("Customer")}
+        orderkeys = {row[0] for row in db.relation("Orders")}
+        assert all(row[1] in custkeys for row in db.relation("Orders"))
+        assert all(row[0] in orderkeys for row in db.relation("Lineitem"))
+
+    def test_generation_reproducible(self):
+        assert generate_tpch(num_customers=10, seed=3) == generate_tpch(num_customers=10, seed=3)
+
+    def test_queries_run(self):
+        db = generate_tpch(num_customers=12, seed=2)
+        full = customer_order_lineitem_query()
+        projected = customers_with_large_orders_query(min_quantity=10)
+        full_count = count_query(full, db)
+        projected_count = count_query(projected, db)
+        assert full_count >= projected_count
+        assert projected_count <= len(db.relation("Customer"))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatasetError):
+            generate_tpch(num_customers=0)
+        with pytest.raises(DatasetError):
+            generate_tpch(num_customers=5, orders_per_customer=-1)

@@ -1,0 +1,95 @@
+"""Tests for attribute domains."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.domain import CategoricalDomain, IntegerDomain, UNBOUNDED_INT
+from repro.exceptions import SchemaError
+
+
+class TestIntegerDomain:
+    def test_unbounded_contains_any_int(self):
+        assert UNBOUNDED_INT.contains(0)
+        assert UNBOUNDED_INT.contains(-(10**12))
+        assert UNBOUNDED_INT.contains(10**12)
+
+    def test_rejects_non_integers(self):
+        assert not UNBOUNDED_INT.contains("a")
+        assert not UNBOUNDED_INT.contains(1.5)
+        assert not UNBOUNDED_INT.contains(True)
+
+    def test_bounded_membership(self):
+        domain = IntegerDomain(0, 5)
+        assert domain.contains(0)
+        assert domain.contains(5)
+        assert not domain.contains(6)
+        assert not domain.contains(-1)
+
+    def test_bounded_is_finite_and_iterable(self):
+        domain = IntegerDomain(2, 4)
+        assert domain.is_finite
+        assert list(domain) == [2, 3, 4]
+        assert domain.size() == 3
+
+    def test_unbounded_is_infinite(self):
+        assert not UNBOUNDED_INT.is_finite
+        with pytest.raises(SchemaError):
+            list(UNBOUNDED_INT)
+        with pytest.raises(SchemaError):
+            UNBOUNDED_INT.size()
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(SchemaError):
+            IntegerDomain(5, 1)
+
+    def test_fresh_values_bounded(self):
+        domain = IntegerDomain(0, 3)
+        assert domain.fresh_values([0, 2], count=2) == [1, 3]
+
+    def test_fresh_values_bounded_exhausted(self):
+        domain = IntegerDomain(0, 1)
+        with pytest.raises(SchemaError):
+            domain.fresh_values([0, 1], count=1)
+
+    def test_fresh_values_unbounded_avoids_used(self):
+        fresh = UNBOUNDED_INT.fresh_values([5, 6, 7], count=3)
+        assert len(fresh) == 3
+        assert set(fresh).isdisjoint({5, 6, 7})
+
+    def test_sample_within_bounds(self):
+        domain = IntegerDomain(0, 9)
+        rng = np.random.default_rng(0)
+        samples = domain.sample(rng, count=50)
+        assert len(samples) == 50
+        assert all(domain.contains(v) for v in samples)
+
+
+class TestCategoricalDomain:
+    def test_membership_and_iteration(self):
+        domain = CategoricalDomain(["a", "b", "c"])
+        assert domain.contains("a")
+        assert not domain.contains("z")
+        assert list(domain) == ["a", "b", "c"]
+        assert domain.size() == 3
+        assert domain.is_finite
+
+    def test_duplicates_collapse(self):
+        domain = CategoricalDomain(["a", "a", "b"])
+        assert domain.size() == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            CategoricalDomain([])
+
+    def test_fresh_values(self):
+        domain = CategoricalDomain(["a", "b", "c"])
+        assert domain.fresh_values(["a"], count=2) == ["b", "c"]
+        with pytest.raises(SchemaError):
+            domain.fresh_values(["a", "b", "c"], count=1)
+
+    def test_sample(self):
+        domain = CategoricalDomain(["x", "y"])
+        rng = np.random.default_rng(1)
+        assert set(domain.sample(rng, count=20)) <= {"x", "y"}

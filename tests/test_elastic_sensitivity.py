@@ -1,0 +1,117 @@
+"""Tests for elastic sensitivity (the FLEX baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.schema import DatabaseSchema
+from repro.exceptions import SensitivityError
+from repro.experiments.example3 import adversarial_path4_instance
+from repro.graphs.patterns import (
+    k_path_query,
+    k_star_query,
+    rectangle_query,
+    triangle_query,
+    two_triangle_query,
+)
+from repro.graphs.statistics import GraphStatistics
+from repro.query.parser import parse_query
+from repro.sensitivity.elastic import ElasticSensitivity
+
+
+class TestConstruction:
+    def test_beta_xor_epsilon(self):
+        query = parse_query("R(x, y), S(y, z)")
+        ElasticSensitivity(query, beta=0.1)
+        ElasticSensitivity(query, epsilon=1.0)
+        with pytest.raises(SensitivityError):
+            ElasticSensitivity(query)
+        with pytest.raises(SensitivityError):
+            ElasticSensitivity(query, beta=0.1, epsilon=1.0)
+
+    def test_requires_private_relation(self):
+        schema = DatabaseSchema.from_arities({"R": 2, "S": 2}, private=[])
+        db = Database(schema)
+        es = ElasticSensitivity(parse_query("R(x, y), S(y, z)"), beta=0.1)
+        with pytest.raises(SensitivityError):
+            es.compute(db)
+
+    def test_negative_k_rejected(self, small_join_db, join_query):
+        with pytest.raises(SensitivityError):
+            ElasticSensitivity(join_query, beta=0.1).ls_hat(small_join_db, -1)
+
+
+class TestClosedFormIdentities:
+    """The degree-based identities observed in the paper's Table 1."""
+
+    def test_triangle_equals_three_times_max_degree_squared(self, k4_db):
+        stats = GraphStatistics.from_database(k4_db)
+        d_max = stats.max_degree()
+        es = ElasticSensitivity(triangle_query(), beta=0.1)
+        assert es.ls_hat(k4_db, 0) == pytest.approx(3 * d_max**2)
+
+    def test_triangle_and_star_coincide(self, small_graph_db):
+        beta = 0.1
+        triangle = ElasticSensitivity(triangle_query(), beta=beta).compute(small_graph_db)
+        star = ElasticSensitivity(k_star_query(3), beta=beta).compute(small_graph_db)
+        assert triangle.value == pytest.approx(star.value)
+
+    def test_rectangle_is_four_times_cubed_degree(self, k4_db):
+        stats = GraphStatistics.from_database(k4_db)
+        d_max = stats.max_degree()
+        es = ElasticSensitivity(rectangle_query(), beta=0.1)
+        assert es.ls_hat(k4_db, 0) == pytest.approx(4 * d_max**3)
+
+    def test_two_triangle_is_five_times_fourth_power(self, k4_db):
+        stats = GraphStatistics.from_database(k4_db)
+        d_max = stats.max_degree()
+        es = ElasticSensitivity(two_triangle_query(), beta=0.1)
+        assert es.ls_hat(k4_db, 0) == pytest.approx(5 * d_max**4)
+
+    def test_example3_value(self):
+        # Example 3 of the paper: LŜ^(0) = 4 (N/2)^3 on the adversarial instance.
+        n = 32
+        database = adversarial_path4_instance(n)
+        es = ElasticSensitivity(k_path_query(4, inequalities=False), beta=0.1)
+        assert es.ls_hat(database, 0) == pytest.approx(4 * (n / 2) ** 3)
+
+
+class TestSmoothingBehaviour:
+    def test_value_at_least_ls_hat_zero(self, k4_db):
+        es = ElasticSensitivity(triangle_query(), beta=0.1)
+        assert es.compute(k4_db).value >= es.ls_hat(k4_db, 0)
+
+    def test_monotone_in_k(self, k4_db):
+        es = ElasticSensitivity(triangle_query(), beta=0.1)
+        values = [es.ls_hat(k4_db, k) for k in range(5)]
+        assert values == sorted(values)
+
+    def test_monotone_in_beta(self, k4_db):
+        low = ElasticSensitivity(triangle_query(), beta=0.01).compute(k4_db).value
+        high = ElasticSensitivity(triangle_query(), beta=1.0).compute(k4_db).value
+        assert low >= high
+
+    def test_details(self, k4_db):
+        result = ElasticSensitivity(triangle_query(), beta=0.1).compute(k4_db)
+        assert result.measure == "ES"
+        assert result.detail("k_star") >= 0
+        assert len(result.detail("ls_hat_series")) == result.detail("k_max") + 1
+
+    def test_smoothness_between_neighbors(self, k4_db):
+        """ES's distance-k bound also satisfies the smooth-upper-bound property."""
+        es = ElasticSensitivity(triangle_query(), beta=0.1)
+        neighbor = k4_db.with_tuple_removed("Edge", (0, 1))
+        for k in range(3):
+            assert es.ls_hat(k4_db, k) <= es.ls_hat(neighbor, k + 1) + 1e-9
+
+
+class TestComparisonWithResidual:
+    def test_es_much_larger_than_rs_on_triangle(self, small_graph_db):
+        """The qualitative Table 1 finding on a small clustered graph."""
+        from repro.sensitivity.residual import ResidualSensitivity
+
+        beta = 0.1
+        es = ElasticSensitivity(triangle_query(), beta=beta).compute(small_graph_db).value
+        rs = ResidualSensitivity(triangle_query(), beta=beta).compute(small_graph_db).value
+        assert es > rs

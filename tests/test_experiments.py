@@ -1,0 +1,180 @@
+"""Tests for the experiment harnesses (run on tiny graphs to stay fast)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.example3 import (
+    adversarial_path4_instance,
+    format_example3,
+    run_example3,
+)
+from repro.experiments.figure3 import Figure3Config, format_figure3, run_figure3
+from repro.experiments.nonfull import (
+    format_nonfull_study,
+    run_nonfull_study,
+    theorem_6_4_instances,
+)
+from repro.experiments.optimality import format_optimality_study, run_optimality_study
+from repro.experiments.reporting import format_number, format_ratio, render_table, write_csv
+from repro.experiments.scaling import format_scaling_study, run_scaling_study
+from repro.experiments.table1 import (
+    Table1Config,
+    benchmark_queries,
+    format_table1,
+    run_table1,
+)
+from repro.graphs.generators import collaboration_graph
+from repro.graphs.loader import database_from_networkx
+
+
+@pytest.fixture(scope="module")
+def tiny_databases():
+    """Two tiny clustered graphs standing in for the surrogate datasets."""
+    return {
+        "GrQc": database_from_networkx(collaboration_graph(40, 5.0, seed=1)),
+        "HepTh": database_from_networkx(collaboration_graph(30, 4.0, seed=2)),
+    }
+
+
+class TestReporting:
+    def test_format_number(self):
+        assert format_number(None) == "-"
+        assert format_number(1234567) == "1,234,567"
+        assert format_number(12.345, decimals=2) == "12.35"
+        assert format_number(float("inf")) == "inf"
+
+    def test_format_ratio(self):
+        assert format_ratio(None, 3) == "-"
+        assert format_ratio(3, 0) == "inf×"
+        assert format_ratio(202, 2) == "101×"
+        assert format_ratio(30, 2) == "15.0×"
+        assert format_ratio(3, 2) == "1.50×"
+
+    def test_render_table(self):
+        text = render_table(["a", "b"], [["x", 1], ["yy", 22]], title="T")
+        assert "T" in text
+        assert "yy" in text
+        lines = text.splitlines()
+        assert len(lines) == 6  # title, rule, header, separator, 2 rows
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", ["a", "b"], [[1, 2], {"a": 3, "b": 4}])
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "a,b"
+        assert content[1] == "1,2"
+        assert content[2] == "3,4"
+
+
+class TestTable1:
+    def test_benchmark_queries_registry(self):
+        queries = benchmark_queries()
+        assert set(queries) == {"q_triangle", "q_3star", "q_rectangle", "q_2triangle"}
+
+    def test_run_on_tiny_databases(self, tiny_databases):
+        config = Table1Config(
+            datasets=("GrQc", "HepTh"), queries=("q_triangle", "q_3star"), beta=0.1
+        )
+        result = run_table1(config, databases=tiny_databases)
+        assert len(result.cells) == 4
+        cell = result.cell("GrQc", "q_triangle")
+        assert cell.query_result > 0
+        assert cell.rs_value > 0
+        assert cell.es_value >= cell.rs_value * 0.5
+        assert cell.ss_value is not None
+        # 3-star: ES and RS should be within a small factor of each other.
+        star = result.cell("GrQc", "q_3star")
+        assert star.es_over_rs == pytest.approx(1.0, abs=0.5)
+        text = format_table1(result)
+        assert "q_triangle" in text and "GrQc" in text and "RS/SS" in text
+
+    def test_unknown_query_label(self, tiny_databases):
+        with pytest.raises(ExperimentError):
+            run_table1(Table1Config(datasets=("GrQc",), queries=("bogus",)), databases=tiny_databases)
+
+    def test_missing_cell_lookup(self, tiny_databases):
+        result = run_table1(
+            Table1Config(datasets=("GrQc",), queries=("q_triangle",)), databases=tiny_databases
+        )
+        with pytest.raises(ExperimentError):
+            result.cell("GrQc", "q_rectangle")
+
+
+class TestFigure3:
+    def test_beta_sweep_series(self, tiny_databases):
+        config = Figure3Config(
+            betas=(0.05, 0.2, 1.0), datasets=("GrQc",), queries=("q_triangle",)
+        )
+        panels = run_figure3(config, databases=tiny_databases)
+        assert len(panels) == 1
+        panel = panels[0]
+        assert len(panel.rs_values) == 3
+        # Sensitivities are non-increasing in beta.
+        assert panel.rs_values[0] >= panel.rs_values[-1]
+        assert panel.es_values[0] >= panel.es_values[-1]
+        assert panel.ss_values is not None
+        rows = panel.as_rows()
+        assert len(rows) == 3 and rows[0]["dataset"] == "GrQc"
+        assert "Figure 3 panel" in format_figure3(panels)
+
+    def test_invalid_betas(self, tiny_databases):
+        with pytest.raises(ExperimentError):
+            run_figure3(Figure3Config(betas=(0.0,), datasets=("GrQc",)), databases=tiny_databases)
+
+
+class TestExample3:
+    def test_adversarial_instance_structure(self):
+        db = adversarial_path4_instance(8)
+        assert len(db.relation("Edge")) == 8
+        with pytest.raises(ExperimentError):
+            adversarial_path4_instance(7)
+
+    def test_separation_grows_with_n(self):
+        rows = run_example3(sizes=(8, 16, 32))
+        assert [row.n for row in rows] == [8, 16, 32]
+        # ES's distance-0 bound follows 4 (N/2)^3 while the GS bound is
+        # O(N^2): the ratio grows.
+        assert rows[-1].es_over_gs > rows[0].es_over_gs
+        assert rows[-1].elastic_ls0 == pytest.approx(4 * 16**3)
+        assert rows[-1].gs_exponent == pytest.approx(2.0)
+        # RS stays tiny on this (empty-join) instance.
+        assert rows[-1].residual_value < rows[-1].elastic_value
+        assert "ES LS^(0)/GS" in format_example3(rows)
+
+
+class TestNonFull:
+    def test_instances_match_proof(self):
+        dense, sparse = theorem_6_4_instances(16, 4)
+        assert len(dense.relation("R1")) == 16
+        assert len(sparse.relation("R1")) == 16
+        assert len(dense.relation("R2")) == 4
+        with pytest.raises(ExperimentError):
+            theorem_6_4_instances(10, 3)
+
+    def test_projection_gain(self):
+        rows = run_nonfull_study(configurations=((64, 4),))
+        row = rows[0]
+        assert row.answer_dense == 16
+        assert row.rs_projected < row.rs_full
+        assert row.projection_gain > 1
+        assert row.c_lower_bound == pytest.approx(4.0)
+        assert "projection" in format_nonfull_study(rows).lower()
+
+
+class TestOptimalityAndScaling:
+    def test_optimality_rows(self, tiny_databases):
+        rows = run_optimality_study(
+            datasets=("GrQc",), queries=("q_triangle",), databases=tiny_databases
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.lower_bound > 0
+        assert row.ratio >= 1.0
+        assert "ratio" in format_optimality_study(rows)
+
+    def test_scaling_rows(self):
+        rows = run_scaling_study(sizes=(30, 60), average_degree=4.0)
+        assert [row.num_nodes for row in rows] == [30, 60]
+        assert all(row.rs_seconds >= 0 for row in rows)
+        assert "nodes" in format_scaling_study(rows)

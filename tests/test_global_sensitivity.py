@@ -1,0 +1,73 @@
+"""Tests for AGM-based global sensitivity bounds (Section 3.3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.schema import DatabaseSchema
+from repro.exceptions import SensitivityError
+from repro.graphs.patterns import k_path_query, triangle_query
+from repro.query.parser import parse_query
+from repro.sensitivity.global_sensitivity import GlobalSensitivityBound
+from repro.sensitivity.local import local_sensitivity_exact
+
+
+class TestExponents:
+    def test_triangle_exponent_is_one(self, k4_db):
+        # Example 1 of the paper: GS = O(N) for the triangle query.
+        bound = GlobalSensitivityBound(triangle_query(inequalities=False))
+        assert bound.exponent(k4_db) == pytest.approx(1.0)
+
+    def test_path4_exponent_is_two(self, k4_db):
+        # Example 2 of the paper: GS = O(N^2) for the path-4 query.
+        bound = GlobalSensitivityBound(k_path_query(4, inequalities=False))
+        assert bound.exponent(k4_db) == pytest.approx(2.0)
+
+    def test_two_way_join_exponent(self, small_join_db, join_query):
+        bound = GlobalSensitivityBound(join_query)
+        # Removing one atom leaves a single atom whose boundary variable is
+        # collapsed: exponent 1.
+        assert bound.exponent(small_join_db) == pytest.approx(1.0)
+
+
+class TestNumericBounds:
+    def test_strict_policy_is_infinite(self, small_join_db, join_query):
+        result = GlobalSensitivityBound(join_query).compute(small_join_db, strict=True)
+        assert math.isinf(result.value)
+        assert result.detail("policy") == "strict"
+
+    def test_relaxed_bound_upper_bounds_local_sensitivity(self, finite_domain_schema):
+        db = Database.from_rows(
+            finite_domain_schema, R=[(0, 1), (2, 1)], S=[(1, 0), (1, 2)]
+        )
+        query = parse_query("R(x, y), S(y, z)")
+        gs = GlobalSensitivityBound(query).compute(db)
+        ls = local_sensitivity_exact(query, db)
+        assert gs.value >= ls.value
+
+    def test_relaxed_bound_scales_with_instance(self, two_table_schema):
+        query = parse_query("R(x, y), S(y, z)")
+        small = Database.from_rows(two_table_schema, R=[(1, 1)], S=[(1, 2)])
+        large = Database.from_rows(
+            two_table_schema,
+            R=[(i, i) for i in range(20)],
+            S=[(i, i + 1) for i in range(20)],
+        )
+        bound = GlobalSensitivityBound(query)
+        assert bound.compute(large).value >= bound.compute(small).value
+
+    def test_details_structure(self, k4_db):
+        result = GlobalSensitivityBound(triangle_query(inequalities=False)).compute(k4_db)
+        assert result.measure == "GS"
+        assert result.detail("policy") == "relaxed"
+        assert "Edge" in result.detail("per_block")
+        assert result.detail("exponent") == pytest.approx(1.0)
+
+    def test_requires_private_relation(self):
+        schema = DatabaseSchema.from_arities({"R": 2}, private=[])
+        db = Database(schema)
+        with pytest.raises(SensitivityError):
+            GlobalSensitivityBound(parse_query("R(x, y)")).compute(db)

@@ -1,0 +1,83 @@
+"""Tests for query hypergraphs: connectivity, GYO reduction, join trees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.graphs.patterns import k_path_query, rectangle_query, triangle_query
+from repro.query.atoms import Variable
+from repro.query.hypergraph import QueryHypergraph
+from repro.query.parser import parse_query
+
+
+class TestStructure:
+    def test_vertices_and_edges(self):
+        query = parse_query("R(x, y), S(y, z)")
+        hypergraph = QueryHypergraph(query)
+        assert hypergraph.vertices == {Variable("x"), Variable("y"), Variable("z")}
+        assert hypergraph.edge(0) == {Variable("x"), Variable("y")}
+        assert hypergraph.atoms_containing(Variable("y")) == (0, 1)
+
+    def test_restriction_to_subset(self):
+        query = parse_query("R(x, y), S(y, z), T(z, w)")
+        hypergraph = QueryHypergraph(query, [0, 2])
+        assert hypergraph.atom_indices == (0, 2)
+        with pytest.raises(QueryError):
+            hypergraph.edge(1)
+
+    def test_invalid_atom_index(self):
+        query = parse_query("R(x, y)")
+        with pytest.raises(QueryError):
+            QueryHypergraph(query, [3])
+
+
+class TestConnectivity:
+    def test_connected_chain(self):
+        query = k_path_query(3, inequalities=False)
+        hypergraph = QueryHypergraph(query)
+        assert hypergraph.is_connected
+        assert hypergraph.connected_components() == [(0, 1, 2)]
+
+    def test_disconnected_components(self):
+        query = parse_query("R(x, y), S(a, b)")
+        hypergraph = QueryHypergraph(query)
+        assert not hypergraph.is_connected
+        assert hypergraph.connected_components() == [(0,), (1,)]
+
+    def test_connected_order_prefers_shared_variables(self):
+        query = k_path_query(4, inequalities=False)
+        hypergraph = QueryHypergraph(query)
+        order = hypergraph.connected_order(seeds=[Variable("x3")])
+        # The first atom in the order must contain the seed variable x3.
+        assert Variable("x3") in query.atom_variables(order[0])
+        assert sorted(order) == [0, 1, 2, 3]
+
+
+class TestAcyclicity:
+    def test_path_is_acyclic_with_join_tree(self):
+        query = k_path_query(4, inequalities=False)
+        hypergraph = QueryHypergraph(query)
+        assert hypergraph.is_acyclic
+        tree = hypergraph.join_tree()
+        assert sorted(tree.all_indices()) == [0, 1, 2, 3]
+
+    def test_star_is_acyclic(self):
+        query = parse_query("R(c, a), S(c, b), T(c, d)")
+        assert QueryHypergraph(query).is_acyclic
+
+    def test_triangle_is_cyclic(self):
+        query = triangle_query(inequalities=False)
+        hypergraph = QueryHypergraph(query)
+        assert not hypergraph.is_acyclic
+        with pytest.raises(QueryError):
+            hypergraph.join_tree()
+
+    def test_rectangle_is_cyclic(self):
+        assert not QueryHypergraph(rectangle_query(inequalities=False)).is_acyclic
+
+    def test_single_atom_is_acyclic(self):
+        query = parse_query("R(x, y)")
+        hypergraph = QueryHypergraph(query)
+        assert hypergraph.is_acyclic
+        assert hypergraph.join_tree().atom_index == 0

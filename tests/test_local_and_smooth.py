@@ -1,0 +1,145 @@
+"""Tests for local sensitivity (exact and residual bounds) and brute-force SS."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.domain import IntegerDomain
+from repro.data.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.exceptions import SensitivityError
+from repro.query.parser import parse_query
+from repro.sensitivity.local import (
+    local_sensitivity_at_distance,
+    local_sensitivity_exact,
+    local_sensitivity_upper_bound,
+)
+from repro.sensitivity.smooth import (
+    SmoothSensitivityBruteForce,
+    smooth_from_function,
+    smooth_from_series,
+)
+
+
+@pytest.fixture
+def tiny_db(finite_domain_schema: DatabaseSchema) -> Database:
+    """``R = {(0,1), (2,1)}``, ``S = {(1,0), (1,2)}`` over domain {0,1,2}."""
+    return Database.from_rows(
+        finite_domain_schema, R=[(0, 1), (2, 1)], S=[(1, 0), (1, 2)]
+    )
+
+
+@pytest.fixture
+def tiny_query():
+    return parse_query("R(x, y), S(y, z)")
+
+
+class TestExactLocalSensitivity:
+    def test_value_on_tiny_join(self, tiny_query, tiny_db):
+        # |q(I)| = 4.  Adding one R tuple with y=1 adds 2 results; same for S.
+        result = local_sensitivity_exact(tiny_query, tiny_db)
+        assert result.value == 2
+        assert result.detail("base_count") == 4
+
+    def test_matches_lemma_3_3(self, tiny_query, tiny_db):
+        exact = local_sensitivity_exact(tiny_query, tiny_db)
+        bound = local_sensitivity_upper_bound(tiny_query, tiny_db)
+        assert bound.detail("exact") is True
+        assert bound.value == exact.value
+
+    def test_delete_only(self, tiny_query, tiny_db):
+        result = local_sensitivity_exact(
+            tiny_query, tiny_db, allow_insert=False, allow_substitute=False
+        )
+        assert result.value == 2  # deleting any tuple removes 2 join results
+
+    def test_requires_private_relation(self, tiny_db):
+        schema = DatabaseSchema.from_arities({"R": 2, "S": 2}, private=[])
+        db = Database(schema)
+        with pytest.raises(SensitivityError):
+            local_sensitivity_exact(parse_query("R(x, y), S(y, z)"), db)
+
+
+class TestLocalSensitivityAtDistance:
+    def test_k_zero_is_plain_ls(self, tiny_query, tiny_db):
+        ls = local_sensitivity_exact(tiny_query, tiny_db).value
+        ls0 = local_sensitivity_at_distance(tiny_query, tiny_db, 0).value
+        assert ls0 == ls
+
+    def test_monotone_in_k(self, tiny_query, tiny_db):
+        ls0 = local_sensitivity_at_distance(tiny_query, tiny_db, 0).value
+        ls1 = local_sensitivity_at_distance(tiny_query, tiny_db, 1).value
+        assert ls1 >= ls0
+
+    def test_negative_k_rejected(self, tiny_query, tiny_db):
+        with pytest.raises(SensitivityError):
+            local_sensitivity_at_distance(tiny_query, tiny_db, -1)
+
+    def test_instance_cap(self, tiny_query, tiny_db):
+        with pytest.raises(SensitivityError):
+            local_sensitivity_at_distance(tiny_query, tiny_db, 2, max_instances=3)
+
+
+class TestResidualUpperBound:
+    def test_self_join_upper_bound(self):
+        schema = DatabaseSchema.from_arities({"Edge": 2})
+        db = Database.from_rows(schema, Edge=[(1, 2), (2, 3), (2, 4), (1, 3)])
+        query = parse_query("Edge(a, b), Edge(b, c)")
+        bound = local_sensitivity_upper_bound(query, db)
+        assert bound.detail("exact") is False
+        # Check it really is an upper bound of the true LS (computed by hand):
+        # adding edge (3, 1) creates paths 2-3-1 twice? — instead compare with
+        # a brute-force over deletions and a few insertions.
+        base = 3  # 1-2-3, 1-2-4, (2-3 -> ...)  computed by the engine below
+        from repro.engine.evaluation import count_query
+
+        base = count_query(query, db)
+        worst = 0
+        for row in list(db.relation("Edge")):
+            neighbor = db.with_tuple_removed("Edge", row)
+            worst = max(worst, abs(count_query(query, neighbor) - base))
+        assert bound.value >= worst
+
+
+class TestSmoothing:
+    def test_smooth_from_series(self):
+        value, k_star = smooth_from_series([4, 10, 11], beta=1.0)
+        assert value == pytest.approx(max(4, 10 * math.exp(-1), 11 * math.exp(-2)))
+        assert k_star == 0 or value >= 4
+
+    def test_smooth_from_series_picks_later_k(self):
+        value, k_star = smooth_from_series([1, 100], beta=0.1)
+        assert k_star == 1
+        assert value == pytest.approx(100 * math.exp(-0.1))
+
+    def test_negative_series_rejected(self):
+        with pytest.raises(SensitivityError):
+            smooth_from_series([1, -2], beta=0.1)
+
+    def test_smooth_from_function(self):
+        value, k_star, series = smooth_from_function(lambda k: k + 1, beta=0.5, k_max=4)
+        assert len(series) == 5
+        assert value >= 1.0
+
+    def test_invalid_beta(self):
+        with pytest.raises(SensitivityError):
+            smooth_from_series([1], beta=0.0)
+        with pytest.raises(SensitivityError):
+            smooth_from_series([1], beta=-1)
+
+
+class TestBruteForceSmoothSensitivity:
+    def test_at_least_ls_and_monotone_in_beta(self, tiny_query, tiny_db):
+        ls = local_sensitivity_exact(tiny_query, tiny_db).value
+        low_beta = SmoothSensitivityBruteForce(tiny_query, beta=0.1, k_max=1).compute(tiny_db)
+        high_beta = SmoothSensitivityBruteForce(tiny_query, beta=2.0, k_max=1).compute(tiny_db)
+        assert low_beta.value >= ls
+        assert high_beta.value >= ls
+        assert low_beta.value >= high_beta.value  # smaller beta discounts less
+
+    def test_details_contain_series(self, tiny_query, tiny_db):
+        result = SmoothSensitivityBruteForce(tiny_query, beta=0.5, k_max=1).compute(tiny_db)
+        assert len(result.detail("series")) == 2
+        assert result.measure == "SS"

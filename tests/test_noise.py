@@ -1,0 +1,82 @@
+"""Tests for the noise distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrivacyError
+from repro.mechanisms.noise import GeneralCauchyNoise, LaplaceNoise
+
+
+class TestLaplaceNoise:
+    def test_scale_and_std(self):
+        noise = LaplaceNoise(scale=2.0, rng=0)
+        assert noise.scale == 2.0
+        assert noise.standard_deviation == pytest.approx(2.0 * np.sqrt(2.0))
+
+    def test_zero_scale_is_deterministic(self):
+        noise = LaplaceNoise(scale=0.0, rng=0)
+        assert noise.sample() == 0.0
+        assert np.all(noise.sample(size=5) == 0.0)
+
+    def test_sample_shapes(self):
+        noise = LaplaceNoise(scale=1.0, rng=0)
+        assert isinstance(noise.sample(), float)
+        assert noise.sample(size=10).shape == (10,)
+
+    def test_empirical_mean_and_scale(self):
+        noise = LaplaceNoise(scale=3.0, rng=42)
+        samples = noise.sample(size=20_000)
+        assert abs(samples.mean()) < 0.2
+        assert np.std(samples) == pytest.approx(3.0 * np.sqrt(2.0), rel=0.1)
+
+    def test_invalid_scale(self):
+        with pytest.raises(PrivacyError):
+            LaplaceNoise(scale=-1.0)
+        with pytest.raises(PrivacyError):
+            LaplaceNoise(scale=float("inf"))
+
+
+class TestGeneralCauchyNoise:
+    def test_unit_variance_for_gamma_four(self):
+        noise = GeneralCauchyNoise(scale=5.0, gamma=4.0, rng=0)
+        assert noise.standard_deviation == pytest.approx(5.0)
+
+    def test_empirical_distribution(self):
+        noise = GeneralCauchyNoise(scale=1.0, gamma=4.0, rng=7)
+        samples = noise.sample(size=40_000)
+        # Zero-mean, unit variance (generous tolerances: heavy-ish tails).
+        assert abs(samples.mean()) < 0.05
+        assert np.var(samples) == pytest.approx(1.0, rel=0.15)
+
+    def test_scaling(self):
+        rng = np.random.default_rng(3)
+        samples = GeneralCauchyNoise(scale=10.0, gamma=4.0, rng=rng).sample(size=20_000)
+        assert np.var(samples) == pytest.approx(100.0, rel=0.2)
+
+    def test_sample_shapes(self):
+        noise = GeneralCauchyNoise(scale=1.0, rng=0)
+        assert isinstance(noise.sample(), float)
+        assert noise.sample(size=7).shape == (7,)
+
+    def test_zero_scale(self):
+        noise = GeneralCauchyNoise(scale=0.0, rng=0)
+        assert noise.sample() == 0.0
+
+    def test_heavier_gamma_has_finite_variance(self):
+        noise = GeneralCauchyNoise(scale=1.0, gamma=6.0, rng=0)
+        samples = noise.sample(size=10_000)
+        assert np.isfinite(np.var(samples))
+        assert noise.standard_deviation > 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PrivacyError):
+            GeneralCauchyNoise(scale=-1.0)
+        with pytest.raises(PrivacyError):
+            GeneralCauchyNoise(scale=1.0, gamma=2.0)
+
+    def test_reproducibility_with_seed(self):
+        first = GeneralCauchyNoise(scale=1.0, rng=11).sample(size=5)
+        second = GeneralCauchyNoise(scale=1.0, rng=11).sample(size=5)
+        assert np.allclose(first, second)

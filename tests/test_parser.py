@@ -1,0 +1,94 @@
+"""Tests for the datalog-style query parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.query.atoms import Constant, Variable
+from repro.query.parser import parse_query
+from repro.query.predicates import ComparisonPredicate, InequalityPredicate
+
+
+class TestBodyOnly:
+    def test_single_atom(self):
+        query = parse_query("R(x, y)")
+        assert query.num_atoms == 1
+        assert query.is_full
+        assert query.atoms[0].relation == "R"
+        assert query.atoms[0].variables == (Variable("x"), Variable("y"))
+
+    def test_join_with_shared_variable(self):
+        query = parse_query("R(x, y), S(y, z)")
+        assert query.num_atoms == 2
+        assert query.variables == (Variable("x"), Variable("y"), Variable("z"))
+
+    def test_constants(self):
+        query = parse_query("R(x, 5), S('abc', x)")
+        assert query.atoms[0].terms[1] == Constant(5)
+        assert query.atoms[1].terms[0] == Constant("abc")
+
+    def test_negative_number_constant(self):
+        query = parse_query("R(x, -3)")
+        assert query.atoms[0].terms[1] == Constant(-3)
+
+    def test_inequality_predicates(self):
+        query = parse_query("Edge(x, y), Edge(y, z), x != z")
+        assert len(query.predicates) == 1
+        assert isinstance(query.predicates[0], InequalityPredicate)
+
+    def test_comparison_predicates(self):
+        query = parse_query("R(x, y), x <= y, y > 3")
+        kinds = [type(p) for p in query.predicates]
+        assert kinds == [ComparisonPredicate, ComparisonPredicate]
+
+    def test_self_join(self):
+        query = parse_query("Edge(a, b), Edge(b, c)")
+        assert not query.is_self_join_free
+        assert len(query.self_join_blocks) == 1
+
+
+class TestHeads:
+    def test_projection_head(self):
+        query = parse_query("Q(x) :- R(x, y), S(y)")
+        assert not query.is_full
+        assert query.output_variables == (Variable("x"),)
+        assert query.name == "Q"
+
+    def test_star_head_is_full(self):
+        query = parse_query("Q(*) :- R(x, y)")
+        assert query.is_full
+
+    def test_empty_head_is_full(self):
+        query = parse_query("Count() :- R(x, y)")
+        assert query.is_full
+
+    def test_multi_variable_head(self):
+        query = parse_query("Q(x, z) :- R(x, y), S(y, z)")
+        assert query.output_variables == (Variable("x"), Variable("z"))
+
+    def test_name_override(self):
+        query = parse_query("R(x, y)", name="my_query")
+        assert query.name == "my_query"
+
+
+class TestErrors:
+    def test_empty_text(self):
+        with pytest.raises(QueryError):
+            parse_query("")
+
+    def test_unexpected_character(self):
+        with pytest.raises(QueryError):
+            parse_query("R(x, y) & S(y)")
+
+    def test_missing_paren(self):
+        with pytest.raises(QueryError):
+            parse_query("R(x, y")
+
+    def test_predicate_only(self):
+        with pytest.raises(QueryError):
+            parse_query("x != y")
+
+    def test_head_variable_not_in_body(self):
+        with pytest.raises(QueryError):
+            parse_query("Q(w) :- R(x, y)")

@@ -1,0 +1,99 @@
+"""Tests for the graph pattern query builders (Figure 2 structures)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.graphs.patterns import (
+    all_pairs_inequalities,
+    k_cycle_query,
+    k_path_query,
+    k_star_query,
+    rectangle_query,
+    triangle_query,
+    two_triangle_query,
+)
+from repro.query.atoms import Variable
+from repro.query.predicates import InequalityPredicate
+
+
+class TestShapes:
+    def test_triangle_structure(self):
+        query = triangle_query()
+        assert query.num_atoms == 3
+        assert len(query.variables) == 3
+        assert all(atom.relation == "Edge" for atom in query.atoms)
+        assert not query.is_self_join_free
+        assert query.name == "q_triangle"
+
+    def test_star_structure(self):
+        query = k_star_query(3)
+        assert query.num_atoms == 3
+        assert len(query.variables) == 4
+        centre = Variable("x0")
+        assert all(centre in atom.variable_set for atom in query.atoms)
+
+    def test_rectangle_structure(self):
+        query = rectangle_query()
+        assert query.num_atoms == 4
+        assert len(query.variables) == 4
+        # Every variable occurs in exactly two atoms (a cycle).
+        for variable in query.variables:
+            occurrences = sum(1 for atom in query.atoms if variable in atom.variable_set)
+            assert occurrences == 2
+
+    def test_two_triangle_structure(self):
+        query = two_triangle_query()
+        assert query.num_atoms == 5
+        assert len(query.variables) == 4
+        shared_edge_vars = {Variable("x2"), Variable("x3")}
+        sharing_atoms = [
+            atom for atom in query.atoms if shared_edge_vars <= atom.variable_set
+        ]
+        assert len(sharing_atoms) == 1  # the shared edge appears once
+
+    def test_path_structure(self):
+        query = k_path_query(4)
+        assert query.num_atoms == 4
+        assert len(query.variables) == 5
+
+    def test_cycle_structure(self):
+        query = k_cycle_query(5)
+        assert query.num_atoms == 5
+        assert len(query.variables) == 5
+
+
+class TestPredicates:
+    def test_all_pairs_inequalities_count(self):
+        variables = [Variable(f"x{i}") for i in range(4)]
+        predicates = all_pairs_inequalities(variables)
+        assert len(predicates) == 6
+        assert all(isinstance(p, InequalityPredicate) for p in predicates)
+
+    def test_queries_carry_all_pairs(self):
+        assert len(triangle_query().predicates) == 3
+        assert len(k_star_query(3).predicates) == 6
+        assert len(rectangle_query().predicates) == 6
+        assert len(two_triangle_query().predicates) == 6
+
+    def test_inequalities_can_be_disabled(self):
+        assert triangle_query(inequalities=False).predicates == ()
+
+    def test_custom_relation_name(self):
+        query = triangle_query(relation="Link")
+        assert all(atom.relation == "Link" for atom in query.atoms)
+
+
+class TestValidation:
+    def test_invalid_star(self):
+        with pytest.raises(QueryError):
+            k_star_query(0)
+
+    def test_invalid_path(self):
+        with pytest.raises(QueryError):
+            k_path_query(0)
+
+    def test_invalid_cycle(self):
+        with pytest.raises(QueryError):
+            k_cycle_query(2)

@@ -1,0 +1,172 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These are the invariants the paper's privacy proof rests on, checked on
+randomly generated small instances:
+
+* **Lemma 3.1** — monotonicity of the boundary multiplicities under tuple
+  insertion.
+* **Lemma 3.2-style stability** — ``T_E`` changes by a bounded amount under a
+  single tuple change.
+* **Theorem 3.9 (smoothness)** — ``L̂S^(k)(I) <= L̂S^(k+1)(I')`` for neighbors,
+  with and without self-joins; this is exactly what makes the RS mechanism
+  ε-DP.
+* **RS ≥ LS** and monotonicity of ``L̂S^(k)`` in ``k``.
+* Elastic sensitivity's analogous smoothness, and ES ≥ its own ``L̂S^(0)``.
+* Distance symmetry / triangle-style sanity of the database edit distance.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.data.database import Database
+from repro.data.schema import DatabaseSchema
+from repro.engine.aggregates import boundary_multiplicity
+from repro.query.parser import parse_query
+from repro.sensitivity.elastic import ElasticSensitivity
+from repro.sensitivity.local import local_sensitivity_upper_bound
+from repro.sensitivity.residual import ResidualSensitivity
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# Small value domains keep the instances tiny but collision-rich.
+value = st.integers(min_value=0, max_value=4)
+pair = st.tuples(value, value)
+pairs = st.lists(pair, min_size=0, max_size=8, unique=True)
+
+
+def _join_db(r_rows, s_rows) -> Database:
+    schema = DatabaseSchema.from_arities({"R": 2, "S": 2})
+    return Database.from_rows(schema, R=r_rows, S=s_rows)
+
+
+def _edge_db(rows) -> Database:
+    schema = DatabaseSchema.from_arities({"Edge": 2})
+    return Database.from_rows(schema, Edge=rows)
+
+
+JOIN_QUERY = parse_query("R(x, y), S(y, z)")
+SELF_JOIN_QUERY = parse_query("Edge(a, b), Edge(b, c)")
+TRIANGLE_QUERY = parse_query(
+    "Edge(a, b), Edge(b, c), Edge(a, c), a != b, b != c, a != c"
+)
+
+
+class TestMultiplicityProperties:
+    @SETTINGS
+    @given(r_rows=pairs, s_rows=pairs, extra=pair)
+    def test_lemma_3_1_monotonicity(self, r_rows, s_rows, extra):
+        """Inserting a tuple never decreases any boundary multiplicity."""
+        db = _join_db(r_rows, s_rows)
+        bigger = db.with_tuple_added("R", extra)
+        for kept in ([0], [1], [0, 1]):
+            before = boundary_multiplicity(JOIN_QUERY, db, kept).value
+            after = boundary_multiplicity(JOIN_QUERY, bigger, kept).value
+            assert after >= before
+
+    @SETTINGS
+    @given(r_rows=pairs, s_rows=pairs, extra=pair)
+    def test_single_change_stability(self, r_rows, s_rows, extra):
+        """A single tuple change moves T_{single atom} by at most 1."""
+        db = _join_db(r_rows, s_rows)
+        changed = db.with_tuple_added("R", extra)
+        before = boundary_multiplicity(JOIN_QUERY, db, [0]).value
+        after = boundary_multiplicity(JOIN_QUERY, changed, [0]).value
+        assert abs(after - before) <= 1
+
+    @SETTINGS
+    @given(r_rows=pairs, s_rows=pairs)
+    def test_strategies_agree(self, r_rows, s_rows):
+        db = _join_db(r_rows, s_rows)
+        for kept in ([0], [1], [0, 1]):
+            exact = boundary_multiplicity(JOIN_QUERY, db, kept, strategy="enumerate").value
+            fast = boundary_multiplicity(JOIN_QUERY, db, kept, strategy="eliminate").value
+            assert exact == fast
+
+
+class TestResidualSensitivityProperties:
+    @SETTINGS
+    @given(r_rows=pairs, s_rows=pairs, k=st.integers(min_value=0, max_value=3))
+    def test_ls_hat_monotone_in_k(self, r_rows, s_rows, k):
+        db = _join_db(r_rows, s_rows)
+        rs = ResidualSensitivity(JOIN_QUERY, beta=0.2)
+        assert rs.ls_hat(db, k + 1) >= rs.ls_hat(db, k)
+
+    @SETTINGS
+    @given(r_rows=pairs, s_rows=pairs, extra=pair, k=st.integers(min_value=0, max_value=2))
+    def test_smoothness_without_self_joins(self, r_rows, s_rows, extra, k):
+        """Theorem 3.9 on the two-relation join query."""
+        db = _join_db(r_rows, s_rows)
+        neighbor = db.with_tuple_added("S", extra)
+        rs = ResidualSensitivity(JOIN_QUERY, beta=0.2)
+        assert rs.ls_hat(neighbor, k + 1) >= rs.ls_hat(db, k) - 1e-9
+        assert rs.ls_hat(db, k + 1) >= rs.ls_hat(neighbor, k) - 1e-9
+
+    @SETTINGS
+    @given(rows=pairs, extra=pair, k=st.integers(min_value=0, max_value=2))
+    def test_smoothness_with_self_joins(self, rows, extra, k):
+        """Theorem 3.9 on the self-join path query (logical copies move together)."""
+        db = _edge_db(rows)
+        neighbor = db.with_tuple_added("Edge", extra)
+        rs = ResidualSensitivity(SELF_JOIN_QUERY, beta=0.2)
+        assert rs.ls_hat(neighbor, k + 1) >= rs.ls_hat(db, k) - 1e-9
+        assert rs.ls_hat(db, k + 1) >= rs.ls_hat(neighbor, k) - 1e-9
+
+    @SETTINGS
+    @given(rows=pairs, extra=pair, k=st.integers(min_value=0, max_value=2))
+    def test_smoothness_triangle_with_predicates(self, rows, extra, k):
+        db = _edge_db(rows)
+        neighbor = db.with_tuple_added("Edge", extra)
+        rs = ResidualSensitivity(TRIANGLE_QUERY, beta=0.2)
+        assert rs.ls_hat(neighbor, k + 1) >= rs.ls_hat(db, k) - 1e-9
+
+    @SETTINGS
+    @given(r_rows=pairs, s_rows=pairs)
+    def test_rs_upper_bounds_ls(self, r_rows, s_rows):
+        """RS is a smooth *upper bound*: at least the exact local sensitivity."""
+        db = _join_db(r_rows, s_rows)
+        rs_value = ResidualSensitivity(JOIN_QUERY, beta=0.2).compute(db).value
+        ls_value = local_sensitivity_upper_bound(JOIN_QUERY, db).value
+        assert rs_value >= ls_value - 1e-9
+
+
+class TestElasticSensitivityProperties:
+    @SETTINGS
+    @given(rows=pairs, extra=pair, k=st.integers(min_value=0, max_value=2))
+    def test_elastic_smoothness(self, rows, extra, k):
+        db = _edge_db(rows)
+        neighbor = db.with_tuple_added("Edge", extra)
+        es = ElasticSensitivity(SELF_JOIN_QUERY, beta=0.2)
+        assert es.ls_hat(neighbor, k + 1) >= es.ls_hat(db, k) - 1e-9
+
+    @SETTINGS
+    @given(rows=pairs)
+    def test_elastic_at_least_its_base(self, rows):
+        db = _edge_db(rows)
+        es = ElasticSensitivity(SELF_JOIN_QUERY, beta=0.2)
+        assert es.compute(db).value >= es.ls_hat(db, 0) - 1e-9
+
+
+class TestDistanceProperties:
+    @SETTINGS
+    @given(first=pairs, second=pairs)
+    def test_distance_symmetry_and_identity(self, first, second):
+        left = _edge_db(first)
+        right = _edge_db(second)
+        assert left.distance(right) == right.distance(left)
+        assert left.distance(left.copy()) == 0
+
+    @SETTINGS
+    @given(rows=pairs, extra=pair)
+    def test_single_edit_distance_is_one(self, rows, extra):
+        db = _edge_db(rows)
+        if tuple(extra) in db.relation("Edge"):
+            neighbor = db.with_tuple_removed("Edge", extra)
+        else:
+            neighbor = db.with_tuple_added("Edge", extra)
+        assert db.distance(neighbor) == 1

@@ -1,0 +1,116 @@
+"""Tests for residual-query structure: boundaries, predicate classification, o_E."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.graphs.patterns import rectangle_query, triangle_query
+from repro.query.atoms import Variable
+from repro.query.parser import parse_query
+from repro.query.residual import all_subsets_of_block, residual_query
+
+
+def _vars(*names: str) -> frozenset[Variable]:
+    return frozenset(Variable(name) for name in names)
+
+
+class TestBoundaries:
+    def test_empty_subset(self):
+        query = parse_query("R(x, y), S(y, z)")
+        residual = residual_query(query, [])
+        assert residual.is_empty
+        assert residual.boundary == frozenset()
+
+    def test_simple_join_boundary(self):
+        query = parse_query("R(x, y), S(y, z)")
+        residual = residual_query(query, [0])
+        assert residual.boundary_relational == _vars("y")
+        assert residual.variables == _vars("x", "y")
+        assert residual.internal_variables == _vars("x")
+
+    def test_full_subset_has_no_boundary(self):
+        query = parse_query("R(x, y), S(y, z)")
+        residual = residual_query(query, [0, 1])
+        assert residual.boundary == frozenset()
+
+    def test_triangle_residual_boundaries(self):
+        query = triangle_query(inequalities=False)
+        # Keep atoms 0 and 1: Edge(x1,x2), Edge(x2,x3); the removed atom is
+        # Edge(x1,x3), so the boundary is {x1, x3}.
+        residual = residual_query(query, [0, 1])
+        assert residual.boundary_relational == _vars("x1", "x3")
+        assert residual.internal_variables == _vars("x2")
+
+    def test_invalid_index(self):
+        query = parse_query("R(x, y)")
+        with pytest.raises(QueryError):
+            residual_query(query, [4])
+
+
+class TestPredicateClassification:
+    def test_inside_predicates_are_kept(self):
+        query = parse_query("R(x, y), S(y, z), x != y")
+        residual = residual_query(query, [0])
+        assert len(residual.predicates) == 1
+        assert residual.dropped_predicates == ()
+
+    def test_crossing_predicates_are_dropped_and_flagged(self):
+        query = parse_query("R(x, y), S(y, z), x != z")
+        residual = residual_query(query, [0])
+        assert residual.predicates == ()
+        assert len(residual.dropped_predicates) == 1
+        # z is realised only outside the residual, linked via the predicate.
+        assert residual.boundary_predicate_only == _vars("z")
+
+    def test_outside_predicates_are_ignored(self):
+        query = parse_query("R(x, y), S(y, z), S(z, w), z != w")
+        residual = residual_query(query, [0])
+        assert residual.predicates == ()
+        assert residual.dropped_predicates == ()
+
+    def test_rectangle_with_all_inequalities(self):
+        query = rectangle_query()
+        # Keep atoms {0, 1}: Edge(x1,x2), Edge(x2,x3); predicates among
+        # {x1,x2,x3} stay, predicates touching x4 are dropped.
+        residual = residual_query(query, [0, 1])
+        kept_vars = {frozenset(v.name for v in p.variables) for p in residual.predicates}
+        assert kept_vars == {
+            frozenset({"x1", "x2"}),
+            frozenset({"x1", "x3"}),
+            frozenset({"x2", "x3"}),
+        }
+        assert len(residual.dropped_predicates) == 3  # the pairs involving x4
+        assert residual.boundary_predicate_only == _vars("x4")
+
+
+class TestProjectionAndStandalone:
+    def test_output_variables_restricted_to_residual(self):
+        query = parse_query("Q(x, z) :- R(x, y), S(y, z)")
+        residual = residual_query(query, [0])
+        assert residual.output_variables == (Variable("x"),)
+
+    def test_as_query_roundtrip(self):
+        query = parse_query("R(x, y), S(y, z), x != y")
+        residual = residual_query(query, [0])
+        standalone = residual.as_query()
+        assert standalone.num_atoms == 1
+        assert len(standalone.predicates) == 1
+
+    def test_empty_residual_has_no_standalone_form(self):
+        query = parse_query("R(x, y)")
+        with pytest.raises(QueryError):
+            residual_query(query, []).as_query()
+
+
+class TestSubsetEnumeration:
+    def test_all_subsets_of_block(self):
+        subsets = all_subsets_of_block([0, 1, 2])
+        assert len(subsets) == 7
+        assert frozenset({0}) in subsets
+        assert frozenset({0, 1, 2}) in subsets
+        # Sorted by size first.
+        assert [len(s) for s in subsets] == sorted(len(s) for s in subsets)
+
+    def test_single_atom_block(self):
+        assert all_subsets_of_block([3]) == [frozenset({3})]

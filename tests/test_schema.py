@@ -1,0 +1,94 @@
+"""Tests for relation and database schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.domain import IntegerDomain
+from repro.data.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.exceptions import SchemaError
+
+
+class TestRelationSchema:
+    def test_attributes_from_strings(self):
+        schema = RelationSchema("Edge", ["src", "dst"])
+        assert schema.arity == 2
+        assert schema.attribute_names == ("src", "dst")
+
+    def test_attribute_index(self):
+        schema = RelationSchema("R", ["a", "b", "c"])
+        assert schema.attribute_index("b") == 1
+        with pytest.raises(SchemaError):
+            schema.attribute_index("missing")
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["a", "a"])
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [])
+
+    def test_validate_tuple_arity(self):
+        schema = RelationSchema("R", ["a", "b"])
+        assert schema.validate_tuple((1, 2)) == (1, 2)
+        with pytest.raises(SchemaError):
+            schema.validate_tuple((1, 2, 3))
+
+    def test_validate_tuple_finite_domain(self):
+        schema = RelationSchema("R", [Attribute("a", IntegerDomain(0, 3))])
+        assert schema.validate_tuple((2,)) == (2,)
+        with pytest.raises(SchemaError):
+            schema.validate_tuple((9,))
+
+    def test_invalid_names(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", ["a"])
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+
+class TestDatabaseSchema:
+    def test_all_private_by_default(self):
+        schema = DatabaseSchema.from_arities({"R": 2, "S": 1})
+        assert schema.private_relations == frozenset({"R", "S"})
+        assert schema.public_relations == frozenset()
+        assert schema.is_private("R")
+
+    def test_explicit_private_subset(self):
+        schema = DatabaseSchema.from_arities({"R": 2, "S": 1}, private=["R"])
+        assert schema.is_private("R")
+        assert not schema.is_private("S")
+        assert schema.public_relations == frozenset({"S"})
+
+    def test_unknown_private_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema.from_arities({"R": 2}, private=["Missing"])
+
+    def test_duplicate_relation_names_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([RelationSchema("R", ["a"]), RelationSchema("R", ["b"])])
+
+    def test_relation_lookup(self):
+        schema = DatabaseSchema.from_arities({"R": 3})
+        assert schema.relation("R").arity == 3
+        assert "R" in schema
+        assert "X" not in schema
+        with pytest.raises(SchemaError):
+            schema.relation("X")
+
+    def test_single_relation_constructor(self):
+        schema = DatabaseSchema.single_relation("Edge", ["src", "dst"])
+        assert schema.relation_names == ("Edge",)
+        assert schema.is_private("Edge")
+        public = DatabaseSchema.single_relation("Edge", ["src", "dst"], private=False)
+        assert not public.is_private("Edge")
+
+    def test_iteration_and_len(self):
+        schema = DatabaseSchema.from_arities({"R": 1, "S": 2, "T": 3})
+        assert len(schema) == 3
+        assert [rel.name for rel in schema] == ["R", "S", "T"]
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([])

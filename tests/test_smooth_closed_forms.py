@@ -1,0 +1,130 @@
+"""Tests for the closed-form smooth sensitivities (triangle and k-star counting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SensitivityError
+from repro.graphs.loader import database_from_edges
+from repro.graphs.statistics import GraphStatistics
+from repro.sensitivity.smooth_star import StarSmoothSensitivity, falling_factorial
+from repro.sensitivity.smooth_triangle import TriangleSmoothSensitivity
+
+
+class TestFallingFactorial:
+    def test_values(self):
+        assert falling_factorial(5, 0) == 1
+        assert falling_factorial(5, 1) == 5
+        assert falling_factorial(5, 2) == 20
+        assert falling_factorial(5, 3) == 60
+        assert falling_factorial(2, 3) == 0
+        assert falling_factorial(0, 1) == 0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(SensitivityError):
+            falling_factorial(5, -1)
+
+
+class TestTriangleSmoothSensitivity:
+    def test_ls_at_zero_is_scaled_max_common_neighbours(self, k4_db):
+        engine = TriangleSmoothSensitivity(beta=0.1)
+        stats = GraphStatistics.from_database(k4_db)
+        assert engine.ls_at_distance(k4_db, 0) == 3 * stats.max_common_neighbours()
+
+    def test_ls_monotone_in_distance_and_capped(self, k4_db):
+        engine = TriangleSmoothSensitivity(beta=0.1)
+        values = [engine.ls_at_distance(k4_db, s) for s in range(6)]
+        assert values == sorted(values)
+        # On K4 the cap is n - 2 = 2 common neighbours -> 6 after CQ scaling.
+        assert values[-1] == 6
+
+    def test_value_at_least_ls0(self, small_graph_db):
+        engine = TriangleSmoothSensitivity(beta=0.1)
+        result = engine.compute(small_graph_db)
+        assert result.value >= engine.ls_at_distance(small_graph_db, 0)
+        assert result.measure == "SS"
+
+    def test_unscaled_variant(self, k4_db):
+        scaled = TriangleSmoothSensitivity(beta=0.1).compute(k4_db).value
+        plain = TriangleSmoothSensitivity(beta=0.1, cq_scale=1).compute(k4_db).value
+        assert scaled == pytest.approx(3 * plain)
+
+    def test_monotone_in_beta(self, small_graph_db):
+        low = TriangleSmoothSensitivity(beta=0.01).compute(small_graph_db).value
+        high = TriangleSmoothSensitivity(beta=1.0).compute(small_graph_db).value
+        assert low >= high
+
+    def test_empty_graph(self):
+        db = database_from_edges([])
+        assert TriangleSmoothSensitivity(beta=0.1).compute(db).value == 0
+
+    def test_half_built_wedges_accelerate_growth(self):
+        # A path a-b-c: the pair (a, c) has one half-built wedge through b?
+        # No: b is a common neighbour.  Take the pair (a, b): c is adjacent to
+        # exactly one of them, so one extra edge creates a common neighbour.
+        db = database_from_edges([(0, 1), (1, 2)], symmetric=True)
+        engine = TriangleSmoothSensitivity(beta=0.1, cq_scale=1)
+        assert engine.ls_at_distance(db, 0) == 1  # pair (0, 2) via 1
+        assert engine.ls_at_distance(db, 1) >= 1
+
+    def test_wrong_arity_rejected(self):
+        from repro.data.database import Database
+        from repro.data.schema import DatabaseSchema
+
+        schema = DatabaseSchema.from_arities({"Edge": 3})
+        db = Database.from_rows(schema, Edge=[(1, 2, 3)])
+        engine = TriangleSmoothSensitivity(beta=0.1)
+        with pytest.raises(SensitivityError):
+            engine.compute(db)
+
+    def test_beta_xor_epsilon(self):
+        with pytest.raises(SensitivityError):
+            TriangleSmoothSensitivity()
+        with pytest.raises(SensitivityError):
+            TriangleSmoothSensitivity(beta=0.1, epsilon=1.0)
+
+
+class TestStarSmoothSensitivity:
+    def test_ls_at_zero_from_max_degree(self, k4_db):
+        engine = StarSmoothSensitivity(3, beta=0.1)
+        # d_max = 3 on K4; LS = 3 * (d_max - 1)(d_max - 2) = 3 * 2 * 1 = 6.
+        assert engine.ls_at_distance(k4_db, 0) == 6
+
+    def test_degree_cap(self, k4_db):
+        engine = StarSmoothSensitivity(3, beta=0.1)
+        # Degrees cannot exceed |V| - 1 = 3, so LS^(s) saturates at 6.
+        assert engine.ls_at_distance(k4_db, 100) == 6
+
+    def test_growth_before_cap(self):
+        # A path on 6 vertices: d_max = 2 but up to 5 neighbours are possible,
+        # so extra edges strictly increase the distance-s local sensitivity.
+        db = database_from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)], symmetric=True)
+        engine = StarSmoothSensitivity(3, beta=0.1)
+        assert engine.ls_at_distance(db, 0) < engine.ls_at_distance(db, 3)
+
+    def test_value_at_least_ls0(self, small_graph_db):
+        engine = StarSmoothSensitivity(3, beta=0.1)
+        assert engine.compute(small_graph_db).value >= engine.ls_at_distance(
+            small_graph_db, 0
+        )
+
+    def test_two_star(self, small_graph_db):
+        engine = StarSmoothSensitivity(2, beta=0.1)
+        # LS = 2 * (d_max - 1) with d_max = 5.
+        assert engine.ls_at_distance(small_graph_db, 0) == 8
+
+    def test_invalid_arguments(self):
+        with pytest.raises(SensitivityError):
+            StarSmoothSensitivity(0, beta=0.1)
+        with pytest.raises(SensitivityError):
+            StarSmoothSensitivity(3)
+        with pytest.raises(SensitivityError):
+            StarSmoothSensitivity(3, beta=0.1, epsilon=1.0)
+
+    def test_negative_distance_rejected(self, k4_db):
+        with pytest.raises(SensitivityError):
+            StarSmoothSensitivity(3, beta=0.1).ls_at_distance(k4_db, -1)
+
+    def test_empty_graph(self):
+        db = database_from_edges([])
+        assert StarSmoothSensitivity(3, beta=0.1).compute(db).value == 0
