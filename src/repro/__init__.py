@@ -36,12 +36,14 @@ from repro.exceptions import (
     ReproError,
     SchemaError,
     SensitivityError,
+    ServiceError,
 )
 from repro.mechanisms import (
     PrivacyAccountant,
     PrivateCountingQuery,
     SmoothSensitivityMechanism,
 )
+from repro.service import PrivateQueryService
 from repro.query import Atom, ConjunctiveQuery, Variable, parse_query
 from repro.sensitivity import (
     ElasticSensitivity,
@@ -66,6 +68,7 @@ __all__ = [
     "PrivacyAccountant",
     "PrivacyError",
     "PrivateCountingQuery",
+    "PrivateQueryService",
     "QueryError",
     "Relation",
     "RelationSchema",
@@ -73,6 +76,7 @@ __all__ = [
     "ResidualSensitivity",
     "SchemaError",
     "SensitivityError",
+    "ServiceError",
     "SmoothSensitivityMechanism",
     "StarSmoothSensitivity",
     "TriangleSmoothSensitivity",

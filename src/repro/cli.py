@@ -20,18 +20,35 @@ Installed as ``repro-dp`` (see ``pyproject.toml``).  Sub-commands:
 ``generate``
     Write a surrogate collaboration graph to an edge-list file.
 
+``serve``
+    Start the JSON-over-HTTP serving layer (:mod:`repro.service`): named
+    databases, per-session budget ledgers, plan/sensitivity caching, and the
+    ``/register`` ``/count`` ``/batch`` ``/budget`` ``/stats`` endpoints.
+
+``batch``
+    Answer a JSON file of ``(query, epsilon)`` requests in one shot through
+    the serving layer: identical query shapes are deduplicated (answered
+    once, charged once) and sensitivities are computed concurrently.
+
+``count`` and ``sensitivity`` accept ``--json`` to emit machine-readable
+output instead of the human-readable text.
+
 Examples
 --------
 ::
 
     repro-dp count --dataset GrQc --query "Edge(x,y), Edge(y,z), Edge(x,z), x != y, y != z, x != z" --epsilon 1.0
+    repro-dp count --dataset GrQc --query "Edge(x, y)" --epsilon 0.5 --json
     repro-dp table1 --datasets GrQc HepTh --queries q_triangle q_3star
     repro-dp generate --dataset CondMat --output condmat_surrogate.txt
+    repro-dp serve --dataset GrQc --name grqc --port 8080 --session-budget 2.0
+    repro-dp batch --dataset GrQc --requests workload.json --epsilon-total 1.0
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -92,6 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="sensitivity engine used for calibration",
     )
     count.add_argument("--seed", type=int, default=None, help="noise seed (for reproducibility)")
+    count.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
     sensitivity = subparsers.add_parser(
         "sensitivity", help="print sensitivities of a query without releasing a count"
@@ -99,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_data_arguments(sensitivity)
     sensitivity.add_argument("--query", required=True, help="query in the datalog-style syntax")
     sensitivity.add_argument("--beta", type=float, default=0.1, help="smoothing parameter")
+    sensitivity.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
     table1 = subparsers.add_parser("table1", help="reproduce Table 1")
     table1.add_argument("--datasets", nargs="*", default=[], choices=available_datasets())
@@ -132,6 +151,55 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--output", required=True, help="output edge-list path")
     generate.add_argument("--scale", type=float, default=None)
 
+    serve = subparsers.add_parser("serve", help="run the JSON-over-HTTP serving layer")
+    _add_data_arguments(serve)
+    serve.add_argument("--name", default=None, help="name to register the preloaded database under")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8080, help="bind port (0 for ephemeral)")
+    serve.add_argument(
+        "--session-budget", type=float, default=1.0, help="default per-session epsilon budget"
+    )
+    serve.add_argument(
+        "--total-budget",
+        type=float,
+        default=None,
+        help="deployment-wide epsilon budget shared by all sessions",
+    )
+    serve.add_argument(
+        "--cache-capacity", type=int, default=256, help="entries per cache (0 disables caching)"
+    )
+    serve.add_argument(
+        "--session-ttl", type=float, default=None, help="idle session lifetime in seconds"
+    )
+    serve.add_argument("--seed", type=int, default=None, help="noise seed (tests only)")
+    serve.add_argument("--log-requests", action="store_true", help="log HTTP requests to stderr")
+
+    batch = subparsers.add_parser(
+        "batch", help="answer a JSON file of (query, epsilon) requests in one shot"
+    )
+    _add_data_arguments(batch)
+    batch.add_argument(
+        "--requests",
+        required=True,
+        help="JSON file: a list of {query, epsilon?, method?} objects, or "
+        "{requests: [...], epsilon_total: ...} ('-' reads stdin)",
+    )
+    batch.add_argument(
+        "--epsilon-total",
+        type=float,
+        default=None,
+        help="total budget split evenly over the distinct query shapes",
+    )
+    batch.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="session budget (default: exactly what the batch needs)",
+    )
+    batch.add_argument("--max-workers", type=int, default=4, help="concurrent sensitivity workers")
+    batch.add_argument("--seed", type=int, default=None, help="noise seed (for reproducibility)")
+    batch.add_argument("--json", action="store_true", help="emit the full JSON batch result")
+
     return parser
 
 
@@ -154,6 +222,19 @@ def _dispatch(args: argparse.Namespace) -> int:
             query, epsilon=args.epsilon, method=args.method, rng=args.seed
         )
         release = releaser.release(database)
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "noisy_count": release.noisy_count,
+                        "method": release.method,
+                        "epsilon": release.epsilon,
+                        "sensitivity": release.sensitivity,
+                        "expected_error": release.expected_error,
+                    }
+                )
+            )
+            return 0
         print(f"noisy count : {release.noisy_count:.2f}")
         print(f"method      : {release.method}")
         print(f"epsilon     : {release.epsilon}")
@@ -166,10 +247,28 @@ def _dispatch(args: argparse.Namespace) -> int:
         residual = ResidualSensitivity(query, beta=args.beta).compute(database)
         elastic = ElasticSensitivity(query, beta=args.beta).compute(database)
         global_bound = GlobalSensitivityBound(query).compute(database)
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "beta": args.beta,
+                        "residual": residual.value,
+                        "elastic": elastic.value,
+                        "global_agm": global_bound.value,
+                    }
+                )
+            )
+            return 0
         print(f"residual sensitivity : {residual.value:.2f}")
         print(f"elastic sensitivity  : {elastic.value:.2f}")
         print(f"global bound (AGM)   : {global_bound.value:.2f}")
         return 0
+
+    if args.command == "serve":
+        return _run_serve(args)
+
+    if args.command == "batch":
+        return _run_batch(args)
 
     if args.command == "table1":
         result = run_table1(
@@ -228,6 +327,111 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     raise ReproError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+def _build_service(args: argparse.Namespace, **service_kwargs) -> "PrivateQueryService":
+    """A service with the CLI-selected database registered as ``args.name``."""
+    from repro.service import PrivateQueryService
+
+    service = PrivateQueryService(**service_kwargs)
+    name = getattr(args, "name", None) or getattr(args, "dataset", None) or "default"
+    service.register_database(name, _load_database(args))
+    return service
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.service.api import make_server
+
+    service = _build_service(
+        args,
+        session_budget=args.session_budget,
+        total_budget=args.total_budget,
+        cache_capacity=args.cache_capacity,
+        session_ttl=args.session_ttl,
+        rng=args.seed,
+    )
+    server = make_server(service, args.host, args.port, log_requests=args.log_requests)
+    host, port = server.server_address[:2]
+    name = service.registry.names()[0]
+    print(f"serving database {name!r} on http://{host}:{port}  (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _load_batch_requests(path: str) -> tuple[list, float | None]:
+    """Parse a batch request file: ``[{...}, ...]`` or ``{"requests": [...]}``."""
+    if path == "-":
+        raw = sys.stdin.read()
+    else:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                raw = handle.read()
+        except OSError as exc:
+            raise ReproError(f"cannot read batch request file: {exc}") from None
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"batch request file is not valid JSON: {exc}") from None
+    if isinstance(payload, list):
+        return payload, None
+    if isinstance(payload, dict) and isinstance(payload.get("requests"), list):
+        epsilon_total = payload.get("epsilon_total")
+        return payload["requests"], float(epsilon_total) if epsilon_total is not None else None
+    raise ReproError(
+        "batch request file must be a JSON list of requests or an object "
+        "with a 'requests' list"
+    )
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    requests, file_epsilon_total = _load_batch_requests(args.requests)
+    epsilon_total = args.epsilon_total if args.epsilon_total is not None else file_epsilon_total
+
+    if args.budget is not None:
+        budget = args.budget
+    elif epsilon_total is not None:
+        budget = epsilon_total
+    else:
+        budget = sum(float(req.get("epsilon") or 0.0) for req in requests if isinstance(req, dict))
+    if budget <= 0:
+        raise ReproError(
+            "cannot infer a session budget: give every request an epsilon, or "
+            "pass --epsilon-total / --budget"
+        )
+
+    service = _build_service(args, session_budget=budget, rng=args.seed)
+    name = service.registry.names()[0]
+    session = service.create_session()
+    result = service.batch(
+        name,
+        requests,
+        session=session.session_id,
+        epsilon_total=epsilon_total,
+        max_workers=args.max_workers,
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0 if result.ok else 2
+    for item in result.items:
+        if item.ok:
+            response = item.response
+            dedup = "  (deduplicated)" if item.deduplicated else ""
+            print(
+                f"[{item.index}] noisy count {response.noisy_count:.2f}  "
+                f"eps {response.epsilon:.4f}  method {response.method}{dedup}"
+            )
+        else:
+            print(f"[{item.index}] error: {item.error}")
+    print(
+        f"{len(result.items)} requests, {result.groups} distinct shapes, "
+        f"{result.deduplicated} deduplicated, epsilon charged {result.epsilon_charged:.4f}"
+    )
+    return 0 if result.ok else 2
 
 
 if __name__ == "__main__":  # pragma: no cover

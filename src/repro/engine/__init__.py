@@ -16,10 +16,13 @@ multiplicities ``T_E(I)`` of residual queries (the building block of residual
 sensitivity), :mod:`repro.engine.agm` computes AGM bounds via the fractional
 edge cover LP, and :mod:`repro.engine.domains` builds the augmented active
 domain ``Z+(q, I)`` needed for comparison predicates (Section 5.2).
+:mod:`repro.engine.canonical` canonicalizes query structure into cache keys
+for the serving layer's plan and sensitivity caches.
 """
 
 from repro.engine.aggregates import MultiplicityResult, boundary_multiplicity
 from repro.engine.agm import AGMBound, fractional_edge_cover
+from repro.engine.canonical import canonical_query_key
 from repro.engine.evaluation import count_query, evaluate_query
 from repro.engine.join import count_assignments, group_counts, iterate_assignments
 
@@ -27,11 +30,11 @@ __all__ = [
     "AGMBound",
     "MultiplicityResult",
     "boundary_multiplicity",
+    "canonical_query_key",
     "count_assignments",
     "count_query",
     "evaluate_query",
     "fractional_edge_cover",
     "group_counts",
     "iterate_assignments",
-    "fractional_edge_cover",
 ]

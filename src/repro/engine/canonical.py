@@ -1,0 +1,111 @@
+"""Structural canonicalization of conjunctive queries for cache keys.
+
+The serving layer (:mod:`repro.service`) memoizes residual-query
+decompositions and sensitivity profiles across requests.  Both are
+*data-independent per query shape*: two queries that differ only in variable
+names (or in the orientation of symmetric predicates) have identical counts,
+identical residual decompositions and identical sensitivities on every
+instance.  :func:`canonical_query_key` maps such queries to the same string
+key so the cache can reuse work across clients that spell "the same" query
+differently.
+
+The canonical form renames variables to ``v0, v1, ...`` in order of first
+appearance across the atoms (atom order is preserved — the key is
+*conservative*: equal keys imply equal semantics, but semantically equal
+queries with re-ordered atoms may get distinct keys and merely miss the
+cache).  Symmetric predicates are normalised:
+
+* ``x != y`` and ``y != x`` serialise identically (operands sorted);
+* ``x > y`` is rewritten as ``y < x`` and ``x >= y`` as ``y <= x``.
+
+Queries carrying a :class:`~repro.query.predicates.GenericPredicate` cannot
+be canonicalized by value (two distinct callables are incomparable), so
+:func:`canonical_query_key` returns ``None`` for them and callers must bypass
+the cache.
+"""
+
+from __future__ import annotations
+
+from repro.query.atoms import Constant, Term, Variable
+from repro.query.cq import ConjunctiveQuery
+from repro.query.predicates import (
+    ComparisonPredicate,
+    InequalityPredicate,
+    Predicate,
+)
+
+__all__ = ["canonical_query_key", "canonical_variable_order"]
+
+
+def canonical_variable_order(query: ConjunctiveQuery) -> dict[Variable, str]:
+    """Map each variable to its canonical name ``v{i}``.
+
+    Variables are numbered by first appearance in the atoms' term lists, in
+    atom order.  Every predicate/output variable necessarily occurs in some
+    atom (:class:`ConjunctiveQuery` enforces this), so the mapping is total.
+    """
+    mapping: dict[Variable, str] = {}
+    for atom in query.atoms:
+        for term in atom.terms:
+            if isinstance(term, Variable) and term not in mapping:
+                mapping[term] = f"v{len(mapping)}"
+    return mapping
+
+
+def _term_key(term: Term, names: dict[Variable, str]) -> str:
+    if isinstance(term, Variable):
+        return names[term]
+    value = term.value
+    return f"<{type(value).__name__}:{value!r}>"
+
+
+def _predicate_key(pred: Predicate, names: dict[Variable, str]) -> str | None:
+    if isinstance(pred, InequalityPredicate):
+        sides = sorted((_term_key(pred.left, names), _term_key(pred.right, names)))
+        return f"{sides[0]}!={sides[1]}"
+    if isinstance(pred, ComparisonPredicate):
+        left, op, right = pred.left, pred.op, pred.right
+        if op in (">", ">="):
+            left, right = right, left
+            op = "<" if op == ">" else "<="
+        return f"{_term_key(left, names)}{op}{_term_key(right, names)}"
+    # GenericPredicate (or any unknown subclass): two distinct callables
+    # cannot be compared structurally — refuse to canonicalize.
+    return None
+
+
+def canonical_query_key(query: ConjunctiveQuery) -> str | None:
+    """A string key identifying the query up to variable renaming.
+
+    Returns ``None`` when the query cannot be safely canonicalized (it
+    carries a generic predicate); callers should then skip shape caches.
+
+    Examples
+    --------
+    >>> from repro.query.parser import parse_query
+    >>> a = canonical_query_key(parse_query("R(x, y), S(y, z)"))
+    >>> b = canonical_query_key(parse_query("R(a, b), S(b, c)"))
+    >>> a == b
+    True
+    >>> a == canonical_query_key(parse_query("R(x, y), S(x, z)"))
+    False
+    """
+    names = canonical_variable_order(query)
+    atom_keys = [
+        f"{atom.relation}({','.join(_term_key(t, names) for t in atom.terms)})"
+        for atom in query.atoms
+    ]
+    pred_keys: list[str] = []
+    for pred in query.predicates:
+        key = _predicate_key(pred, names)
+        if key is None:
+            return None
+        pred_keys.append(key)
+    # Predicate order is irrelevant (conjunction), output order is irrelevant
+    # (projection is onto a set of variables) — sort both.
+    pred_keys.sort()
+    if query.is_full:
+        proj = "*"
+    else:
+        proj = ",".join(sorted(names[v] for v in query.output_variables))
+    return f"{';'.join(atom_keys)}|{';'.join(pred_keys)}|{proj}"

@@ -16,6 +16,8 @@ __all__ = [
     "PrivacyError",
     "DatasetError",
     "ExperimentError",
+    "ServiceError",
+    "UnknownResourceError",
 ]
 
 
@@ -69,3 +71,21 @@ class DatasetError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class ServiceError(ReproError):
+    """A query-serving request is invalid.
+
+    Examples: registering a database under a name that is already taken,
+    submitting a malformed batch request, or using an unknown calibration
+    method.  Budget violations raise :class:`PrivacyError` instead; lookups
+    of resources that do not exist raise :class:`UnknownResourceError`.
+    """
+
+
+class UnknownResourceError(ServiceError):
+    """A serving-layer lookup named a database or session that does not exist.
+
+    Kept distinct from plain :class:`ServiceError` so the HTTP front end can
+    map "not found" (404) separately from "bad request" (400).
+    """

@@ -7,10 +7,16 @@ budget and the accountant refuses further releases once the budget is
 exhausted.  It is intentionally conservative (pure ε-DP sequential
 composition, no advanced/Rényi accounting), matching the mechanisms in this
 library, which are all pure ε-DP.
+
+The accountant is thread-safe: :meth:`PrivacyAccountant.charge` performs its
+affordability check and the ledger append atomically under an internal lock,
+so concurrent releases (e.g. from the batch executor of
+:mod:`repro.service`) can never jointly overspend the budget.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -44,6 +50,9 @@ class PrivacyAccountant:
     1.5
     >>> accountant.can_afford(1.6)
     False
+    >>> accountant.reset()
+    >>> accountant.remaining
+    2.0
     """
 
     total_budget: float
@@ -52,11 +61,15 @@ class PrivacyAccountant:
     def __post_init__(self) -> None:
         if self.total_budget <= 0:
             raise PrivacyError(f"the total budget must be positive, got {self.total_budget}")
+        # Not a dataclass field: the lock takes no part in equality/repr and
+        # must never be shared between two accountants.
+        self._lock = threading.RLock()
 
     @property
     def spent(self) -> float:
         """Total ε consumed so far."""
-        return sum(charge.epsilon for charge in self.charges)
+        with self._lock:
+            return sum(charge.epsilon for charge in self.charges)
 
     @property
     def remaining(self) -> float:
@@ -70,12 +83,28 @@ class PrivacyAccountant:
         return epsilon <= self.remaining + 1e-12
 
     def charge(self, epsilon: float, label: str = "") -> None:
-        """Record a charge of ``epsilon``; raises if the budget is exceeded."""
-        if not self.can_afford(epsilon):
-            raise PrivacyError(
-                f"privacy budget exhausted: requested {epsilon}, remaining {self.remaining}"
-            )
-        self.charges.append(BudgetCharge(epsilon=epsilon, label=label))
+        """Record a charge of ``epsilon``; raises if the budget is exceeded.
+
+        Check and append happen atomically, so concurrent callers cannot
+        jointly exceed the budget.
+        """
+        with self._lock:
+            if not self.can_afford(epsilon):
+                raise PrivacyError(
+                    f"privacy budget exhausted: requested {epsilon}, remaining {self.remaining}"
+                )
+            self.charges.append(BudgetCharge(epsilon=epsilon, label=label))
+
+    def reset(self) -> None:
+        """Forget all charges, restoring the full budget.
+
+        Only meaningful when the data the budget protected is discarded or
+        rotated (e.g. a serving session is torn down and its database
+        deregistered); resetting while continuing to answer queries about the
+        same data voids the privacy guarantee.
+        """
+        with self._lock:
+            self.charges.clear()
 
     def run(self, epsilon: float, release: Callable[[], object], label: str = "") -> object:
         """Charge ``epsilon`` and, only if affordable, execute ``release()``.

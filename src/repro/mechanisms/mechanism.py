@@ -24,6 +24,7 @@ Supported calibration methods:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Literal
 
@@ -192,6 +193,7 @@ class PrivateCountingQuery:
         *,
         keep_true_count: bool = False,
         true_count: int | None = None,
+        sensitivity: SensitivityResult | None = None,
     ) -> PrivateRelease:
         """An ε-DP noisy count of the query on ``database``.
 
@@ -203,14 +205,29 @@ class PrivateCountingQuery:
         true_count:
             Supply the exact count if already known, to avoid re-evaluating
             the query.
+        sensitivity:
+            Supply a precomputed sensitivity (as returned by
+            :meth:`sensitivity`) to skip recomputing it — the serving layer's
+            cache relies on this.  The result must have been computed with
+            this mechanism's method and ``β`` on this very database;
+            a recorded ``beta`` mismatch raises :class:`PrivacyError`.
         """
         if true_count is None:
             true_count = count_query(self._query, database)
+        if sensitivity is None:
+            sensitivity = self.sensitivity(database)
 
         if self._method == "global":
-            laplace = LaplaceMechanism(self._query, self._epsilon, rng=self._rng)
+            gs_value = float(sensitivity.value)
+            # A non-finite bound (strict DP) is passed as None so noise_scale
+            # raises its descriptive "unbounded under strict DP" error.
+            laplace = LaplaceMechanism(
+                self._query,
+                self._epsilon,
+                global_sensitivity=gs_value if math.isfinite(gs_value) else None,
+                rng=self._rng,
+            )
             noisy = laplace.release(database, true_count=true_count)
-            gs_value = laplace.noise_scale(database) * self._epsilon
             return PrivateRelease(
                 noisy_count=noisy,
                 method=self._method,
@@ -220,7 +237,6 @@ class PrivateCountingQuery:
                 true_count=float(true_count) if keep_true_count else None,
             )
 
-        sensitivity = self.sensitivity(database)
         release: SmoothRelease = self._smooth.release(true_count, sensitivity)
         return PrivateRelease(
             noisy_count=release.noisy_count,

@@ -1,0 +1,236 @@
+"""A stdlib JSON-over-HTTP front end for :class:`PrivateQueryService`.
+
+Endpoints (all bodies and responses are ``application/json``):
+
+``POST /register``
+    ``{"name": ..., "edges": [[u, v], ...]}`` or
+    ``{"name": ..., "dataset": "GrQc", "scale": 0.02}`` — register a named
+    database (``"replace": true`` to update an existing name).
+``POST /count``
+    ``{"database": ..., "query": "...", "epsilon": 0.5, "method"?,
+    "session"?}`` — one private release.
+``POST /batch``
+    ``{"database": ..., "requests": [{"query": ..., "epsilon"?, "method"?},
+    ...], "epsilon_total"?, "session"?}`` — a deduplicated batch.
+``POST /budget`` / ``GET /budget?session=ID``
+    Create a session (``{"budget"?: 2.0}``) / inspect a session's ledger.
+``GET /stats``
+    Registry, session, cache and audit statistics.
+
+Errors map onto status codes: malformed requests → 400, exhausted budgets →
+403, unknown databases/sessions → 404.  The server is a
+:class:`~http.server.ThreadingHTTPServer`; thread safety is provided by the
+service layer itself (accountant locks, cache locks, the rng lock).
+
+This front end is built on :mod:`http.server` so the library stays
+dependency-free; production deployments would put a real WSGI/ASGI server in
+front of :class:`PrivateQueryService` the same way this module does.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+from urllib.parse import parse_qs, urlparse
+
+from repro.exceptions import (
+    PrivacyError,
+    ReproError,
+    ServiceError,
+    UnknownResourceError,
+)
+from repro.service.service import PrivateQueryService
+
+__all__ = ["make_server", "ServiceRequestHandler"]
+
+
+def _as_float(value: Any, field: str) -> float:
+    """Coerce a JSON value to float, mapping failures to a 400-class error."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise ServiceError(f"{field!r} must be a number, got {value!r}") from None
+
+
+def _database_from_payload(payload: Mapping[str, Any]):
+    """Materialise the database described by a ``/register`` body."""
+    if "edges" in payload:
+        from repro.graphs.loader import database_from_edges
+
+        edges = payload["edges"]
+        if not isinstance(edges, list):
+            raise ServiceError("'edges' must be a list of [u, v] pairs")
+        try:
+            pairs = [(u, v) for u, v in edges]
+        except (TypeError, ValueError):
+            raise ServiceError("'edges' must be a list of [u, v] pairs") from None
+        return database_from_edges(pairs)
+    if "dataset" in payload:
+        from repro.datasets.snap_surrogates import surrogate_database
+
+        return surrogate_database(payload["dataset"], scale=payload.get("scale"))
+    raise ServiceError("register payload needs either 'edges' or 'dataset'")
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Dispatch JSON requests onto a bound :class:`PrivateQueryService`."""
+
+    service: PrivateQueryService  # bound by make_server()
+    log_requests = False
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.log_requests:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Mapping[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ServiceError("request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, handler) -> None:
+        try:
+            status, payload = handler()
+        except PrivacyError as exc:
+            self._send_error_json(403, str(exc))
+        except UnknownResourceError as exc:
+            self._send_error_json(404, str(exc))
+        except ReproError as exc:
+            self._send_error_json(400, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error_json(500, f"internal error: {exc}")
+        else:
+            self._send_json(status, payload)
+
+    # ------------------------------------------------------------------ #
+    # Routes
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        parsed = urlparse(self.path)
+        if parsed.path == "/stats":
+            self._dispatch(lambda: (200, self.service.stats()))
+        elif parsed.path == "/budget":
+            query = parse_qs(parsed.query)
+            session = (query.get("session") or [None])[0]
+
+            def show_budget():
+                if not session:
+                    raise ServiceError("pass ?session=<id> to inspect a budget")
+                return 200, self.service.budget(session)
+
+            self._dispatch(show_budget)
+        else:
+            self._send_error_json(404, f"no such endpoint: {parsed.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        path = urlparse(self.path).path
+        routes = {
+            "/register": self._post_register,
+            "/count": self._post_count,
+            "/batch": self._post_batch,
+            "/budget": self._post_budget,
+        }
+        handler = routes.get(path)
+        if handler is None:
+            self._send_error_json(404, f"no such endpoint: {path}")
+            return
+        self._dispatch(handler)
+
+    def _post_register(self):
+        payload = self._read_body()
+        name = payload.get("name")
+        if not name:
+            raise ServiceError("register payload needs a 'name'")
+        database = _database_from_payload(payload)
+        entry = self.service.register_database(
+            name, database, replace=bool(payload.get("replace", False))
+        )
+        return 200, entry.describe()
+
+    def _post_count(self):
+        payload = self._read_body()
+        for field in ("database", "query", "epsilon"):
+            if field not in payload:
+                raise ServiceError(f"count payload needs {field!r}")
+        response = self.service.count(
+            payload["database"],
+            payload["query"],
+            _as_float(payload["epsilon"], "epsilon"),
+            session=payload.get("session"),
+            method=payload.get("method", "residual"),
+        )
+        return 200, response.to_dict()
+
+    def _post_batch(self):
+        payload = self._read_body()
+        for field in ("database", "requests"):
+            if field not in payload:
+                raise ServiceError(f"batch payload needs {field!r}")
+        requests = payload["requests"]
+        if not isinstance(requests, list):
+            raise ServiceError("'requests' must be a list")
+        epsilon_total = payload.get("epsilon_total")
+        result = self.service.batch(
+            payload["database"],
+            requests,
+            session=payload.get("session"),
+            epsilon_total=(
+                _as_float(epsilon_total, "epsilon_total")
+                if epsilon_total is not None
+                else None
+            ),
+        )
+        return 200, result.to_dict()
+
+    def _post_budget(self):
+        payload = self._read_body()
+        budget = payload.get("budget")
+        session = self.service.create_session(
+            budget=_as_float(budget, "budget") if budget is not None else None,
+            session_id=payload.get("session_id"),
+        )
+        return 200, session.describe()
+
+
+def make_server(
+    service: PrivateQueryService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    log_requests: bool = False,
+) -> ThreadingHTTPServer:
+    """A ready-to-run threading HTTP server bound to ``service``.
+
+    The caller owns the lifecycle: ``server.serve_forever()`` to run,
+    ``server.shutdown()``/``server.server_close()`` to stop.  Pass ``port=0``
+    to bind an ephemeral port (``server.server_address`` has the real one).
+    """
+    handler = type(
+        "BoundServiceRequestHandler",
+        (ServiceRequestHandler,),
+        {"service": service, "log_requests": log_requests},
+    )
+    return ThreadingHTTPServer((host, port), handler)

@@ -1,0 +1,144 @@
+"""A thread-safe LRU cache with hit/miss statistics.
+
+The serving layer keeps three of these: a *plan* cache (query text →
+canonicalized query), a *profile* cache (per-database residual-query
+multiplicities, which are β-independent) and a *sensitivity* cache (final
+sensitivity values per ``(database, version, shape, method, β)``).  All three
+store deterministic, data-derived values, so the cache may race benignly:
+two threads missing on the same key both compute the same value and the
+second ``put`` is a no-op semantically.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterator, Tuple
+
+from repro.exceptions import ServiceError
+
+__all__ = ["LRUCache", "CacheStats"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """An immutable snapshot of a cache's counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when the cache was never queried)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> dict[str, float | int]:
+        """A JSON-serialisable view (for the ``/stats`` endpoint)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_rate": round(self.hit_rate, 6),
+        }
+
+
+class LRUCache:
+    """A bounded mapping evicting the least-recently-used entry.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries.  ``0`` disables the cache entirely (every
+        lookup misses, nothing is stored) — the serving layer uses this to
+        provide an "uncached" mode for benchmarking and validation.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ServiceError(f"cache capacity must be non-negative, got {capacity}")
+        self._capacity = capacity
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        """The maximum number of entries."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> Iterator[Hashable]:
+        """A snapshot of the keys, most recently used last."""
+        with self._lock:
+            return iter(tuple(self._entries))
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The cached value (marking it recently used), or ``default``."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key]
+            self._misses += 1
+            return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh an entry, evicting the LRU entry when full."""
+        if self._capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def get_or_compute(self, key: Hashable, factory: Callable[[], Any]) -> Tuple[Any, bool]:
+        """``(value, hit)`` — computing and storing the value on a miss.
+
+        ``factory`` runs *outside* the lock so independent keys can be
+        computed concurrently (the batch executor relies on this); if two
+        threads race on the same key the value is computed twice and the last
+        ``put`` wins, which is harmless because every cached value here is a
+        deterministic function of its key.
+        """
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is not sentinel:
+            return value, True
+        value = factory()
+        self.put(key, value)
+        return value, False
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """A snapshot of the hit/miss/eviction counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self._capacity,
+            )

@@ -1,0 +1,228 @@
+"""Batch execution: budget splitting, deduplication, concurrent sensitivity.
+
+A batch is a list of ``(query, ε, method)`` requests against one registered
+database.  The executor:
+
+1. **canonicalizes** every request and groups exact duplicates — same query
+   shape, same method, same ε;
+2. **splits the budget**: with ``epsilon_total`` given, each *distinct* group
+   receives ``epsilon_total / #groups`` (duplicates are free — see below);
+3. **deduplicates**: one noisy release is drawn per group and *shared* by
+   all duplicate requests in the batch.  Answering the same question twice
+   with the same noisy value discloses nothing beyond answering it once, so
+   only one charge of ε is made per group — the classic "answer reuse"
+   optimisation of DP query engines;
+4. runs the per-group sensitivity computations **concurrently** via
+   :mod:`concurrent.futures` (noise drawing itself is serialised on the
+   service's generator lock, keeping seeded runs reproducible).
+
+Failures are per-item: a group whose budget charge or evaluation fails
+produces error entries for its members without aborting the rest.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.exceptions import ReproError, ServiceError
+from repro.query.cq import ConjunctiveQuery
+from repro.service.service import CountResponse, PrivateQueryService
+
+__all__ = ["BatchExecutor", "BatchRequest", "BatchItemResult", "BatchResult"]
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """One entry of a batch: a query plus optional per-request parameters."""
+
+    query: ConjunctiveQuery | str
+    epsilon: float | None = None
+    method: str = "residual"
+
+    @classmethod
+    def from_mapping(cls, payload: Mapping[str, Any]) -> "BatchRequest":
+        """Build from a JSON-style dict (``{"query": ..., "epsilon": ...}``)."""
+        if "query" not in payload:
+            raise ServiceError(f"batch request missing 'query': {dict(payload)!r}")
+        unknown = set(payload) - {"query", "epsilon", "method"}
+        if unknown:
+            raise ServiceError(f"unknown batch request fields: {sorted(unknown)}")
+        epsilon = payload.get("epsilon")
+        return cls(
+            query=payload["query"],
+            epsilon=float(epsilon) if epsilon is not None else None,
+            method=payload.get("method", "residual"),
+        )
+
+
+@dataclass(frozen=True)
+class BatchItemResult:
+    """Outcome of one batch entry, in the original request order."""
+
+    index: int
+    ok: bool
+    response: CountResponse | None = None
+    error: str | None = None
+    deduplicated: bool = False
+    group: int = -1
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable view."""
+        return {
+            "index": self.index,
+            "ok": self.ok,
+            "result": self.response.to_dict() if self.response else None,
+            "error": self.error,
+            "deduplicated": self.deduplicated,
+            "group": self.group,
+        }
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """The outcome of a whole batch."""
+
+    items: tuple[BatchItemResult, ...]
+    groups: int
+    deduplicated: int
+    epsilon_per_group: float | None
+    epsilon_charged: float
+    details: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every item succeeded."""
+        return all(item.ok for item in self.items)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable view."""
+        return {
+            "ok": self.ok,
+            "groups": self.groups,
+            "deduplicated": self.deduplicated,
+            "epsilon_per_group": self.epsilon_per_group,
+            "epsilon_charged": self.epsilon_charged,
+            "items": [item.to_dict() for item in self.items],
+        }
+
+
+class BatchExecutor:
+    """Run batches of counting queries through a :class:`PrivateQueryService`."""
+
+    def __init__(self, service: PrivateQueryService, *, max_workers: int = 4):
+        if max_workers <= 0:
+            raise ServiceError(f"max_workers must be positive, got {max_workers}")
+        self._service = service
+        self._max_workers = max_workers
+
+    def run(
+        self,
+        database: str,
+        requests: Sequence[BatchRequest | Mapping[str, Any]],
+        *,
+        session: str | None = None,
+        epsilon_total: float | None = None,
+    ) -> BatchResult:
+        """Answer every request; see the module docstring for the protocol.
+
+        Either every request carries its own ``epsilon`` or ``epsilon_total``
+        is given (mixing the two is rejected to keep budget arithmetic
+        auditable).
+        """
+        if not requests:
+            raise ServiceError("a batch must contain at least one request")
+        normalized = [
+            req if isinstance(req, BatchRequest) else BatchRequest.from_mapping(req)
+            for req in requests
+        ]
+
+        # Canonicalize every request up front so duplicates can be grouped.
+        plans: list[tuple[ConjunctiveQuery, str | None]] = []
+        for req in normalized:
+            parsed, key, _ = self._service.plan(req.query)
+            plans.append((parsed, key))
+
+        if epsilon_total is not None:
+            if any(req.epsilon is not None for req in normalized):
+                raise ServiceError(
+                    "per-request epsilons and epsilon_total are mutually exclusive"
+                )
+            if epsilon_total <= 0:
+                raise ServiceError(f"epsilon_total must be positive, got {epsilon_total}")
+        elif any(req.epsilon is None for req in normalized):
+            raise ServiceError(
+                "every request needs an epsilon when epsilon_total is not given"
+            )
+
+        # Group exact duplicates.  Uncanonicalizable queries (generic
+        # predicates) get a per-index group of their own.
+        group_of: dict[tuple, int] = {}
+        members: list[list[int]] = []
+        for idx, (req, (_, key)) in enumerate(zip(normalized, plans)):
+            shape = key if key is not None else ("#", idx)
+            group_key = (shape, req.method, req.epsilon)
+            if group_key not in group_of:
+                group_of[group_key] = len(members)
+                members.append([])
+            members[group_of[group_key]].append(idx)
+
+        epsilon_per_group = (
+            epsilon_total / len(members) if epsilon_total is not None else None
+        )
+
+        def run_group(group_members: list[int]) -> CountResponse | Exception:
+            leader = group_members[0]
+            req = normalized[leader]
+            epsilon = req.epsilon if req.epsilon is not None else epsilon_per_group
+            try:
+                return self._service.count(
+                    database,
+                    plans[leader][0],
+                    epsilon,
+                    session=session,
+                    method=req.method,
+                )
+            except ReproError as exc:
+                return exc
+
+        with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+            outcomes = list(pool.map(run_group, members))
+
+        items: list[BatchItemResult | None] = [None] * len(normalized)
+        charged = 0.0
+        deduplicated = 0
+        for group_idx, (group_members, outcome) in enumerate(zip(members, outcomes)):
+            for position, idx in enumerate(group_members):
+                if isinstance(outcome, Exception):
+                    items[idx] = BatchItemResult(
+                        index=idx, ok=False, error=str(outcome), group=group_idx
+                    )
+                    continue
+                is_dup = position > 0
+                if is_dup:
+                    deduplicated += 1
+                items[idx] = BatchItemResult(
+                    index=idx,
+                    ok=True,
+                    response=outcome if not is_dup else _mark_deduplicated(outcome),
+                    deduplicated=is_dup,
+                    group=group_idx,
+                )
+            if not isinstance(outcome, Exception):
+                charged += outcome.epsilon
+        return BatchResult(
+            items=tuple(items),  # type: ignore[arg-type]
+            groups=len(members),
+            deduplicated=deduplicated,
+            epsilon_per_group=epsilon_per_group,
+            epsilon_charged=charged,
+        )
+
+
+def _mark_deduplicated(response: CountResponse) -> CountResponse:
+    """A copy of ``response`` flagged as a shared (deduplicated) answer."""
+    from dataclasses import replace
+
+    return replace(response, deduplicated=True)

@@ -1,0 +1,109 @@
+"""The named-database registry of the serving layer.
+
+Production deployments register each database once and answer many queries
+against it.  The registry hands out immutable :class:`RegisteredDatabase`
+records whose ``(name, version)`` pair the caches use as part of their keys:
+re-registering a name bumps the version, so every cached plan, profile or
+sensitivity derived from the old contents silently becomes unreachable (and
+ages out of the LRU) instead of being served stale.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.data.database import Database
+from repro.exceptions import ServiceError, UnknownResourceError
+
+__all__ = ["DatabaseRegistry", "RegisteredDatabase"]
+
+
+@dataclass(frozen=True)
+class RegisteredDatabase:
+    """A database registered under a name, at a specific version."""
+
+    name: str
+    version: int
+    database: Database
+
+    @property
+    def key(self) -> tuple[str, int]:
+        """The ``(name, version)`` pair cache keys embed."""
+        return (self.name, self.version)
+
+    def describe(self) -> dict[str, object]:
+        """A JSON-serialisable summary (no tuple contents)."""
+        return {
+            "name": self.name,
+            "version": self.version,
+            "relations": {
+                rel.schema.name: len(rel) for rel in self.database
+            },
+            "private_tuples": self.database.size(private_only=True),
+        }
+
+
+class DatabaseRegistry:
+    """A thread-safe mapping of names to registered databases."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._entries: dict[str, RegisteredDatabase] = {}
+        self._versions: dict[str, int] = {}
+
+    def register(
+        self, name: str, database: Database, *, replace: bool = False
+    ) -> RegisteredDatabase:
+        """Register ``database`` under ``name``.
+
+        Raises :class:`ServiceError` if the name is taken and ``replace`` is
+        false.  Replacing bumps the version so cache keys derived from the
+        previous contents can never match again.
+        """
+        if not name or not isinstance(name, str):
+            raise ServiceError(f"database name must be a non-empty string, got {name!r}")
+        with self._lock:
+            if name in self._entries and not replace:
+                raise ServiceError(
+                    f"database {name!r} is already registered (pass replace=True to update)"
+                )
+            version = self._versions.get(name, 0) + 1
+            self._versions[name] = version
+            entry = RegisteredDatabase(name=name, version=version, database=database)
+            self._entries[name] = entry
+            return entry
+
+    def get(self, name: str) -> RegisteredDatabase:
+        """The current registration of ``name`` (raises if unknown)."""
+        with self._lock:
+            try:
+                return self._entries[name]
+            except KeyError:
+                raise UnknownResourceError(f"unknown database {name!r}") from None
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name`` (raises if unknown); the version counter survives."""
+        with self._lock:
+            if name not in self._entries:
+                raise UnknownResourceError(f"unknown database {name!r}")
+            del self._entries[name]
+
+    def names(self) -> list[str]:
+        """The registered names, sorted."""
+        with self._lock:
+            return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def describe(self) -> dict[str, dict[str, object]]:
+        """Per-database summaries for the ``/stats`` endpoint."""
+        with self._lock:
+            entries = list(self._entries.values())
+        return {entry.name: entry.describe() for entry in entries}

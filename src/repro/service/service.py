@@ -1,0 +1,393 @@
+"""The :class:`PrivateQueryService` façade.
+
+This is the multi-tenant entry point the paper's Section 8 deployment
+setting calls for: databases are registered once, clients open sessions with
+per-session ε budgets (optionally capped by a deployment-wide budget), and
+repeated query shapes are served from caches instead of re-running the
+residual-sensitivity machinery.
+
+Three caches cooperate (see :mod:`repro.service.cache`):
+
+* **plan** — query text → (parsed query, canonical shape key); skips the
+  parser and canonicalizer on repeated request strings;
+* **profile** — ``(db, version, shape)`` → the residual-query boundary
+  multiplicities ``T_F(I)``, which dominate the cost of residual sensitivity
+  and are *β-independent*, so one profile serves every ε;
+* **sensitivity** / **count** — final sensitivity values and true counts per
+  ``(db, version, shape[, method, β])``.
+
+Caching never changes the released distribution: every cached value is a
+deterministic function of the query shape and database version, and noise is
+always drawn fresh from the service's generator.  With a fixed seed, a
+cached service and an uncached one (``cache_capacity=0``) produce *bitwise
+identical* release sequences.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.data.database import Database
+from repro.engine.canonical import canonical_query_key
+from repro.engine.evaluation import count_query
+from repro.exceptions import ServiceError
+from repro.mechanisms.accountant import PrivacyAccountant
+from repro.mechanisms.mechanism import PrivateCountingQuery
+from repro.mechanisms.smooth_mechanism import BETA_FRACTION
+from repro.query.cq import ConjunctiveQuery
+from repro.query.parser import parse_query
+from repro.sensitivity.base import SensitivityResult
+from repro.sensitivity.residual import ResidualSensitivity
+from repro.service.cache import LRUCache
+from repro.service.registry import DatabaseRegistry, RegisteredDatabase
+from repro.service.sessions import SessionManager
+
+__all__ = ["PrivateQueryService", "CountResponse"]
+
+_METHODS = ("residual", "elastic", "smooth-triangle", "smooth-star", "global")
+
+
+@dataclass(frozen=True)
+class CountResponse:
+    """The serving-layer view of one private release."""
+
+    database: str
+    version: int
+    query_key: str | None
+    noisy_count: float
+    epsilon: float
+    method: str
+    sensitivity: float
+    expected_error: float
+    session: str | None
+    plan_cache_hit: bool
+    sensitivity_cache_hit: bool
+    count_cache_hit: bool
+    deduplicated: bool = False
+    remaining_budget: float | None = None
+    details: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable view (publishable fields only)."""
+        return {
+            "database": self.database,
+            "version": self.version,
+            "query_key": self.query_key,
+            "noisy_count": self.noisy_count,
+            "epsilon": self.epsilon,
+            "method": self.method,
+            "sensitivity": self.sensitivity,
+            "expected_error": self.expected_error,
+            "session": self.session,
+            "cache": {
+                "plan_hit": self.plan_cache_hit,
+                "sensitivity_hit": self.sensitivity_cache_hit,
+                "count_hit": self.count_cache_hit,
+            },
+            "deduplicated": self.deduplicated,
+            "remaining_budget": self.remaining_budget,
+        }
+
+
+class PrivateQueryService:
+    """Serve DP counting queries over registered databases.
+
+    Parameters
+    ----------
+    session_budget:
+        Default per-session ε budget.
+    total_budget:
+        Optional deployment-wide ε budget shared by all sessions (and by
+        sessionless requests).  ``None`` leaves only per-session limits.
+    cache_capacity:
+        Capacity of each cache (plan / profile / sensitivity / count).
+        ``0`` disables caching entirely — useful for benchmarking and for
+        validating that caching does not change results.
+    session_ttl:
+        Idle session lifetime in seconds (``None``: never expire).
+    rng:
+        numpy Generator or seed for all noise drawn by this service.  One
+        generator serves every request (guarded by a lock), so a seeded
+        service produces a reproducible release sequence.
+    strategy:
+        Evaluation strategy forwarded to the residual-sensitivity engine.
+
+    Examples
+    --------
+    >>> from repro.data import Database, DatabaseSchema
+    >>> schema = DatabaseSchema.from_arities({"R": 2})
+    >>> db = Database.from_rows(schema, R=[(1, 2), (2, 3)])
+    >>> service = PrivateQueryService(session_budget=2.0, rng=0)
+    >>> _ = service.register_database("toy", db)
+    >>> sid = service.create_session().session_id
+    >>> response = service.count("toy", "R(x, y)", epsilon=0.5, session=sid)
+    >>> response.epsilon
+    0.5
+    """
+
+    def __init__(
+        self,
+        *,
+        session_budget: float = 1.0,
+        total_budget: float | None = None,
+        cache_capacity: int = 256,
+        session_ttl: float | None = None,
+        rng: np.random.Generator | int | None = None,
+        strategy: str = "auto",
+    ):
+        shared = PrivacyAccountant(total_budget) if total_budget is not None else None
+        self._registry = DatabaseRegistry()
+        self._sessions = SessionManager(
+            session_budget, ttl=session_ttl, shared=shared
+        )
+        self._plan_cache = LRUCache(cache_capacity)
+        self._profile_cache = LRUCache(cache_capacity)
+        self._sensitivity_cache = LRUCache(cache_capacity)
+        self._count_cache = LRUCache(cache_capacity)
+        self._strategy = strategy
+        self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        # numpy Generators are not thread-safe; the batch executor funnels
+        # every noise draw through this lock.
+        self._rng_lock = threading.Lock()
+        self._requests_served = 0
+        self._stats_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Registry / sessions passthrough
+    # ------------------------------------------------------------------ #
+    @property
+    def registry(self) -> DatabaseRegistry:
+        """The database registry."""
+        return self._registry
+
+    @property
+    def sessions(self) -> SessionManager:
+        """The session manager (budgets, expiry, audit log)."""
+        return self._sessions
+
+    def register_database(
+        self, name: str, database: Database, *, replace: bool = False
+    ) -> RegisteredDatabase:
+        """Register (or with ``replace=True`` update) a named database."""
+        return self._registry.register(name, database, replace=replace)
+
+    def create_session(self, *, budget: float | None = None, session_id: str | None = None):
+        """Open a session with its own ε ledger; returns the session."""
+        return self._sessions.create(budget=budget, session_id=session_id)
+
+    def budget(self, session_id: str) -> dict[str, Any]:
+        """The budget view of a session (plus the shared budget, if any)."""
+        return self._sessions.describe(session_id)
+
+    # ------------------------------------------------------------------ #
+    # Planning and cached computation
+    # ------------------------------------------------------------------ #
+    def plan(self, query: ConjunctiveQuery | str) -> tuple[ConjunctiveQuery, str | None, bool]:
+        """``(parsed query, canonical shape key, plan-cache hit)``.
+
+        String queries are memoized on their raw text; query objects are
+        canonicalized directly (no text key to cache under).
+        """
+        if isinstance(query, ConjunctiveQuery):
+            return query, canonical_query_key(query), False
+        entry, hit = self._plan_cache.get_or_compute(
+            ("plan", query), lambda: self._build_plan(query)
+        )
+        return entry[0], entry[1], hit
+
+    @staticmethod
+    def _build_plan(text: str) -> tuple[ConjunctiveQuery, str | None]:
+        parsed = parse_query(text)
+        return parsed, canonical_query_key(parsed)
+
+    def _true_count(
+        self, reg: RegisteredDatabase, query: ConjunctiveQuery, key: str | None
+    ) -> tuple[int, bool]:
+        if key is None:
+            return count_query(query, reg.database), False
+        return self._count_cache.get_or_compute(
+            (reg.name, reg.version, key),
+            lambda: count_query(query, reg.database),
+        )
+
+    def _sensitivity(
+        self,
+        reg: RegisteredDatabase,
+        query: ConjunctiveQuery,
+        key: str | None,
+        method: str,
+        beta: float | None,
+    ) -> tuple[SensitivityResult, bool]:
+        """The (possibly cached) sensitivity the noise is calibrated to.
+
+        For the residual method the β-independent boundary-multiplicity
+        profile is cached separately, so a new ε on a known shape only pays
+        the (cheap) smoothing recombination, not the residual-query
+        evaluation.
+        """
+
+        def compute() -> SensitivityResult:
+            if method == "residual":
+                engine = ResidualSensitivity(query, beta=beta, strategy=self._strategy)
+                if key is None:
+                    return engine.compute(reg.database)
+                profile, _ = self._profile_cache.get_or_compute(
+                    (reg.name, reg.version, key),
+                    lambda: engine.multiplicities(reg.database),
+                )
+                return engine.compute(reg.database, multiplicities=profile)
+            # The other engines have no reusable sub-plan; delegate to the
+            # same dispatch the one-shot API uses.  epsilon only determines
+            # β here, which we pin via beta directly below.
+            probe = PrivateCountingQuery(
+                query,
+                epsilon=(beta * BETA_FRACTION) if beta is not None else 1.0,
+                method=method,  # type: ignore[arg-type]
+                strategy=self._strategy,
+            )
+            return probe.sensitivity(reg.database)
+
+        if key is None:
+            return compute(), False
+        return self._sensitivity_cache.get_or_compute(
+            (reg.name, reg.version, key, method, beta), compute
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def count(
+        self,
+        database: str,
+        query: ConjunctiveQuery | str,
+        epsilon: float,
+        *,
+        session: str | None = None,
+        method: str = "residual",
+    ) -> CountResponse:
+        """One ε-DP release of the query's count on a registered database.
+
+        Charges ``epsilon`` against the session's ledger (and the shared
+        budget, if configured) before any noise is drawn; raises
+        :class:`~repro.exceptions.PrivacyError` when either budget cannot
+        afford it, and :class:`ServiceError` for unknown databases/sessions.
+        """
+        if method not in _METHODS:
+            raise ServiceError(f"unknown calibration method {method!r}")
+        if not isinstance(epsilon, (int, float)) or not math.isfinite(epsilon) or epsilon <= 0:
+            raise ServiceError(f"epsilon must be positive and finite, got {epsilon}")
+        reg = self._registry.get(database)
+        # Advisory early rejection: don't pay for sensitivity computation on
+        # a request that can't possibly be charged (the authoritative,
+        # atomic check is the charge below).
+        self._sessions.precheck(session, epsilon)
+        parsed, key, plan_hit = self.plan(query)
+        beta = None if method == "global" else epsilon / BETA_FRACTION
+
+        sensitivity, sens_hit = self._sensitivity(reg, parsed, key, method, beta)
+        true_count, count_hit = self._true_count(reg, parsed, key)
+
+        label = key if key is not None else parsed.name
+        self._sessions.charge(session, epsilon, label=f"{database}:{label}")
+
+        with self._rng_lock:
+            releaser = PrivateCountingQuery(
+                parsed,
+                epsilon=epsilon,
+                method=method,  # type: ignore[arg-type]
+                rng=self._rng,
+                strategy=self._strategy,
+            )
+            release = releaser.release(
+                reg.database, true_count=true_count, sensitivity=sensitivity
+            )
+        with self._stats_lock:
+            self._requests_served += 1
+
+        remaining = None
+        if session is not None:
+            remaining = self._sessions.get(session).ledger.remaining
+        return CountResponse(
+            database=reg.name,
+            version=reg.version,
+            query_key=key,
+            noisy_count=release.noisy_count,
+            epsilon=epsilon,
+            method=method,
+            sensitivity=release.sensitivity,
+            expected_error=release.expected_error,
+            session=session,
+            plan_cache_hit=plan_hit,
+            sensitivity_cache_hit=sens_hit,
+            count_cache_hit=count_hit,
+            remaining_budget=remaining,
+        )
+
+    def batch(
+        self,
+        database: str,
+        requests,
+        *,
+        session: str | None = None,
+        epsilon_total: float | None = None,
+        max_workers: int = 4,
+    ):
+        """Answer a batch of requests (see :class:`~repro.service.executor.BatchExecutor`)."""
+        from repro.service.executor import BatchExecutor
+
+        executor = BatchExecutor(self, max_workers=max_workers)
+        return executor.run(
+            database, requests, session=session, epsilon_total=epsilon_total
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, Any]:
+        """A JSON-serialisable snapshot of the whole service."""
+        shared = self._sessions.shared
+        with self._stats_lock:
+            served = self._requests_served
+        return {
+            "requests_served": served,
+            "databases": self._registry.describe(),
+            "sessions": {
+                "active": self._sessions.active_ids(),
+                "default_budget": self._sessions.default_budget,
+                "ttl": self._sessions.ttl,
+            },
+            "shared_budget": (
+                None
+                if shared is None
+                else {
+                    "total": shared.total_budget,
+                    "spent": shared.spent,
+                    "remaining": shared.remaining,
+                }
+            ),
+            "caches": {
+                "plan": self._plan_cache.stats().to_dict(),
+                "profile": self._profile_cache.stats().to_dict(),
+                "sensitivity": self._sensitivity_cache.stats().to_dict(),
+                "count": self._count_cache.stats().to_dict(),
+            },
+            "audit": {
+                "records": len(self._sessions.audit),
+                "total_recorded": self._sessions.audit.total_recorded,
+            },
+        }
+
+    def clear_caches(self) -> None:
+        """Drop every cached plan, profile, sensitivity and count."""
+        for cache in (
+            self._plan_cache,
+            self._profile_cache,
+            self._sensitivity_cache,
+            self._count_cache,
+        ):
+            cache.clear()

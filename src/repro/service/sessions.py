@@ -1,0 +1,314 @@
+"""Per-session budget ledgers, session expiry and the audit log.
+
+Each client session owns a :class:`~repro.mechanisms.accountant.PrivacyAccountant`
+(its *ledger*).  The manager can additionally hold a *shared* accountant —
+the deployment-wide budget all sessions draw from — in which case a charge
+must fit in both: the session ledger is checked under the session's lock,
+then the shared accountant is charged (itself atomic), then the session
+ledger.  This ordering needs no refunds and guarantees that concurrent
+sessions can never jointly overspend the shared budget.
+
+Every charge attempt — granted or denied — is appended to a bounded
+:class:`AuditLog`, the record a deployment would reconcile against its DP
+disclosure policy.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import PrivacyError, ServiceError, UnknownResourceError
+from repro.mechanisms.accountant import PrivacyAccountant
+
+__all__ = ["AuditLog", "AuditRecord", "Session", "SessionManager"]
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One entry of the audit log."""
+
+    seq: int
+    session_id: str
+    action: str  # "create" | "charge" | "deny" | "close" | "expire"
+    epsilon: float
+    label: str
+    ok: bool
+    detail: str
+    timestamp: float
+
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-serialisable view."""
+        return {
+            "seq": self.seq,
+            "session": self.session_id,
+            "action": self.action,
+            "epsilon": self.epsilon,
+            "label": self.label,
+            "ok": self.ok,
+            "detail": self.detail,
+            "timestamp": self.timestamp,
+        }
+
+
+class AuditLog:
+    """A thread-safe, bounded, append-only audit trail."""
+
+    def __init__(self, max_records: int = 10_000):
+        if max_records <= 0:
+            raise ServiceError(f"max_records must be positive, got {max_records}")
+        self._max_records = max_records
+        self._lock = threading.RLock()
+        self._records: list[AuditRecord] = []
+        self._seq = itertools.count()
+        self._total = 0
+
+    def append(
+        self,
+        session_id: str,
+        action: str,
+        *,
+        epsilon: float = 0.0,
+        label: str = "",
+        ok: bool = True,
+        detail: str = "",
+    ) -> AuditRecord:
+        """Record an event; the oldest record is dropped when full."""
+        record = AuditRecord(
+            seq=next(self._seq),
+            session_id=session_id,
+            action=action,
+            epsilon=epsilon,
+            label=label,
+            ok=ok,
+            detail=detail,
+            timestamp=time.time(),
+        )
+        with self._lock:
+            self._records.append(record)
+            self._total += 1
+            if len(self._records) > self._max_records:
+                del self._records[: len(self._records) - self._max_records]
+        return record
+
+    def tail(self, n: int = 50) -> list[AuditRecord]:
+        """The most recent ``n`` records, oldest first."""
+        with self._lock:
+            return self._records[-n:] if n > 0 else []
+
+    @property
+    def total_recorded(self) -> int:
+        """Number of records ever appended (including dropped ones)."""
+        with self._lock:
+            return self._total
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+class Session:
+    """One client session: an id, a budget ledger and activity timestamps.
+
+    Instances are created by :class:`SessionManager`; charge through the
+    manager (or :meth:`charge`) rather than the raw ledger so the shared
+    budget and the audit log stay consistent.
+    """
+
+    def __init__(self, session_id: str, budget: float, created_at: float):
+        self.session_id = session_id
+        self.ledger = PrivacyAccountant(total_budget=budget)
+        self.created_at = created_at
+        self.last_active = created_at
+        self.closed = False
+        self.lock = threading.RLock()
+
+    @property
+    def budget(self) -> float:
+        """The session's total ε budget."""
+        return self.ledger.total_budget
+
+    def describe(self) -> dict[str, object]:
+        """A JSON-serialisable budget view."""
+        spent = self.ledger.spent
+        return {
+            "session": self.session_id,
+            "budget": self.ledger.total_budget,
+            "spent": spent,
+            "remaining": self.ledger.total_budget - spent,
+            "charges": len(self.ledger.charges),
+            "closed": self.closed,
+        }
+
+
+class SessionManager:
+    """Creates, expires and charges sessions.
+
+    Parameters
+    ----------
+    default_budget:
+        The per-session ε budget used when ``create`` is not given one.
+    ttl:
+        Idle lifetime in seconds; a session untouched for longer is expired
+        lazily on next access (and by :meth:`expire_idle`).  ``None`` means
+        sessions never expire.
+    shared:
+        Optional deployment-wide accountant every charge must also fit in.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        default_budget: float = 1.0,
+        *,
+        ttl: float | None = None,
+        shared: PrivacyAccountant | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        audit: AuditLog | None = None,
+    ):
+        if default_budget <= 0:
+            raise ServiceError(f"default_budget must be positive, got {default_budget}")
+        if ttl is not None and ttl <= 0:
+            raise ServiceError(f"ttl must be positive (or None), got {ttl}")
+        self.default_budget = default_budget
+        self.ttl = ttl
+        self.shared = shared
+        self.audit = audit if audit is not None else AuditLog()
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._sessions: dict[str, Session] = {}
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def create(self, *, budget: float | None = None, session_id: str | None = None) -> Session:
+        """A new session (fresh ledger); raises if the id is already live."""
+        budget = self.default_budget if budget is None else budget
+        if budget <= 0:
+            raise ServiceError(f"session budget must be positive, got {budget}")
+        session_id = session_id or uuid.uuid4().hex[:16]
+        with self._lock:
+            if session_id in self._sessions:
+                raise ServiceError(f"session {session_id!r} already exists")
+            session = Session(session_id, budget, created_at=self._clock())
+            self._sessions[session_id] = session
+        self.audit.append(session_id, "create", epsilon=budget, detail="session created")
+        return session
+
+    def get(self, session_id: str) -> Session:
+        """The live session (expiring it first if its TTL has lapsed)."""
+        self.expire_idle()
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise UnknownResourceError(f"unknown or expired session {session_id!r}")
+        return session
+
+    def close(self, session_id: str) -> None:
+        """Close and remove a session."""
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+        if session is None:
+            raise UnknownResourceError(f"unknown or expired session {session_id!r}")
+        session.closed = True
+        self.audit.append(session_id, "close", detail="session closed")
+
+    def expire_idle(self) -> list[str]:
+        """Expire (and return the ids of) sessions idle past the TTL."""
+        if self.ttl is None:
+            return []
+        now = self._clock()
+        expired: list[str] = []
+        with self._lock:
+            for session_id, session in list(self._sessions.items()):
+                if now - session.last_active > self.ttl:
+                    del self._sessions[session_id]
+                    session.closed = True
+                    expired.append(session_id)
+        for session_id in expired:
+            self.audit.append(session_id, "expire", detail="idle past ttl")
+        return expired
+
+    def active_ids(self) -> list[str]:
+        """Ids of live sessions (after lazily expiring idle ones)."""
+        self.expire_idle()
+        with self._lock:
+            return sorted(self._sessions)
+
+    # ------------------------------------------------------------------ #
+    # Charging
+    # ------------------------------------------------------------------ #
+    def precheck(self, session_id: str | None, epsilon: float) -> None:
+        """Cheaply reject a charge that cannot possibly succeed.
+
+        Non-atomic and advisory — :meth:`charge` remains the authoritative
+        check — but it lets the service refuse hopeless requests *before*
+        paying for sensitivity computation.  Denials are audited.
+        """
+        audit_id = session_id if session_id is not None else "-"
+        try:
+            if session_id is not None:
+                session = self.get(session_id)
+                if not session.ledger.can_afford(epsilon):
+                    raise PrivacyError(
+                        f"session budget exhausted: requested {epsilon}, "
+                        f"remaining {session.ledger.remaining}"
+                    )
+            if self.shared is not None and not self.shared.can_afford(epsilon):
+                raise PrivacyError(
+                    f"shared budget exhausted: requested {epsilon}, "
+                    f"remaining {self.shared.remaining}"
+                )
+        except PrivacyError as exc:
+            self.audit.append(
+                audit_id, "deny", epsilon=epsilon, ok=False, detail=str(exc)
+            )
+            raise
+
+    def charge(self, session_id: str | None, epsilon: float, label: str = "") -> None:
+        """Charge ``epsilon`` against the session *and* the shared budget.
+
+        ``session_id=None`` charges only the shared budget (anonymous,
+        ledger-less access — the CLI one-shot path).  Denials are audited and
+        re-raised as :class:`PrivacyError`.
+        """
+        audit_id = session_id if session_id is not None else "-"
+        try:
+            if session_id is None:
+                if self.shared is not None:
+                    self.shared.charge(epsilon, label=label)
+            else:
+                session = self.get(session_id)
+                with session.lock:
+                    # Verify the session ledger first (under its lock, so no
+                    # concurrent charge on the same session can interleave),
+                    # then charge the shared accountant (atomic), then the
+                    # ledger — which can no longer fail.  No refund path.
+                    if not session.ledger.can_afford(epsilon):
+                        raise PrivacyError(
+                            f"session budget exhausted: requested {epsilon}, "
+                            f"remaining {session.ledger.remaining}"
+                        )
+                    if self.shared is not None:
+                        self.shared.charge(epsilon, label=f"{session_id}:{label}")
+                    session.ledger.charge(epsilon, label=label)
+                    session.last_active = self._clock()
+        except PrivacyError as exc:
+            self.audit.append(
+                audit_id, "deny", epsilon=epsilon, label=label, ok=False, detail=str(exc)
+            )
+            raise
+        self.audit.append(audit_id, "charge", epsilon=epsilon, label=label)
+
+    def describe(self, session_id: str) -> dict[str, object]:
+        """The budget view of a session, plus the shared budget if any."""
+        view = self.get(session_id).describe()
+        if self.shared is not None:
+            view["shared_budget"] = self.shared.total_budget
+            view["shared_remaining"] = self.shared.remaining
+        return view

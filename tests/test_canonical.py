@@ -1,0 +1,96 @@
+"""Tests for the query canonicalization behind the serving-layer caches."""
+
+from __future__ import annotations
+
+from repro.engine.canonical import canonical_query_key, canonical_variable_order
+from repro.query.atoms import Atom, Variable
+from repro.query.cq import ConjunctiveQuery
+from repro.query.parser import parse_query
+from repro.query.predicates import GenericPredicate
+
+
+def key(text: str) -> str | None:
+    return canonical_query_key(parse_query(text))
+
+
+class TestRenamingInvariance:
+    def test_variable_names_do_not_matter(self):
+        assert key("R(x, y), S(y, z)") == key("R(a, b), S(b, c)")
+
+    def test_join_structure_matters(self):
+        # Path join vs. star join — different shapes, different keys.
+        assert key("R(x, y), S(y, z)") != key("R(x, y), S(x, z)")
+
+    def test_relation_names_matter(self):
+        assert key("R(x, y), S(y, z)") != key("R(x, y), R(y, z)")
+
+    def test_repeated_variable_pattern_matters(self):
+        assert key("R(x, x)") != key("R(x, y)")
+
+    def test_atom_order_is_preserved(self):
+        # Conservative canonicalization: re-ordered atoms may get a new key
+        # (a cache miss), but renamings never do.
+        assert key("R(x, y), S(y, z)") != key("S(y, z), R(x, y)")
+
+
+class TestPredicates:
+    def test_inequality_is_symmetric(self):
+        assert key("R(x, y), x != y") == key("R(x, y), y != x")
+
+    def test_comparison_orientation_is_normalised(self):
+        assert key("R(x, y), x < y") == key("R(a, b), b > a")
+        assert key("R(x, y), x <= y") == key("R(a, b), b >= a")
+
+    def test_predicate_changes_key(self):
+        assert key("R(x, y)") != key("R(x, y), x != y")
+        assert key("R(x, y), x < y") != key("R(x, y), x <= y")
+
+    def test_predicate_order_is_irrelevant(self):
+        a = key("R(x, y), S(y, z), x != y, y != z")
+        b = key("R(x, y), S(y, z), y != z, x != y")
+        assert a == b
+
+    def test_generic_predicate_is_uncacheable(self):
+        query = ConjunctiveQuery(
+            [Atom("R", ["x", "y"])],
+            predicates=[GenericPredicate(lambda x: x > 0, ["x"])],
+        )
+        assert canonical_query_key(query) is None
+
+
+class TestConstantsAndProjection:
+    def test_constants_are_part_of_the_key(self):
+        assert key("R(x, 1)") != key("R(x, 2)")
+        assert key("R(x, 1)") != key("R(x, y)")
+
+    def test_constant_type_distinguishes(self):
+        a = ConjunctiveQuery([Atom("R", [Variable("x"), 1])])
+        b = ConjunctiveQuery([Atom("R", [Variable("x"), "y"])])
+        assert canonical_query_key(a) != canonical_query_key(b)
+
+    def test_projection_changes_key(self):
+        full = parse_query("R(x, y), S(y, z)")
+        projected = full.with_projection(["x"])
+        assert canonical_query_key(full) != canonical_query_key(projected)
+
+    def test_projection_is_rename_invariant(self):
+        a = parse_query("R(x, y), S(y, z)").with_projection(["x", "z"])
+        b = parse_query("R(u, v), S(v, w)").with_projection(["w", "u"])
+        assert canonical_query_key(a) == canonical_query_key(b)
+
+    def test_explicit_full_projection_equals_full(self):
+        full = parse_query("R(x, y)")
+        explicit = full.with_projection(["x", "y"])
+        assert canonical_query_key(full) == canonical_query_key(explicit)
+
+
+class TestVariableOrder:
+    def test_first_appearance_numbering(self):
+        query = parse_query("R(b, a), S(a, c)")
+        names = canonical_variable_order(query)
+        assert names[Variable("b")] == "v0"
+        assert names[Variable("a")] == "v1"
+        assert names[Variable("c")] == "v2"
+
+    def test_key_is_a_string(self):
+        assert isinstance(key("R(x, y)"), str)

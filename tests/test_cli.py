@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -99,3 +101,168 @@ class TestCommands:
     def test_scaling_command(self, capsys):
         assert main(["scaling", "--sizes", "30", "40"]) == 0
         assert "nodes" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_count_json(self, edge_file, capsys):
+        code = main(
+            [
+                "count",
+                "--edge-file",
+                str(edge_file),
+                "--query",
+                "Edge(x, y)",
+                "--epsilon",
+                "1.0",
+                "--seed",
+                "0",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {
+            "noisy_count",
+            "method",
+            "epsilon",
+            "sensitivity",
+            "expected_error",
+        }
+        assert payload["method"] == "residual"
+        assert payload["epsilon"] == 1.0
+
+    def test_sensitivity_json(self, edge_file, capsys):
+        code = main(
+            [
+                "sensitivity",
+                "--edge-file",
+                str(edge_file),
+                "--query",
+                "Edge(x, y), Edge(y, z)",
+                "--beta",
+                "0.2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"beta", "residual", "elastic", "global_agm"}
+        assert payload["beta"] == 0.2
+        assert payload["residual"] > 0
+        assert payload["elastic"] > 0
+
+
+class TestBatchCommand:
+    @pytest.fixture
+    def requests_file(self, tmp_path):
+        path = tmp_path / "requests.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {"query": "Edge(x, y), Edge(y, z)", "epsilon": 0.25},
+                    {"query": "Edge(a, b), Edge(b, c)", "epsilon": 0.25},
+                    {"query": "Edge(x, y)", "epsilon": 0.25},
+                ]
+            )
+        )
+        return path
+
+    def test_batch_text_output(self, edge_file, requests_file, capsys):
+        code = main(
+            [
+                "batch",
+                "--edge-file",
+                str(edge_file),
+                "--requests",
+                str(requests_file),
+                "--seed",
+                "0",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "2 distinct shapes" in output
+        assert "1 deduplicated" in output
+
+    def test_batch_json_output(self, edge_file, requests_file, capsys):
+        code = main(
+            [
+                "batch",
+                "--edge-file",
+                str(edge_file),
+                "--requests",
+                str(requests_file),
+                "--seed",
+                "0",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["groups"] == 2
+        assert payload["deduplicated"] == 1
+        assert len(payload["items"]) == 3
+
+    def test_batch_epsilon_total(self, edge_file, tmp_path, capsys):
+        path = tmp_path / "requests.json"
+        path.write_text(
+            json.dumps({"requests": [{"query": "Edge(x, y)"}], "epsilon_total": 0.5})
+        )
+        code = main(
+            ["batch", "--edge-file", str(edge_file), "--requests", str(path), "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["epsilon_per_group"] == 0.5
+
+    def test_batch_bad_file(self, edge_file, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        code = main(["batch", "--edge-file", str(edge_file), "--requests", str(path)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_batch_missing_file(self, edge_file, tmp_path, capsys):
+        code = main(
+            [
+                "batch",
+                "--edge-file",
+                str(edge_file),
+                "--requests",
+                str(tmp_path / "does-not-exist.json"),
+            ]
+        )
+        assert code == 2
+        assert "cannot read batch request file" in capsys.readouterr().err
+
+    def test_batch_without_budgets_fails(self, edge_file, tmp_path, capsys):
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps([{"query": "Edge(x, y)"}]))
+        code = main(["batch", "--edge-file", str(edge_file), "--requests", str(path)])
+        assert code == 2
+        assert "budget" in capsys.readouterr().err
+
+
+class TestServeParser:
+    def test_serve_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--dataset",
+                "GrQc",
+                "--port",
+                "0",
+                "--session-budget",
+                "2.0",
+                "--total-budget",
+                "10.0",
+                "--cache-capacity",
+                "64",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.session_budget == 2.0
+        assert args.total_budget == 10.0
+        assert args.cache_capacity == 64

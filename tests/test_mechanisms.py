@@ -173,3 +173,38 @@ class TestPrivacyAccountant:
     def test_invalid_budget(self):
         with pytest.raises(PrivacyError):
             PrivacyAccountant(total_budget=0.0)
+
+    def test_reset_restores_full_budget(self):
+        accountant = PrivacyAccountant(total_budget=1.0)
+        accountant.charge(0.75, label="q1")
+        accountant.reset()
+        assert accountant.spent == 0.0
+        assert accountant.remaining == pytest.approx(1.0)
+        accountant.charge(1.0)  # affordable again
+
+    def test_concurrent_charges_never_overspend(self):
+        import threading
+
+        accountant = PrivacyAccountant(total_budget=1.0)
+        granted = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            for _ in range(10):
+                try:
+                    accountant.charge(0.05)
+                    granted.append(1)
+                except PrivacyError:
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Exactly 20 charges of 0.05 fit in a budget of 1.0, no matter the
+        # interleaving of the 8 threads.
+        assert len(granted) == 20
+        assert accountant.spent == pytest.approx(1.0)
+        assert len(accountant.charges) == 20

@@ -1,0 +1,202 @@
+"""End-to-end tests of the JSON-over-HTTP API on an ephemeral port."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.api import make_server
+from repro.service.service import PrivateQueryService
+
+
+@pytest.fixture
+def server_url():
+    service = PrivateQueryService(session_budget=5.0, rng=11)
+    server = make_server(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def post(url: str, payload: dict) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def get(url: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+K4_EDGES = [[a, b] for a in range(4) for b in range(4) if a != b]
+
+
+class TestEndpoints:
+    def test_register_count_budget_stats_roundtrip(self, server_url):
+        status, body = post(f"{server_url}/register", {"name": "k4", "edges": K4_EDGES})
+        assert status == 200
+        assert body["name"] == "k4"
+        assert body["version"] == 1
+
+        status, session = post(f"{server_url}/budget", {"budget": 2.0})
+        assert status == 200
+        sid = session["session"]
+
+        status, release = post(
+            f"{server_url}/count",
+            {
+                "database": "k4",
+                "query": "Edge(x, y), Edge(y, z), Edge(x, z), x != y, y != z, x != z",
+                "epsilon": 0.5,
+                "session": sid,
+            },
+        )
+        assert status == 200
+        assert isinstance(release["noisy_count"], float)
+        assert release["remaining_budget"] == pytest.approx(1.5)
+
+        status, budget = get(f"{server_url}/budget?session={sid}")
+        assert status == 200
+        assert budget["spent"] == pytest.approx(0.5)
+
+        status, stats = get(f"{server_url}/stats")
+        assert status == 200
+        assert stats["requests_served"] == 1
+        assert "k4" in stats["databases"]
+
+    def test_batch_endpoint_deduplicates(self, server_url):
+        post(f"{server_url}/register", {"name": "k4", "edges": K4_EDGES})
+        status, result = post(
+            f"{server_url}/batch",
+            {
+                "database": "k4",
+                "requests": [
+                    {"query": "Edge(x, y), Edge(y, z)"},
+                    {"query": "Edge(a, b), Edge(b, c)"},
+                    {"query": "Edge(x, y)"},
+                ],
+                "epsilon_total": 1.0,
+            },
+        )
+        assert status == 200
+        assert result["groups"] == 2
+        assert result["deduplicated"] == 1
+        assert result["items"][0]["result"]["noisy_count"] == (
+            result["items"][1]["result"]["noisy_count"]
+        )
+
+    def test_register_from_surrogate_dataset(self, server_url):
+        status, body = post(
+            f"{server_url}/register",
+            {"name": "grqc", "dataset": "GrQc", "scale": 0.01},
+        )
+        assert status == 200
+        assert body["private_tuples"] > 0
+
+
+class TestErrorMapping:
+    def test_unknown_endpoint_404(self, server_url):
+        status, body = get(f"{server_url}/nope")
+        assert status == 404
+        assert "error" in body
+
+    def test_unknown_database_404(self, server_url):
+        status, body = post(
+            f"{server_url}/count",
+            {"database": "missing", "query": "Edge(x, y)", "epsilon": 0.5},
+        )
+        assert status == 404
+        assert "unknown database" in body["error"]
+
+    def test_malformed_body_400(self, server_url):
+        request = urllib.request.Request(
+            f"{server_url}/count", data=b"not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+
+    def test_missing_fields_400(self, server_url):
+        status, body = post(f"{server_url}/count", {"database": "x"})
+        assert status == 400
+        assert "query" in body["error"]
+
+    def test_bad_query_400(self, server_url):
+        post(f"{server_url}/register", {"name": "k4", "edges": K4_EDGES})
+        status, body = post(
+            f"{server_url}/count",
+            {"database": "k4", "query": "Edge(x,", "epsilon": 0.5},
+        )
+        assert status == 400
+
+    def test_budget_exhaustion_403(self, server_url):
+        post(f"{server_url}/register", {"name": "k4", "edges": K4_EDGES})
+        _, session = post(f"{server_url}/budget", {"budget": 0.4})
+        sid = session["session"]
+        payload = {
+            "database": "k4",
+            "query": "Edge(x, y)",
+            "epsilon": 0.3,
+            "session": sid,
+        }
+        status, _ = post(f"{server_url}/count", payload)
+        assert status == 200
+        status, body = post(f"{server_url}/count", payload)
+        assert status == 403
+        assert "budget" in body["error"]
+
+    def test_budget_get_requires_session_param(self, server_url):
+        status, body = get(f"{server_url}/budget")
+        assert status == 400
+        assert "session" in body["error"]
+
+    def test_unknown_session_404(self, server_url):
+        status, _ = get(f"{server_url}/budget?session=missing")
+        assert status == 404
+
+    def test_unknown_method_is_400_not_404(self, server_url):
+        post(f"{server_url}/register", {"name": "k4", "edges": K4_EDGES})
+        status, body = post(
+            f"{server_url}/count",
+            {"database": "k4", "query": "Edge(x, y)", "epsilon": 0.5, "method": "bogus"},
+        )
+        assert status == 400
+        assert "method" in body["error"]
+
+    def test_non_numeric_epsilon_is_400(self, server_url):
+        post(f"{server_url}/register", {"name": "k4", "edges": K4_EDGES})
+        status, body = post(
+            f"{server_url}/count",
+            {"database": "k4", "query": "Edge(x, y)", "epsilon": "abc"},
+        )
+        assert status == 400
+        assert "epsilon" in body["error"]
+
+    def test_negative_epsilon_is_400(self, server_url):
+        post(f"{server_url}/register", {"name": "k4", "edges": K4_EDGES})
+        status, body = post(
+            f"{server_url}/count",
+            {"database": "k4", "query": "Edge(x, y)", "epsilon": -1.0},
+        )
+        assert status == 400
+        assert "epsilon must be positive" in body["error"]

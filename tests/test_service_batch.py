@@ -1,0 +1,161 @@
+"""Tests for the batch executor: dedup, budget splitting, failure isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.schema import DatabaseSchema
+from repro.exceptions import ServiceError
+from repro.service.executor import BatchExecutor, BatchRequest
+from repro.service.service import PrivateQueryService
+
+
+@pytest.fixture
+def service():
+    schema = DatabaseSchema.from_arities({"R": 2, "S": 2})
+    db = Database.from_rows(
+        schema,
+        R=[(1, 2), (2, 3), (3, 4), (4, 1)],
+        S=[(2, 7), (3, 7)],
+    )
+    svc = PrivateQueryService(session_budget=10.0, rng=7)
+    svc.register_database("toy", db)
+    return svc
+
+
+class TestDeduplication:
+    def test_duplicates_share_answer_and_charge(self, service):
+        session = service.create_session(budget=1.0)
+        result = service.batch(
+            "toy",
+            [
+                {"query": "R(x, y), S(y, z)", "epsilon": 0.25},
+                {"query": "R(a, b), S(b, c)", "epsilon": 0.25},  # renamed dup
+                {"query": "R(x, y)", "epsilon": 0.25},
+            ],
+            session=session.session_id,
+        )
+        assert result.groups == 2
+        assert result.deduplicated == 1
+        assert result.epsilon_charged == pytest.approx(0.5)
+        first, second, third = result.items
+        assert not first.deduplicated and second.deduplicated
+        assert second.response.noisy_count == first.response.noisy_count
+        assert third.group != first.group
+        # Only the two distinct shapes were charged to the session.
+        assert service.budget(session.session_id)["spent"] == pytest.approx(0.5)
+
+    def test_same_shape_different_epsilon_not_deduplicated(self, service):
+        result = service.batch(
+            "toy",
+            [
+                {"query": "R(x, y)", "epsilon": 0.2},
+                {"query": "R(x, y)", "epsilon": 0.4},
+            ],
+        )
+        assert result.groups == 2
+        assert result.deduplicated == 0
+
+    def test_same_shape_different_method_not_deduplicated(self, service):
+        result = service.batch(
+            "toy",
+            [
+                {"query": "R(x, y)", "epsilon": 0.2, "method": "residual"},
+                {"query": "R(x, y)", "epsilon": 0.2, "method": "elastic"},
+            ],
+        )
+        assert result.groups == 2
+        assert result.deduplicated == 0
+
+
+class TestBudgetSplitting:
+    def test_epsilon_total_split_over_distinct_shapes(self, service):
+        session = service.create_session(budget=1.0)
+        result = service.batch(
+            "toy",
+            [
+                {"query": "R(x, y), S(y, z)"},
+                {"query": "R(u, v), S(v, w)"},  # dup of the first
+                {"query": "R(x, y)"},
+            ],
+            session=session.session_id,
+            epsilon_total=1.0,
+        )
+        assert result.groups == 2
+        assert result.epsilon_per_group == pytest.approx(0.5)
+        assert result.epsilon_charged == pytest.approx(1.0)
+        assert all(item.ok for item in result.items)
+
+    def test_mixing_epsilons_and_total_rejected(self, service):
+        with pytest.raises(ServiceError):
+            service.batch(
+                "toy",
+                [{"query": "R(x, y)", "epsilon": 0.5}],
+                epsilon_total=1.0,
+            )
+
+    def test_missing_epsilon_rejected(self, service):
+        with pytest.raises(ServiceError):
+            service.batch("toy", [{"query": "R(x, y)"}])
+
+    def test_empty_batch_rejected(self, service):
+        with pytest.raises(ServiceError):
+            service.batch("toy", [])
+
+
+class TestFailureIsolation:
+    def test_budget_exhaustion_fails_only_some_items(self, service):
+        session = service.create_session(budget=0.3)
+        result = service.batch(
+            "toy",
+            [
+                {"query": "R(x, y)", "epsilon": 0.25},
+                {"query": "R(x, y), S(y, z)", "epsilon": 0.25},
+            ],
+            session=session.session_id,
+            max_workers=1,  # deterministic order: first group charges first
+        )
+        assert not result.ok
+        outcomes = [item.ok for item in result.items]
+        assert outcomes.count(True) == 1
+        failed = next(item for item in result.items if not item.ok)
+        assert "budget" in failed.error
+
+    def test_invalid_query_is_a_service_error(self, service):
+        with pytest.raises(Exception):
+            service.batch("toy", [{"query": "R(x,", "epsilon": 0.1}])
+
+    def test_unknown_request_field_rejected(self):
+        with pytest.raises(ServiceError):
+            BatchRequest.from_mapping({"query": "R(x, y)", "bogus": 1})
+
+    def test_missing_query_rejected(self):
+        with pytest.raises(ServiceError):
+            BatchRequest.from_mapping({"epsilon": 0.5})
+
+
+class TestConcurrency:
+    def test_many_workers_match_sequential_totals(self, service):
+        requests = [{"query": "R(x, y)", "epsilon": 0.01} for _ in range(10)]
+        # 10 identical requests: one group, one charge, nine shared answers.
+        result = service.batch("toy", requests, max_workers=8)
+        assert result.groups == 1
+        assert result.deduplicated == 9
+        values = {item.response.noisy_count for item in result.items}
+        assert len(values) == 1
+
+    def test_distinct_shapes_run_concurrently(self, service):
+        requests = [
+            {"query": "R(x, y)", "epsilon": 0.05},
+            {"query": "R(x, y), S(y, z)", "epsilon": 0.05},
+            {"query": "R(x, y), R(y, z)", "epsilon": 0.05},
+            {"query": "S(x, y)", "epsilon": 0.05},
+        ]
+        result = service.batch("toy", requests, max_workers=4)
+        assert result.ok
+        assert result.groups == 4
+
+    def test_executor_rejects_bad_workers(self, service):
+        with pytest.raises(ServiceError):
+            BatchExecutor(service, max_workers=0)
