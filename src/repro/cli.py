@@ -31,17 +31,20 @@ Installed as ``repro-dp`` (see ``pyproject.toml``).  Sub-commands:
     once, charged once) and sensitivities are computed concurrently.
 
 ``count`` and ``sensitivity`` accept ``--json`` to emit machine-readable
-output instead of the human-readable text.
+output instead of the human-readable text.  ``count``, ``sensitivity``,
+``serve`` and ``batch`` accept ``--backend {python,numpy}`` to pick the
+execution backend (see ``docs/backends.md``); every output reports which
+backend ran.
 
 Examples
 --------
 ::
 
     repro-dp count --dataset GrQc --query "Edge(x,y), Edge(y,z), Edge(x,z), x != y, y != z, x != z" --epsilon 1.0
-    repro-dp count --dataset GrQc --query "Edge(x, y)" --epsilon 0.5 --json
+    repro-dp count --dataset GrQc --query "Edge(x, y)" --epsilon 0.5 --json --backend numpy
     repro-dp table1 --datasets GrQc HepTh --queries q_triangle q_3star
     repro-dp generate --dataset CondMat --output condmat_surrogate.txt
-    repro-dp serve --dataset GrQc --name grqc --port 8080 --session-budget 2.0
+    repro-dp serve --dataset GrQc --name grqc --port 8080 --session-budget 2.0 --backend numpy
     repro-dp batch --dataset GrQc --requests workload.json --epsilon-total 1.0
 """
 
@@ -54,6 +57,7 @@ from typing import Sequence
 
 from repro.data.database import Database
 from repro.datasets.snap_surrogates import available_datasets, surrogate_database
+from repro.engine.backend import available_backends, get_backend
 from repro.exceptions import ReproError
 from repro.experiments.example3 import format_example3, run_example3
 from repro.experiments.figure3 import Figure3Config, format_figure3, run_figure3
@@ -90,6 +94,16 @@ def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=None, help="surrogate scale factor")
 
 
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="execution backend (default: python, or $REPRO_BACKEND); "
+        "backends produce identical results and differ only in speed",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -110,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     count.add_argument("--seed", type=int, default=None, help="noise seed (for reproducibility)")
     count.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    _add_backend_argument(count)
 
     sensitivity = subparsers.add_parser(
         "sensitivity", help="print sensitivities of a query without releasing a count"
@@ -118,6 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
     sensitivity.add_argument("--query", required=True, help="query in the datalog-style syntax")
     sensitivity.add_argument("--beta", type=float, default=0.1, help="smoothing parameter")
     sensitivity.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    _add_backend_argument(sensitivity)
 
     table1 = subparsers.add_parser("table1", help="reproduce Table 1")
     table1.add_argument("--datasets", nargs="*", default=[], choices=available_datasets())
@@ -173,6 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--seed", type=int, default=None, help="noise seed (tests only)")
     serve.add_argument("--log-requests", action="store_true", help="log HTTP requests to stderr")
+    _add_backend_argument(serve)
 
     batch = subparsers.add_parser(
         "batch", help="answer a JSON file of (query, epsilon) requests in one shot"
@@ -199,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--max-workers", type=int, default=4, help="concurrent sensitivity workers")
     batch.add_argument("--seed", type=int, default=None, help="noise seed (for reproducibility)")
     batch.add_argument("--json", action="store_true", help="emit the full JSON batch result")
+    _add_backend_argument(batch)
 
     return parser
 
@@ -219,7 +237,11 @@ def _dispatch(args: argparse.Namespace) -> int:
         database = _load_database(args)
         query = parse_query(args.query)
         releaser = PrivateCountingQuery(
-            query, epsilon=args.epsilon, method=args.method, rng=args.seed
+            query,
+            epsilon=args.epsilon,
+            method=args.method,
+            rng=args.seed,
+            backend=args.backend,
         )
         release = releaser.release(database)
         if args.json:
@@ -228,6 +250,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                     {
                         "noisy_count": release.noisy_count,
                         "method": release.method,
+                        "backend": release.backend,
                         "epsilon": release.epsilon,
                         "sensitivity": release.sensitivity,
                         "expected_error": release.expected_error,
@@ -237,6 +260,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             return 0
         print(f"noisy count : {release.noisy_count:.2f}")
         print(f"method      : {release.method}")
+        print(f"backend     : {release.backend}")
         print(f"epsilon     : {release.epsilon}")
         print(f"expected err: {release.expected_error:.2f}")
         return 0
@@ -244,7 +268,8 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "sensitivity":
         database = _load_database(args)
         query = parse_query(args.query)
-        residual = ResidualSensitivity(query, beta=args.beta).compute(database)
+        backend = get_backend(args.backend).name
+        residual = ResidualSensitivity(query, beta=args.beta, backend=backend).compute(database)
         elastic = ElasticSensitivity(query, beta=args.beta).compute(database)
         global_bound = GlobalSensitivityBound(query).compute(database)
         if args.json:
@@ -252,6 +277,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 json.dumps(
                     {
                         "beta": args.beta,
+                        "backend": backend,
                         "residual": residual.value,
                         "elastic": elastic.value,
                         "global_agm": global_bound.value,
@@ -262,6 +288,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(f"residual sensitivity : {residual.value:.2f}")
         print(f"elastic sensitivity  : {elastic.value:.2f}")
         print(f"global bound (AGM)   : {global_bound.value:.2f}")
+        print(f"backend              : {backend}")
         return 0
 
     if args.command == "serve":
@@ -335,7 +362,9 @@ def _build_service(args: argparse.Namespace, **service_kwargs) -> "PrivateQueryS
 
     service = PrivateQueryService(**service_kwargs)
     name = getattr(args, "name", None) or getattr(args, "dataset", None) or "default"
-    service.register_database(name, _load_database(args))
+    service.register_database(
+        name, _load_database(args), backend=getattr(args, "backend", None)
+    )
     return service
 
 
@@ -353,7 +382,11 @@ def _run_serve(args: argparse.Namespace) -> int:
     server = make_server(service, args.host, args.port, log_requests=args.log_requests)
     host, port = server.server_address[:2]
     name = service.registry.names()[0]
-    print(f"serving database {name!r} on http://{host}:{port}  (Ctrl-C to stop)")
+    backend = service.registry.get(name).backend
+    print(
+        f"serving database {name!r} (backend {backend}) on http://{host}:{port}  "
+        "(Ctrl-C to stop)"
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive
@@ -429,7 +462,8 @@ def _run_batch(args: argparse.Namespace) -> int:
             print(f"[{item.index}] error: {item.error}")
     print(
         f"{len(result.items)} requests, {result.groups} distinct shapes, "
-        f"{result.deduplicated} deduplicated, epsilon charged {result.epsilon_charged:.4f}"
+        f"{result.deduplicated} deduplicated, epsilon charged {result.epsilon_charged:.4f}, "
+        f"backend {service.registry.get(name).backend}"
     )
     return 0 if result.ok else 2
 

@@ -7,7 +7,9 @@ needs directly:
 
 * hash indexes on attribute subsets (built lazily, invalidated on mutation),
 * maximum frequencies ``mf(x, R)`` over attribute subsets, which are the
-  building block of elastic sensitivity (Section 4.4), and
+  building block of elastic sensitivity (Section 4.4),
+* a columnar snapshot (:meth:`Relation.to_columns`) consumed by the
+  vectorized NumPy execution backend, and
 * projection / selection helpers used by tests and data loading.
 
 Set semantics matches the paper: duplicate insertions are no-ops and the
@@ -33,6 +35,7 @@ class Relation:
         self._schema = schema
         self._rows: set[tuple] = set()
         self._indexes: dict[tuple[int, ...], dict[tuple, list[tuple]]] = {}
+        self._columns: tuple | None = None
         self._version = 0
         if rows is not None:
             for row in rows:
@@ -114,6 +117,7 @@ class Relation:
     def _bump(self) -> None:
         self._version += 1
         self._indexes.clear()
+        self._columns = None
 
     # ------------------------------------------------------------------ #
     # Copying and comparison
@@ -186,6 +190,35 @@ class Relation:
         key = tuple(positions)
         counts: Counter = Counter(tuple(row[p] for p in key) for row in self._rows)
         return dict(counts)
+
+    def to_columns(self) -> tuple:
+        """A columnar snapshot: one NumPy array per attribute.
+
+        Columns whose values are all Python ints become ``int64`` arrays (the
+        fast path of the NumPy execution backend); anything else becomes an
+        ``object`` array.  Row order is unspecified but consistent across the
+        columns of one snapshot, and the snapshot is cached until the relation
+        is mutated.
+        """
+        if self._columns is not None:
+            return self._columns
+        import numpy as np
+
+        rows = list(self._rows)
+        columns = []
+        for position in range(self.arity):
+            values = [row[position] for row in rows]
+            if all(type(v) is int for v in values):
+                try:
+                    columns.append(np.array(values, dtype=np.int64))
+                    continue
+                except OverflowError:
+                    pass
+            column = np.empty(len(values), dtype=object)
+            column[:] = values
+            columns.append(column)
+        self._columns = tuple(columns)
+        return self._columns
 
     def active_domain(self, position: int | None = None) -> set:
         """Values appearing in the instance (at ``position``, or anywhere)."""

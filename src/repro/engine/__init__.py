@@ -11,6 +11,12 @@ It provides two complementary strategies:
   polynomial time for bounded-width residuals, applying each predicate in
   the first joined factor that contains all of its variables.
 
+Both are wrapped by the pluggable execution backends of
+:mod:`repro.engine.backend`: the dict-based ``"python"`` backend and the
+vectorized columnar ``"numpy"`` backend (:mod:`repro.engine.columnar`),
+which produce identical results and differ only in speed.  See
+``docs/backends.md``.
+
 On top of these, :mod:`repro.engine.aggregates` computes the boundary
 multiplicities ``T_E(I)`` of residual queries (the building block of residual
 sensitivity), :mod:`repro.engine.agm` computes AGM bounds via the fractional
@@ -22,19 +28,35 @@ for the serving layer's plan and sensitivity caches.
 
 from repro.engine.aggregates import MultiplicityResult, boundary_multiplicity
 from repro.engine.agm import AGMBound, fractional_edge_cover
+from repro.engine.backend import (
+    ExecutionBackend,
+    NumpyBackend,
+    PythonBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+)
 from repro.engine.canonical import canonical_query_key
 from repro.engine.evaluation import count_query, evaluate_query
 from repro.engine.join import count_assignments, group_counts, iterate_assignments
 
 __all__ = [
     "AGMBound",
+    "ExecutionBackend",
     "MultiplicityResult",
+    "NumpyBackend",
+    "PythonBackend",
+    "available_backends",
     "boundary_multiplicity",
     "canonical_query_key",
     "count_assignments",
     "count_query",
+    "default_backend_name",
     "evaluate_query",
     "fractional_edge_cover",
+    "get_backend",
     "group_counts",
     "iterate_assignments",
+    "register_backend",
 ]

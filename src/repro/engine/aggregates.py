@@ -38,8 +38,8 @@ from typing import Iterable, Sequence
 
 from repro.data.database import Database
 from repro.engine import join as join_engine
+from repro.engine.backend import ExecutionBackend, get_backend
 from repro.engine.domains import augmented_active_domain
-from repro.engine.elimination import eliminate_group_counts
 from repro.exceptions import EvaluationError
 from repro.query.atoms import Variable
 from repro.query.cq import ConjunctiveQuery
@@ -133,9 +133,10 @@ def _eliminate_counts(
     group_vars: tuple[Variable, ...],
     distinct_on: tuple[Variable, ...] | None,
     predicates: Sequence[Predicate],
+    backend: ExecutionBackend,
 ) -> tuple[dict[tuple, int], tuple[Predicate, ...]]:
     if distinct_on is None:
-        result = eliminate_group_counts(
+        result = backend.eliminate_group_counts(
             query,
             database,
             group_vars,
@@ -144,7 +145,7 @@ def _eliminate_counts(
         )
         return result.counts, result.dropped_predicates
     extended_group = group_vars + tuple(v for v in distinct_on if v not in group_vars)
-    result = eliminate_group_counts(
+    result = backend.eliminate_group_counts(
         query,
         database,
         extended_group,
@@ -235,6 +236,7 @@ def boundary_multiplicity(
     *,
     strategy: str = "auto",
     max_enumeration: int | None = DEFAULT_MAX_ENUMERATION,
+    backend: str | ExecutionBackend | None = None,
 ) -> MultiplicityResult:
     """Compute ``T_E(I)`` for the residual query on ``kept_atoms``.
 
@@ -253,11 +255,17 @@ def boundary_multiplicity(
     max_enumeration:
         Step cap for the exact enumeration strategy / fallback; ``None``
         disables the cap.
+    backend:
+        Execution backend (name, instance or ``None`` for the process
+        default) used for the elimination-based group counting.  The exact
+        enumeration and Section 5.2 domain-ranging fallbacks always run on
+        the Python engine; backends produce identical values either way.
 
     Returns
     -------
     MultiplicityResult
     """
+    exec_backend = get_backend(backend)
     residual = residual_query(query, kept_atoms)
     if residual.is_empty:
         return MultiplicityResult(
@@ -287,6 +295,7 @@ def boundary_multiplicity(
                     component,
                     strategy=strategy,
                     max_enumeration=max_enumeration,
+                    backend=exec_backend,
                 )
                 value *= part.value
                 exact = exact and part.exact
@@ -354,7 +363,7 @@ def boundary_multiplicity(
         )
 
     counts, dropped = _eliminate_counts(
-        query, database, residual, group_vars, distinct_on, inside_preds
+        query, database, residual, group_vars, distinct_on, inside_preds, exec_backend
     )
     value, witness = _max_entry(counts)
     eliminate_result = MultiplicityResult(

@@ -1,0 +1,529 @@
+"""Vectorized columnar bucket elimination (the NumPy execution backend).
+
+This module re-implements :func:`repro.engine.elimination.eliminate_group_counts`
+on top of NumPy arrays instead of Python dictionaries.  Relations are read
+through :meth:`repro.data.relation.Relation.to_columns` (one array per
+attribute), intermediate results are :class:`ArrayFactor` objects — count
+annotations over value columns — and the three primitive operations of bucket
+elimination are all vectorized:
+
+* **hash join** — join keys are *factorized* into dense ``int64`` codes with
+  ``np.unique`` over the concatenated key columns of both sides, then matched
+  with ``np.argsort``/``np.searchsorted`` and expanded with ``np.repeat``
+  (a sort-merge join over the factorized codes);
+* **group-by aggregation** (summing variables out, and the boundary
+  multiplicity profiles of residual sensitivity) — group keys are factorized
+  the same way and counts are accumulated with ``np.add.at``;
+* **predicate filtering** — inequality and comparison predicates become
+  boolean column masks; generic predicates fall back to a row loop so that
+  exactness is preserved;
+* **heavy-bucket aggregation** — two-factor buckets whose shared variables
+  are all being summed out and whose join size exceeds
+  :data:`repro.engine.elimination.MATMUL_THRESHOLD` take a sparse matrix
+  product (the joined rows are never materialised), with the same
+  predicate-dropping semantics as the dict engine's fast path.
+
+The algorithm — elimination order, bucket grouping, the points where
+predicates become applicable and the dropped-predicate bookkeeping — is
+shared with the dict-based engine (see
+:func:`repro.engine.elimination.greedy_elimination_order`), so both backends
+return *identical* :class:`~repro.engine.elimination.EliminationResult`
+values: same counts, same ``dropped_predicates``, same exactness flags.  The
+cross-backend equivalence tests rely on this.
+
+Counts are ``int64``; workloads whose intermediate multiplicities exceed
+``2**63`` would need the dict engine's arbitrary-precision integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.database import Database
+from repro.engine import elimination as _elimination
+from repro.engine.elimination import (
+    EliminationResult,
+    greedy_elimination_order,
+    order_factors_for_join,
+)
+from repro.exceptions import EvaluationError
+from repro.query.atoms import Constant, Variable
+from repro.query.cq import ConjunctiveQuery
+from repro.query.predicates import (
+    ComparisonPredicate,
+    InequalityPredicate,
+    Predicate,
+)
+
+__all__ = ["ArrayFactor", "eliminate_group_counts_columnar"]
+
+#: Re-factorize packed row codes once their key space exceeds this bound,
+#: keeping every subsequent ``codes * cardinality + codes`` combination safely
+#: inside ``int64``.
+_RENORMALIZE_CARDINALITY = 2**31
+
+
+@dataclass
+class ArrayFactor:
+    """A count-annotated factor stored columnar.
+
+    ``columns`` holds one value array per entry of ``variables`` (aligned,
+    equal length); ``counts`` is the per-row multiplicity.  Value arrays are
+    either ``int64`` (fast path) or ``object`` (arbitrary hashable values).
+    A factor over zero variables is a scalar: ``columns`` is empty and
+    ``counts`` has exactly one entry (or zero entries for the empty result).
+    """
+
+    variables: tuple[Variable, ...]
+    columns: tuple[np.ndarray, ...]
+    counts: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.counts.shape[0])
+
+    def column(self, var: Variable) -> np.ndarray:
+        """The value column of ``var`` (raises ``ValueError`` if absent)."""
+        return self.columns[self.variables.index(var)]
+
+    def take(self, selector: np.ndarray) -> "ArrayFactor":
+        """A new factor keeping the rows chosen by a boolean mask / index array."""
+        return ArrayFactor(
+            self.variables,
+            tuple(col[selector] for col in self.columns),
+            self.counts[selector],
+        )
+
+
+# --------------------------------------------------------------------- #
+# Key factorization
+# --------------------------------------------------------------------- #
+def _column_codes(col: np.ndarray) -> tuple[np.ndarray, int]:
+    """Dense ``int64`` codes for one column, plus the number of distinct values.
+
+    Non-object dtypes go through ``np.unique``; object columns (values
+    hashable but not necessarily mutually orderable) are interned through a
+    dictionary, which also unifies numerically-equal values of different
+    types exactly like Python's own hashing does.
+    """
+    if col.dtype != object:
+        uniq, inverse = np.unique(col, return_inverse=True)
+        return inverse.astype(np.int64, copy=False), int(len(uniq))
+    table: dict = {}
+    out = np.empty(len(col), dtype=np.int64)
+    for i, value in enumerate(col.tolist()):
+        out[i] = table.setdefault(value, len(table))
+    return out, len(table)
+
+
+def _row_codes(columns: Sequence[np.ndarray], length: int) -> np.ndarray:
+    """``int64`` codes identifying the distinct rows of ``columns``.
+
+    Zero columns means every row is the same (all-zero codes).  Multi-column
+    keys are packed positionally (``codes * cardinality + codes``) and
+    re-factorized whenever the packed key space approaches the ``int64``
+    range.
+    """
+    if not columns:
+        return np.zeros(length, dtype=np.int64)
+    codes: np.ndarray | None = None
+    cardinality = 1
+    for col in columns:
+        col_codes, distinct = _column_codes(col)
+        distinct = max(distinct, 1)
+        if codes is None:
+            codes, cardinality = col_codes, distinct
+        else:
+            codes = codes * np.int64(distinct) + col_codes
+            cardinality *= distinct
+        if cardinality > _RENORMALIZE_CARDINALITY:
+            uniq, inverse = np.unique(codes, return_inverse=True)
+            codes = inverse.astype(np.int64, copy=False)
+            cardinality = max(int(len(uniq)), 1)
+    return codes
+
+
+def _join_codes(
+    left_cols: Sequence[np.ndarray], right_cols: Sequence[np.ndarray], nl: int, nr: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Codes for the shared key columns, consistent across both join sides."""
+    combined = [np.concatenate([a, b]) for a, b in zip(left_cols, right_cols)]
+    codes = _row_codes(combined, nl + nr)
+    return codes[:nl], codes[nl:]
+
+
+# --------------------------------------------------------------------- #
+# Relational primitives
+# --------------------------------------------------------------------- #
+def _join(left: ArrayFactor, right: ArrayFactor) -> ArrayFactor:
+    """Natural join of two factors, multiplying counts (vectorized).
+
+    With shared variables this is a factorized sort-merge join: both sides'
+    key columns are encoded into one code space, the right side is sorted by
+    code, and every left row is expanded to its matching right rows through
+    ``searchsorted`` ranges.  Without shared variables it degenerates to a
+    cross product.
+    """
+    shared = tuple(v for v in left.variables if v in right.variables)
+    nl, nr = len(left), len(right)
+    if shared:
+        lkey, rkey = _join_codes(
+            [left.column(v) for v in shared],
+            [right.column(v) for v in shared],
+            nl,
+            nr,
+        )
+        order = np.argsort(rkey, kind="stable")
+        rsorted = rkey[order]
+        lo = np.searchsorted(rsorted, lkey, side="left")
+        hi = np.searchsorted(rsorted, lkey, side="right")
+        matches = hi - lo
+        hit = matches > 0
+        per_left = matches[hit]
+        total = int(per_left.sum())
+        left_idx = np.repeat(np.nonzero(hit)[0], per_left)
+        starts = np.repeat(lo[hit], per_left)
+        offsets = np.repeat(np.cumsum(per_left) - per_left, per_left)
+        right_idx = order[starts + (np.arange(total, dtype=np.int64) - offsets)]
+    else:
+        left_idx = np.repeat(np.arange(nl, dtype=np.int64), nr)
+        right_idx = np.tile(np.arange(nr, dtype=np.int64), nl)
+
+    extra = tuple(v for v in right.variables if v not in shared)
+    out_vars = left.variables + extra
+    out_cols = tuple(col[left_idx] for col in left.columns) + tuple(
+        right.column(v)[right_idx] for v in extra
+    )
+    return ArrayFactor(out_vars, out_cols, left.counts[left_idx] * right.counts[right_idx])
+
+
+def _project_sum(factor: ArrayFactor, keep: Sequence[Variable]) -> ArrayFactor:
+    """Sum out every variable not in ``keep`` (vectorized group-by)."""
+    keep_set = set(keep)
+    keep_vars = tuple(v for v in factor.variables if v in keep_set)
+    cols = [factor.column(v) for v in keep_vars]
+    codes = _row_codes(cols, len(factor))
+    uniq, first_idx, inverse = np.unique(codes, return_index=True, return_inverse=True)
+    sums = np.zeros(len(uniq), dtype=np.int64)
+    np.add.at(sums, inverse, factor.counts)
+    return ArrayFactor(keep_vars, tuple(col[first_idx] for col in cols), sums)
+
+
+# --------------------------------------------------------------------- #
+# Predicates
+# --------------------------------------------------------------------- #
+def _as_bool_mask(result: object, length: int) -> np.ndarray:
+    """Normalise a comparison result to a boolean array of the right length.
+
+    NumPy collapses comparisons between incompatible operands (e.g. an int64
+    column against a string constant) to a scalar; broadcast that back out.
+    """
+    if isinstance(result, np.ndarray) and result.shape == (length,):
+        return result.astype(bool, copy=False)
+    return np.full(length, bool(result))
+
+
+def _predicate_mask(pred: Predicate, factor: ArrayFactor) -> np.ndarray:
+    """A boolean keep-mask for ``pred`` over the rows of ``factor``."""
+    length = len(factor)
+
+    def operand(term):
+        if isinstance(term, Variable):
+            return factor.column(term)
+        return term.value
+
+    if isinstance(pred, InequalityPredicate):
+        return _as_bool_mask(operand(pred.left) != operand(pred.right), length)
+    if isinstance(pred, ComparisonPredicate):
+        left, right = operand(pred.left), operand(pred.right)
+        if pred.op == "<":
+            result = left < right
+        elif pred.op == "<=":
+            result = left <= right
+        elif pred.op == ">":
+            result = left > right
+        else:
+            result = left >= right
+        return _as_bool_mask(result, length)
+
+    # Generic predicates: exact row-by-row evaluation (same as the dict engine).
+    variables = factor.variables
+    if factor.columns:
+        rows = zip(*(col.tolist() for col in factor.columns))
+    else:
+        rows = iter([()] * length)
+    return np.fromiter(
+        (pred.evaluate(dict(zip(variables, row))) for row in rows),
+        dtype=bool,
+        count=length,
+    )
+
+
+def _apply_ready_predicates(
+    factor: ArrayFactor, pending: list[Predicate]
+) -> tuple[ArrayFactor, list[Predicate]]:
+    """Apply (and consume) every pending predicate contained in ``factor``."""
+    var_set = frozenset(factor.variables)
+    ready = [p for p in pending if p.variables <= var_set]
+    if not ready:
+        return factor, pending
+    remaining = [p for p in pending if p not in ready]
+    mask = np.ones(len(factor), dtype=bool)
+    for pred in ready:
+        mask &= _predicate_mask(pred, factor)
+    return factor.take(mask), remaining
+
+
+# --------------------------------------------------------------------- #
+# Atom factors
+# --------------------------------------------------------------------- #
+def _atom_factor(query: ConjunctiveQuery, database: Database, atom_index: int) -> ArrayFactor:
+    """The initial factor of one atom: distinct variable bindings with count 1."""
+    atom = query.atoms[atom_index]
+    relation = database.relation(atom.relation)
+    raw = relation.to_columns()
+    length = len(relation)
+
+    mask: np.ndarray | None = None
+
+    def conjoin(condition: np.ndarray) -> None:
+        nonlocal mask
+        mask = condition if mask is None else (mask & condition)
+
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            conjoin(_as_bool_mask(raw[position] == term.value, length))
+    variables = atom.variables
+    var_positions = {v: atom.positions_of(v) for v in variables}
+    for positions in var_positions.values():
+        for position in positions[1:]:
+            conjoin(_as_bool_mask(raw[positions[0]] == raw[position], length))
+
+    if mask is not None:
+        keep = np.nonzero(mask)[0]
+        columns = tuple(raw[var_positions[v][0]][keep] for v in variables)
+        rows = int(len(keep))
+    else:
+        columns = tuple(raw[var_positions[v][0]] for v in variables)
+        rows = length
+    # Distinct relation rows always induce distinct bindings (constants and
+    # repeated variables are filtered above), so every count is 1.
+    return ArrayFactor(tuple(variables), columns, np.ones(rows, dtype=np.int64))
+
+
+# --------------------------------------------------------------------- #
+# Heavy-bucket sparse-matmul fast path (mirrors the dict engine exactly)
+# --------------------------------------------------------------------- #
+def _estimated_join_rows(
+    left: ArrayFactor, right: ArrayFactor, shared: tuple[Variable, ...]
+) -> int:
+    """Number of rows the join of two factors would produce (exact, cheap)."""
+    lkey, rkey = _join_codes(
+        [left.column(v) for v in shared],
+        [right.column(v) for v in shared],
+        len(left),
+        len(right),
+    )
+    order = np.argsort(rkey, kind="stable")
+    rsorted = rkey[order]
+    lo = np.searchsorted(rsorted, lkey, side="left")
+    hi = np.searchsorted(rsorted, lkey, side="right")
+    return int((hi - lo).sum())
+
+
+def _matmul_aggregate(
+    left: ArrayFactor,
+    right: ArrayFactor,
+    shared: tuple[Variable, ...],
+    pending: list[Predicate],
+) -> tuple[ArrayFactor, list[Predicate]]:
+    """Sum out ``shared`` from ``left ⋈ right`` via a sparse matrix product.
+
+    The columnar twin of
+    :func:`repro.engine.elimination._matmul_aggregate`, with identical
+    semantics: the joined rows are never materialised, and pending
+    predicates involving the summed-out variables cannot be honoured on
+    this path — they are left pending, so both backends report the same
+    dropped predicates (and the same upper-bound counts) on heavy buckets.
+    """
+    from scipy import sparse
+
+    nl, nr = len(left), len(right)
+    left_keep = tuple(v for v in left.variables if v not in shared)
+    right_keep = tuple(v for v in right.variables if v not in shared)
+    out_vars = left_keep + right_keep
+
+    def empty_result() -> ArrayFactor:
+        columns = tuple(left.column(v)[:0] for v in left_keep) + tuple(
+            right.column(v)[:0] for v in right_keep
+        )
+        return ArrayFactor(out_vars, columns, np.zeros(0, dtype=np.int64))
+
+    # Same early exits as the dict engine: an empty side, or no right row
+    # matching any left mid, returns the empty factor with ``pending``
+    # untouched (the predicates stay pending for later factors).
+    if not nl or not nr:
+        return empty_result(), pending
+
+    lmid, rmid = _join_codes(
+        [left.column(v) for v in shared],
+        [right.column(v) for v in shared],
+        nl,
+        nr,
+    )
+    if not np.isin(rmid, lmid).any():
+        return empty_result(), pending
+    mid_uniq, mid_inverse = np.unique(np.concatenate([lmid, rmid]), return_inverse=True)
+    lmid_dense, rmid_dense = mid_inverse[:nl], mid_inverse[nl:]
+
+    lrow = _row_codes([left.column(v) for v in left_keep], nl)
+    rcol = _row_codes([right.column(v) for v in right_keep], nr)
+    lrow_uniq, lrow_first, lrow_dense = np.unique(
+        lrow, return_index=True, return_inverse=True
+    )
+    rcol_uniq, rcol_first, rcol_dense = np.unique(
+        rcol, return_index=True, return_inverse=True
+    )
+
+    left_matrix = sparse.coo_matrix(
+        (left.counts, (lrow_dense, lmid_dense)),
+        shape=(max(1, len(lrow_uniq)), max(1, len(mid_uniq))),
+    ).tocsr()
+    right_matrix = sparse.coo_matrix(
+        (right.counts, (rmid_dense, rcol_dense)),
+        shape=(max(1, len(mid_uniq)), max(1, len(rcol_uniq))),
+    ).tocsr()
+    product = (left_matrix @ right_matrix).tocoo()
+
+    nonzero = product.data != 0
+    rows = product.row[nonzero]
+    cols = product.col[nonzero]
+    counts = product.data[nonzero].astype(np.int64, copy=False)
+
+    left_idx = lrow_first[rows]
+    right_idx = rcol_first[cols]
+    out_cols = tuple(left.column(v)[left_idx] for v in left_keep) + tuple(
+        right.column(v)[right_idx] for v in right_keep
+    )
+    factor = ArrayFactor(out_vars, out_cols, counts)
+
+    # Apply the pending predicates that survived the projection.
+    return _apply_ready_predicates(factor, pending)
+
+
+# --------------------------------------------------------------------- #
+# Bucket joins and the driver
+# --------------------------------------------------------------------- #
+def _join_and_aggregate(
+    bucket: Sequence[ArrayFactor],
+    keep: Sequence[Variable],
+    pending: list[Predicate],
+) -> tuple[ArrayFactor, list[Predicate]]:
+    """Join ``bucket``, filter, and sum onto ``keep`` (vectorized).
+
+    Factors are ordered by the shared connectivity heuristic
+    (:func:`repro.engine.elimination.order_factors_for_join`), and
+    predicates are applied as soon as some intermediate factor covers their
+    variables.  Two-factor buckets whose shared variables are all being
+    summed out and whose join size exceeds
+    :data:`repro.engine.elimination.MATMUL_THRESHOLD` take the sparse-matmul
+    path — the same gate, with the same predicate-dropping semantics, as the
+    dict engine.
+    """
+    # Sparse-matrix fast path for heavy two-factor buckets.  The threshold
+    # is read from the dict engine at call time so both backends always gate
+    # on the same value (including under test monkeypatching).
+    if len(bucket) == 2:
+        keep_set = set(keep)
+        shared = tuple(v for v in bucket[0].variables if v in bucket[1].variables)
+        if shared and all(v not in keep_set for v in shared):
+            estimated = _estimated_join_rows(bucket[0], bucket[1], shared)
+            if estimated > _elimination.MATMUL_THRESHOLD:
+                factor, pending = _matmul_aggregate(
+                    bucket[0], bucket[1], shared, pending
+                )
+                return _project_sum(factor, keep), pending
+
+    ordered = order_factors_for_join(bucket)
+    current, pending = _apply_ready_predicates(ordered[0], pending)
+    for factor in ordered[1:]:
+        current = _join(current, factor)
+        current, pending = _apply_ready_predicates(current, pending)
+    return _project_sum(current, keep), pending
+
+
+def eliminate_group_counts_columnar(
+    query: ConjunctiveQuery,
+    database: Database,
+    group_variables: Sequence[Variable],
+    *,
+    atom_indices: Sequence[int] | None = None,
+    predicates: Sequence[Predicate] | None = None,
+) -> EliminationResult:
+    """Group-by counts of a (residual) CQ via vectorized bucket elimination.
+
+    The drop-in columnar equivalent of
+    :func:`repro.engine.elimination.eliminate_group_counts`: same parameters,
+    same :class:`EliminationResult` contract (identical counts, group-variable
+    ordering, dropped predicates and elimination order).
+    """
+    indices = list(range(query.num_atoms)) if atom_indices is None else list(atom_indices)
+    if not indices:
+        return EliminationResult({(): 1}, tuple(group_variables), (), ())
+
+    covered_vars = query.variables_of(indices)
+    group_vars = tuple(group_variables)
+    unknown = [v for v in group_vars if v not in covered_vars]
+    if unknown:
+        raise EvaluationError(
+            f"group variables {sorted(v.name for v in unknown)} do not occur in the "
+            "selected atoms"
+        )
+
+    pending = [
+        p
+        for p in (query.predicates if predicates is None else predicates)
+        if p.variables <= covered_vars
+    ]
+
+    factors: list[ArrayFactor] = []
+    for idx in indices:
+        factor = _atom_factor(query, database, idx)
+        factor, pending = _apply_ready_predicates(factor, pending)
+        factors.append(factor)
+
+    internal = [v for v in covered_vars if v not in group_vars]
+    order = greedy_elimination_order([set(f.variables) for f in factors], internal)
+
+    for var in order:
+        bucket = [f for f in factors if var in f.variables]
+        others = [f for f in factors if var not in f.variables]
+        if not bucket:
+            continue
+        keep = [v for factor in bucket for v in factor.variables if v != var]
+        summed, pending = _join_and_aggregate(bucket, keep, pending)
+        factors = others + [summed]
+
+    final, pending = _join_and_aggregate(factors, list(group_vars), pending)
+
+    # Re-order key columns to match the requested group-variable order (the
+    # final factor's variables are a permutation of ``group_vars``).
+    if final.variables != group_vars:
+        columns = tuple(final.column(v) for v in group_vars)
+        final = ArrayFactor(group_vars, columns, final.counts)
+
+    value_columns = [col.tolist() for col in final.columns]
+    count_list = final.counts.tolist()
+    counts = {
+        tuple(col[i] for col in value_columns): count_list[i]
+        for i in range(len(count_list))
+    }
+
+    return EliminationResult(
+        counts=counts,
+        group_variables=group_vars,
+        dropped_predicates=tuple(pending),
+        elimination_order=tuple(order),
+    )

@@ -27,7 +27,82 @@ from repro.query.atoms import Constant, Variable
 from repro.query.cq import ConjunctiveQuery
 from repro.query.predicates import Predicate
 
-__all__ = ["Factor", "EliminationResult", "eliminate_group_counts"]
+__all__ = [
+    "Factor",
+    "EliminationResult",
+    "eliminate_group_counts",
+    "greedy_elimination_order",
+    "order_factors_for_join",
+]
+
+
+def order_factors_for_join(factors):
+    """Order factors so each one shares variables with the joined prefix.
+
+    Starts from the smallest factor and greedily prefers connected factors,
+    falling back to a cross product only for genuinely disconnected ones.
+    Works on any object exposing ``variables`` and ``__len__`` — shared by
+    the dict-based and the columnar NumPy engines so predicate-application
+    timing stays identical across backends.
+    """
+    ordered = []
+    seen_vars: set[Variable] = set()
+    candidates = sorted(factors, key=len)
+    while candidates:
+        best = None
+        for factor in candidates:
+            if best is None or (
+                bool(set(factor.variables) & seen_vars)
+                and not bool(set(best.variables) & seen_vars)
+            ):
+                best = factor
+        candidates.remove(best)
+        ordered.append(best)
+        seen_vars |= set(best.variables)
+    return ordered
+
+
+def greedy_elimination_order(
+    factor_variable_sets: Sequence[set[Variable]],
+    internal_variables: Sequence[Variable],
+) -> list[Variable]:
+    """A min-width-style greedy elimination order over ``internal_variables``.
+
+    Repeatedly picks the variable whose bucket join touches the fewest
+    variables (ties broken by variable name, so the order is deterministic).
+    Shared by the dict-based and the columnar NumPy elimination engines —
+    using the *same* order in both keeps their dropped-predicate bookkeeping,
+    and therefore their exactness guarantees, identical.
+    """
+    order: list[Variable] = []
+    remaining = set(internal_variables)
+    sim_factors = [set(fvars) for fvars in factor_variable_sets]
+    while remaining:
+        best_var = None
+        best_width = None
+        for var in remaining:
+            touched: set[Variable] = set()
+            for fvars in sim_factors:
+                if var in fvars:
+                    touched |= fvars
+            width = len(touched)
+            if best_width is None or (width, str(var.name)) < (best_width, str(best_var.name)):
+                best_width = width
+                best_var = var
+        assert best_var is not None
+        order.append(best_var)
+        remaining.remove(best_var)
+        merged: set[Variable] = set()
+        kept = []
+        for fvars in sim_factors:
+            if best_var in fvars:
+                merged |= fvars
+            else:
+                kept.append(fvars)
+        merged.discard(best_var)
+        kept.append(merged)
+        sim_factors = kept
+    return order
 
 
 @dataclass
@@ -340,20 +415,7 @@ def _join_and_aggregate(
     # Order the factors so each one (after the first) shares variables with
     # the already-joined prefix whenever possible, then index it on those
     # shared positions.
-    ordered: list[Factor] = []
-    seen_vars: set[Variable] = set()
-    candidates = sorted(bucket, key=len)
-    while candidates:
-        best = None
-        for factor in candidates:
-            if best is None or (
-                bool(set(factor.variables) & seen_vars)
-                and not bool(set(best.variables) & seen_vars)
-            ):
-                best = factor
-        candidates.remove(best)
-        ordered.append(best)
-        seen_vars |= set(best.variables)
+    ordered: list[Factor] = order_factors_for_join(bucket)
 
     # Pre-compute, per factor, the positions of its variables inside the union
     # tuple and the positions (within the union prefix) it must match on.
@@ -483,37 +545,7 @@ def eliminate_group_counts(
         factors.append(factor)
 
     internal = [v for v in covered_vars if v not in group_vars]
-
-    # Min-width-style greedy elimination order: repeatedly pick the variable
-    # whose bucket join touches the fewest variables.
-    order: list[Variable] = []
-    remaining = set(internal)
-    sim_factors = [set(f.variables) for f in factors]
-    while remaining:
-        best_var = None
-        best_width = None
-        for var in remaining:
-            touched: set[Variable] = set()
-            for fvars in sim_factors:
-                if var in fvars:
-                    touched |= fvars
-            width = len(touched)
-            if best_width is None or (width, str(var.name)) < (best_width, str(best_var.name)):
-                best_width = width
-                best_var = var
-        assert best_var is not None
-        order.append(best_var)
-        remaining.remove(best_var)
-        merged: set[Variable] = set()
-        kept = []
-        for fvars in sim_factors:
-            if best_var in fvars:
-                merged |= fvars
-            else:
-                kept.append(fvars)
-        merged.discard(best_var)
-        kept.append(merged)
-        sim_factors = kept
+    order = greedy_elimination_order([set(f.variables) for f in factors], internal)
 
     # Actual elimination following the computed order.  Each bucket is joined,
     # filtered and summed out in one streaming pass (no intermediate factor is

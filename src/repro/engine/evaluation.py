@@ -10,16 +10,17 @@ For predicate-free (or fully-applicable-predicate) queries the count can be
 obtained through bucket elimination without materialising the result; when a
 predicate cannot be honoured exactly by elimination, the implementation falls
 back to exact enumeration (optionally capped).
+
+Counting is delegated to a pluggable :class:`~repro.engine.backend.ExecutionBackend`
+(``"python"`` dict-based or ``"numpy"`` columnar); :func:`count_query` is the
+thin dispatch layer.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
-
 from repro.data.database import Database
 from repro.engine import join as join_engine
-from repro.engine.elimination import eliminate_group_counts
-from repro.exceptions import EvaluationError
+from repro.engine.backend import ExecutionBackend, get_backend
 from repro.query.cq import ConjunctiveQuery
 
 __all__ = ["evaluate_query", "count_query"]
@@ -53,6 +54,7 @@ def count_query(
     *,
     strategy: str = "auto",
     max_intermediate: int | None = None,
+    backend: str | ExecutionBackend | None = None,
 ) -> int:
     """The result size ``|q(I)|``.
 
@@ -61,11 +63,16 @@ def count_query(
     strategy:
         ``"enumerate"`` forces exact backtracking enumeration;
         ``"eliminate"`` forces bucket elimination (raises
-        :class:`EvaluationError` if a predicate cannot be applied exactly);
-        ``"auto"`` (default) uses elimination when it is exact for this query
-        and enumeration otherwise.
+        :class:`~repro.exceptions.EvaluationError` if a predicate cannot be
+        applied exactly); ``"auto"`` (default) uses elimination when it is
+        exact for this query and enumeration otherwise.
     max_intermediate:
         Step cap for the enumeration strategy.
+    backend:
+        Execution backend name (``"python"``, ``"numpy"``) or instance;
+        ``None`` uses the process default (see
+        :func:`repro.engine.backend.get_backend`).  Backends return identical
+        counts — the choice only affects speed.
 
     Notes
     -----
@@ -75,32 +82,6 @@ def count_query(
       projections onto the output variables — elimination handles this by
       grouping on the output variables and counting non-empty groups.
     """
-    query.validate_against_schema(database.schema)
-    if strategy not in ("auto", "enumerate", "eliminate"):
-        raise EvaluationError(f"unknown strategy {strategy!r}")
-
-    if strategy in ("auto", "eliminate"):
-        if query.is_full:
-            result = eliminate_group_counts(query, database, ())
-            if result.is_exact:
-                return result.counts.get((), 0)
-        else:
-            result = eliminate_group_counts(query, database, tuple(query.output_variables))
-            if result.is_exact:
-                return sum(1 for count in result.counts.values() if count > 0)
-        if strategy == "eliminate":
-            raise EvaluationError(
-                "bucket elimination cannot honour these predicates exactly: "
-                f"{result.dropped_predicates!r}; use strategy='enumerate'"
-            )
-
-    # Exact enumeration.
-    distinct_on: Sequence | None = None
-    if not query.is_full:
-        distinct_on = tuple(query.output_variables)
-    return join_engine.count_assignments(
-        query,
-        database,
-        distinct_on=distinct_on,
-        max_intermediate=max_intermediate,
+    return get_backend(backend).count_query(
+        query, database, strategy=strategy, max_intermediate=max_intermediate
     )

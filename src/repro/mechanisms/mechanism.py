@@ -1,9 +1,12 @@
 """The user-facing DP counting-query API.
 
 :class:`PrivateCountingQuery` bundles a conjunctive query, a privacy
-parameter and a choice of sensitivity engine into a single object whose
-``release(database)`` method produces an ε-DP noisy result size.  This is the
-"one call" interface the examples and the CLI use; the individual sensitivity
+parameter, a choice of sensitivity engine and a choice of execution backend
+into a single object whose ``release(database)`` method produces an ε-DP
+noisy result size.  The examples and the CLI's ``count`` sub-command call it
+directly; the serving layer (:mod:`repro.service`) wraps the same object per
+request, supplying precomputed (cached) true counts and sensitivities via
+``release(..., true_count=, sensitivity=)``.  The individual sensitivity
 engines and the noise framework remain available for fine-grained control.
 
 Supported calibration methods:
@@ -31,6 +34,7 @@ from typing import Literal
 import numpy as np
 
 from repro.data.database import Database
+from repro.engine.backend import get_backend
 from repro.engine.evaluation import count_query
 from repro.exceptions import PrivacyError
 from repro.mechanisms.laplace import LaplaceMechanism
@@ -71,6 +75,10 @@ class PrivateRelease:
     true_count:
         The exact count; populated only when ``keep_true_count=True`` was
         requested (never publish it).
+    backend:
+        The execution backend that evaluated the count and sensitivity
+        (``"python"`` or ``"numpy"``); purely diagnostic — backends are
+        result-equivalent.
     """
 
     noisy_count: float
@@ -79,6 +87,7 @@ class PrivateRelease:
     sensitivity: float
     expected_error: float
     true_count: float | None = None
+    backend: str = "python"
 
 
 class PrivateCountingQuery:
@@ -101,6 +110,12 @@ class PrivateCountingQuery:
         Relation name for the closed-form graph methods (default ``"Edge"``).
     strategy:
         Evaluation strategy forwarded to the residual-sensitivity engine.
+    backend:
+        Execution backend (``"python"``, ``"numpy"`` or ``None`` for the
+        process default) used to evaluate the true count and, for the
+        ``"residual"`` method, the boundary multiplicities.  Backends are
+        result-equivalent: with the same seed the released noisy counts are
+        bitwise identical whichever backend runs.
 
     Examples
     --------
@@ -124,6 +139,7 @@ class PrivateCountingQuery:
         star_arity: int = 3,
         edge_relation: str = "Edge",
         strategy: str = "auto",
+        backend: str | None = None,
     ):
         if epsilon <= 0:
             raise PrivacyError(f"epsilon must be positive, got {epsilon}")
@@ -136,6 +152,7 @@ class PrivateCountingQuery:
         self._star_arity = star_arity
         self._edge_relation = edge_relation
         self._strategy = strategy
+        self._backend = get_backend(backend).name
         self._smooth = SmoothSensitivityMechanism(self._epsilon, rng=self._rng)
 
     @property
@@ -158,6 +175,11 @@ class PrivateCountingQuery:
         """The smoothing parameter used by the smooth-sensitivity methods."""
         return self._smooth.beta
 
+    @property
+    def backend(self) -> str:
+        """The resolved execution-backend name (``"python"`` or ``"numpy"``)."""
+        return self._backend
+
     # ------------------------------------------------------------------ #
     # Sensitivity
     # ------------------------------------------------------------------ #
@@ -166,7 +188,7 @@ class PrivateCountingQuery:
         beta = self._smooth.beta
         if self._method == "residual":
             return ResidualSensitivity(
-                self._query, beta=beta, strategy=self._strategy
+                self._query, beta=beta, strategy=self._strategy, backend=self._backend
             ).compute(database)
         if self._method == "elastic":
             return ElasticSensitivity(self._query, beta=beta).compute(database)
@@ -213,7 +235,7 @@ class PrivateCountingQuery:
             a recorded ``beta`` mismatch raises :class:`PrivacyError`.
         """
         if true_count is None:
-            true_count = count_query(self._query, database)
+            true_count = count_query(self._query, database, backend=self._backend)
         if sensitivity is None:
             sensitivity = self.sensitivity(database)
 
@@ -235,6 +257,7 @@ class PrivateCountingQuery:
                 sensitivity=gs_value,
                 expected_error=laplace.expected_error(database),
                 true_count=float(true_count) if keep_true_count else None,
+                backend=self._backend,
             )
 
         release: SmoothRelease = self._smooth.release(true_count, sensitivity)
@@ -245,4 +268,5 @@ class PrivateCountingQuery:
             sensitivity=release.sensitivity,
             expected_error=release.expected_error,
             true_count=float(true_count) if keep_true_count else None,
+            backend=self._backend,
         )

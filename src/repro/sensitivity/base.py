@@ -6,6 +6,15 @@ diagnostics (per-``k`` series, witnessing residual multiplicities, dropped
 predicates, ...).  The DP mechanisms in :mod:`repro.mechanisms` consume only
 the ``value`` and ``beta`` fields; the diagnostics feed the experiment
 harnesses and the tests.
+
+The shared vocabulary comes from the paper's smooth-sensitivity framework
+(Section 2.3, Equations 6–8): a *β-smooth upper bound* is any series
+``L̂S^(k)`` with ``L̂S^(k)(I) >= LS^(k)(I)`` and
+``L̂S^(k)(I) <= L̂S^(k+1)(I')`` for neighboring instances; calibrating noise
+to ``max_k e^{-βk}·L̂S^(k)(I)`` preserves ε-DP.  Residual sensitivity
+(Sections 3, 5, 6) and elastic sensitivity (Section 4.4) are both such
+bounds; ``β = ε/10`` (:func:`beta_from_epsilon`) is the paper's choice for
+the exponent-4 Cauchy noise distribution.
 """
 
 from __future__ import annotations

@@ -96,6 +96,11 @@ class ResidualSensitivity:
         Evaluation strategy for the boundary multiplicities (``"auto"``,
         ``"enumerate"`` or ``"eliminate"``); see
         :func:`repro.engine.aggregates.boundary_multiplicity`.
+    backend:
+        Execution backend (name, instance or ``None`` for the process
+        default) used for the boundary-multiplicity group counts; the
+        ``"numpy"`` backend vectorizes them as columnar group-by
+        aggregations.  Backends produce identical sensitivity values.
     k_max:
         Optional override of the Lemma 3.10 truncation point (mainly for
         tests).
@@ -119,6 +124,7 @@ class ResidualSensitivity:
         beta: float | None = None,
         epsilon: float | None = None,
         strategy: str = "auto",
+        backend: str | None = None,
         k_max: int | None = None,
     ):
         if (beta is None) == (epsilon is None):
@@ -126,6 +132,7 @@ class ResidualSensitivity:
         self._beta = validate_beta(beta if beta is not None else beta_from_epsilon(epsilon))
         self._query = query
         self._strategy = strategy
+        self._backend = backend
         self._k_max_override = k_max
 
     # ------------------------------------------------------------------ #
@@ -193,7 +200,11 @@ class ResidualSensitivity:
         results: dict[frozenset[int], MultiplicityResult] = {}
         for kept in self.required_subsets(database):
             results[kept] = boundary_multiplicity(
-                self._query, database, kept, strategy=self._strategy
+                self._query,
+                database,
+                kept,
+                strategy=self._strategy,
+                backend=self._backend,
             )
         return results
 

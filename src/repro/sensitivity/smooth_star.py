@@ -2,8 +2,11 @@
 
 k-star counting (a centre vertex with ``k`` distinct out-neighbours) is the
 second query family with a known polynomial smooth-sensitivity algorithm
-(Karwa, Raskhodnikova, Smith and Yaroslavtsev); it is the SS baseline of the
-paper's Table 1 for ``q3∗``.
+(Karwa, Raskhodnikova, Smith and Yaroslavtsev); it is the exact-SS baseline
+that the paper's experimental evaluation (Table 1) compares residual
+sensitivity (Sections 3, 5, 6) against on ``q3∗``.  Because ``SS_β`` is the
+tightest β-smooth upper bound (Section 2.3), the ratio RS/SS measures how
+much the polynomial-time relaxation gives up.
 
 The CQ of the experiments is ``Edge(x0, x1) ⋈ ... ⋈ Edge(x0, x_k)`` with all
 leaves pairwise distinct, evaluated on the symmetric edge relation.  Its

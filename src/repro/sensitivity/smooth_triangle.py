@@ -2,7 +2,11 @@
 
 Triangle counting is one of the two query families for which an exact
 polynomial-time smooth sensitivity algorithm is known (Nissim, Raskhodnikova
-and Smith), and it is the SS baseline of the paper's Table 1 for ``q△``.
+and Smith), and it is the exact-SS baseline the paper's experimental
+evaluation (Table 1) compares residual sensitivity (Sections 3, 5, 6)
+against on ``q△``; since ``SS_β`` is the tightest β-smooth upper bound
+(Section 2.3), the gap RS/SS quantifies the cost of polynomial-time
+computability.
 
 The computation follows the NRS analysis.  Work on the symmetric graph
 underlying the ``Edge`` relation; for a vertex pair ``(u, v)`` let

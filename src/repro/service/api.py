@@ -5,7 +5,9 @@ Endpoints (all bodies and responses are ``application/json``):
 ``POST /register``
     ``{"name": ..., "edges": [[u, v], ...]}`` or
     ``{"name": ..., "dataset": "GrQc", "scale": 0.02}`` — register a named
-    database (``"replace": true`` to update an existing name).
+    database (``"replace": true`` to update an existing name;
+    ``"backend": "numpy"`` to serve it from the vectorized columnar
+    execution backend instead of the dict-based default).
 ``POST /count``
     ``{"database": ..., "query": "...", "epsilon": 0.5, "method"?,
     "session"?}`` — one private release.
@@ -166,7 +168,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             raise ServiceError("register payload needs a 'name'")
         database = _database_from_payload(payload)
         entry = self.service.register_database(
-            name, database, replace=bool(payload.get("replace", False))
+            name,
+            database,
+            replace=bool(payload.get("replace", False)),
+            backend=payload.get("backend"),
         )
         return 200, entry.describe()
 

@@ -14,6 +14,7 @@ import threading
 from dataclasses import dataclass
 
 from repro.data.database import Database
+from repro.engine.backend import get_backend
 from repro.exceptions import ServiceError, UnknownResourceError
 
 __all__ = ["DatabaseRegistry", "RegisteredDatabase"]
@@ -21,11 +22,18 @@ __all__ = ["DatabaseRegistry", "RegisteredDatabase"]
 
 @dataclass(frozen=True)
 class RegisteredDatabase:
-    """A database registered under a name, at a specific version."""
+    """A database registered under a name, at a specific version.
+
+    ``backend`` names the execution backend every query against this
+    database runs on (``"python"`` or ``"numpy"``); it is chosen at
+    registration time because the columnar backend amortises its one-off
+    column conversion across the lifetime of the registration.
+    """
 
     name: str
     version: int
     database: Database
+    backend: str = "python"
 
     @property
     def key(self) -> tuple[str, int]:
@@ -37,6 +45,7 @@ class RegisteredDatabase:
         return {
             "name": self.name,
             "version": self.version,
+            "backend": self.backend,
             "relations": {
                 rel.schema.name: len(rel) for rel in self.database
             },
@@ -53,16 +62,25 @@ class DatabaseRegistry:
         self._versions: dict[str, int] = {}
 
     def register(
-        self, name: str, database: Database, *, replace: bool = False
+        self,
+        name: str,
+        database: Database,
+        *,
+        replace: bool = False,
+        backend: str | None = None,
     ) -> RegisteredDatabase:
-        """Register ``database`` under ``name``.
+        """Register ``database`` under ``name``, served by ``backend``.
 
-        Raises :class:`ServiceError` if the name is taken and ``replace`` is
-        false.  Replacing bumps the version so cache keys derived from the
-        previous contents can never match again.
+        ``backend`` is resolved (and validated) at registration time —
+        ``None`` picks the process default, an unknown name raises
+        :class:`~repro.exceptions.EvaluationError` here rather than at the
+        first query.  Raises :class:`ServiceError` if the name is taken and
+        ``replace`` is false.  Replacing bumps the version so cache keys
+        derived from the previous contents can never match again.
         """
         if not name or not isinstance(name, str):
             raise ServiceError(f"database name must be a non-empty string, got {name!r}")
+        backend = get_backend(backend).name
         with self._lock:
             if name in self._entries and not replace:
                 raise ServiceError(
@@ -70,7 +88,9 @@ class DatabaseRegistry:
                 )
             version = self._versions.get(name, 0) + 1
             self._versions[name] = version
-            entry = RegisteredDatabase(name=name, version=version, database=database)
+            entry = RegisteredDatabase(
+                name=name, version=version, database=database, backend=backend
+            )
             self._entries[name] = entry
             return entry
 

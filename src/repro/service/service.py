@@ -33,6 +33,7 @@ from typing import Any, Mapping
 import numpy as np
 
 from repro.data.database import Database
+from repro.engine.backend import available_backends, default_backend_name
 from repro.engine.canonical import canonical_query_key
 from repro.engine.evaluation import count_query
 from repro.exceptions import ServiceError
@@ -70,6 +71,7 @@ class CountResponse:
     count_cache_hit: bool
     deduplicated: bool = False
     remaining_budget: float | None = None
+    backend: str = "python"
     details: Mapping[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
@@ -81,6 +83,7 @@ class CountResponse:
             "noisy_count": self.noisy_count,
             "epsilon": self.epsilon,
             "method": self.method,
+            "backend": self.backend,
             "sensitivity": self.sensitivity,
             "expected_error": self.expected_error,
             "session": self.session,
@@ -171,10 +174,22 @@ class PrivateQueryService:
         return self._sessions
 
     def register_database(
-        self, name: str, database: Database, *, replace: bool = False
+        self,
+        name: str,
+        database: Database,
+        *,
+        replace: bool = False,
+        backend: str | None = None,
     ) -> RegisteredDatabase:
-        """Register (or with ``replace=True`` update) a named database."""
-        return self._registry.register(name, database, replace=replace)
+        """Register (or with ``replace=True`` update) a named database.
+
+        ``backend`` picks the execution backend every query against this
+        database runs on (``"python"``, ``"numpy"``; ``None`` uses the
+        process default).  Backends are result-equivalent — with a fixed
+        service seed the released sequence is bitwise identical either way —
+        so the choice is purely a performance knob.
+        """
+        return self._registry.register(name, database, replace=replace, backend=backend)
 
     def create_session(self, *, budget: float | None = None, session_id: str | None = None):
         """Open a session with its own ε ledger; returns the session."""
@@ -209,10 +224,10 @@ class PrivateQueryService:
         self, reg: RegisteredDatabase, query: ConjunctiveQuery, key: str | None
     ) -> tuple[int, bool]:
         if key is None:
-            return count_query(query, reg.database), False
+            return count_query(query, reg.database, backend=reg.backend), False
         return self._count_cache.get_or_compute(
             (reg.name, reg.version, key),
-            lambda: count_query(query, reg.database),
+            lambda: count_query(query, reg.database, backend=reg.backend),
         )
 
     def _sensitivity(
@@ -233,7 +248,9 @@ class PrivateQueryService:
 
         def compute() -> SensitivityResult:
             if method == "residual":
-                engine = ResidualSensitivity(query, beta=beta, strategy=self._strategy)
+                engine = ResidualSensitivity(
+                    query, beta=beta, strategy=self._strategy, backend=reg.backend
+                )
                 if key is None:
                     return engine.compute(reg.database)
                 profile, _ = self._profile_cache.get_or_compute(
@@ -249,6 +266,7 @@ class PrivateQueryService:
                 epsilon=(beta * BETA_FRACTION) if beta is not None else 1.0,
                 method=method,  # type: ignore[arg-type]
                 strategy=self._strategy,
+                backend=reg.backend,
             )
             return probe.sensitivity(reg.database)
 
@@ -302,6 +320,7 @@ class PrivateQueryService:
                 method=method,  # type: ignore[arg-type]
                 rng=self._rng,
                 strategy=self._strategy,
+                backend=reg.backend,
             )
             release = releaser.release(
                 reg.database, true_count=true_count, sensitivity=sensitivity
@@ -326,6 +345,7 @@ class PrivateQueryService:
             sensitivity_cache_hit=sens_hit,
             count_cache_hit=count_hit,
             remaining_budget=remaining,
+            backend=reg.backend,
         )
 
     def batch(
@@ -355,6 +375,10 @@ class PrivateQueryService:
             served = self._requests_served
         return {
             "requests_served": served,
+            "backends": {
+                "available": available_backends(),
+                "default": default_backend_name(),
+            },
             "databases": self._registry.describe(),
             "sessions": {
                 "active": self._sessions.active_ids(),

@@ -124,11 +124,13 @@ class TestJsonOutput:
         assert set(payload) == {
             "noisy_count",
             "method",
+            "backend",
             "epsilon",
             "sensitivity",
             "expected_error",
         }
         assert payload["method"] == "residual"
+        assert payload["backend"] in ("python", "numpy")
         assert payload["epsilon"] == 1.0
 
     def test_sensitivity_json(self, edge_file, capsys):
@@ -146,7 +148,7 @@ class TestJsonOutput:
         )
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
-        assert set(payload) == {"beta", "residual", "elastic", "global_agm"}
+        assert set(payload) == {"beta", "backend", "residual", "elastic", "global_agm"}
         assert payload["beta"] == 0.2
         assert payload["residual"] > 0
         assert payload["elastic"] > 0
