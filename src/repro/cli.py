@@ -30,6 +30,11 @@ Installed as ``repro-dp`` (see ``pyproject.toml``).  Sub-commands:
     the serving layer: identical query shapes are deduplicated (answered
     once, charged once) and sensitivities are computed concurrently.
 
+``state``
+    Inspect a serving-state directory (``serve --state-dir``): ``state
+    replay`` replays the snapshot + write-ahead journal and prints the
+    recovered sessions, budgets and audit totals without starting a server.
+
 ``count`` and ``sensitivity`` accept ``--json`` to emit machine-readable
 output instead of the human-readable text.  ``count``, ``sensitivity``,
 ``serve`` and ``batch`` accept ``--backend {python,numpy}`` to pick the
@@ -189,7 +194,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--seed", type=int, default=None, help="noise seed (tests only)")
     serve.add_argument("--log-requests", action="store_true", help="log HTTP requests to stderr")
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        help="directory for durable state (write-ahead ledger journal + "
+        "snapshots); sessions and spent budgets found there are recovered "
+        "before serving starts",
+    )
+    serve.add_argument(
+        "--snapshot-interval",
+        type=int,
+        default=1000,
+        help="journal records between compacted snapshots (0 disables "
+        "automatic compaction; only meaningful with --state-dir)",
+    )
     _add_backend_argument(serve)
+
+    state = subparsers.add_parser(
+        "state", help="inspect a durable serving-state directory"
+    )
+    state_actions = state.add_subparsers(dest="state_command", required=True)
+    replay = state_actions.add_parser(
+        "replay", help="replay snapshot + journal and print the recovered state"
+    )
+    replay.add_argument("--state-dir", required=True, help="state directory to replay")
+    replay.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
     batch = subparsers.add_parser(
         "batch", help="answer a JSON file of (query, epsilon) requests in one shot"
@@ -297,6 +326,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "batch":
         return _run_batch(args)
 
+    if args.command == "state":
+        return _run_state(args)
+
     if args.command == "table1":
         result = run_table1(
             Table1Config(
@@ -378,11 +410,19 @@ def _run_serve(args: argparse.Namespace) -> int:
         cache_capacity=args.cache_capacity,
         session_ttl=args.session_ttl,
         rng=args.seed,
+        state_dir=args.state_dir,
+        snapshot_interval=args.snapshot_interval,
     )
     server = make_server(service, args.host, args.port, log_requests=args.log_requests)
     host, port = server.server_address[:2]
     name = service.registry.names()[0]
     backend = service.registry.get(name).backend
+    if args.state_dir is not None:
+        recovered = service.sessions.active_ids()
+        print(
+            f"recovered state from {args.state_dir!r}: {len(recovered)} session(s), "
+            f"audit total {service.sessions.audit.total_recorded}"
+        )
     print(
         f"serving database {name!r} (backend {backend}) on http://{host}:{port}  "
         "(Ctrl-C to stop)"
@@ -393,6 +433,44 @@ def _run_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.server_close()
+        service.close()
+    return 0
+
+
+def _run_state(args: argparse.Namespace) -> int:
+    from repro.service.persistence import StateStore
+
+    store = StateStore(args.state_dir, create=False)
+    recovered = store.recover()
+    if args.json:
+        print(json.dumps(recovered.describe(), indent=2))
+        return 0
+    print(f"state directory : {args.state_dir}")
+    print(f"last journal seq: {recovered.seq}")
+    print(f"audit total     : {recovered.audit_total}")
+    shared = recovered.shared_spent
+    print(f"shared spent    : {shared:.6f} ({recovered.shared_charges} charges)")
+    if recovered.sessions:
+        print(f"{len(recovered.sessions)} live session(s):")
+        for session in sorted(recovered.sessions.values(), key=lambda s: s.session_id):
+            view = session.describe()
+            print(
+                f"  {session.session_id}: budget {view['budget']}, "
+                f"spent {view['spent']:.6f}, remaining {view['remaining']:.6f}, "
+                f"{view['charges']} charge(s)"
+            )
+    else:
+        print("no live sessions")
+    if recovered.databases:
+        print(f"{len(recovered.databases)} registered database(s):")
+        for name, meta in sorted(recovered.databases.items()):
+            print(
+                f"  {name}: version {meta.get('version')}, "
+                f"backend {meta.get('backend')}, "
+                f"private tuples {meta.get('private_tuples')}"
+            )
+    else:
+        print("no registered databases")
     return 0
 
 

@@ -16,6 +16,7 @@ so concurrent releases (e.g. from the batch executor of
 
 from __future__ import annotations
 
+import math
 import threading
 from dataclasses import dataclass, field
 from typing import Callable
@@ -59,8 +60,12 @@ class PrivacyAccountant:
     charges: list[BudgetCharge] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        if self.total_budget <= 0:
-            raise PrivacyError(f"the total budget must be positive, got {self.total_budget}")
+        # NaN slips through a bare "<= 0" comparison and would silently deny
+        # every later charge; reject non-finite budgets at construction.
+        if not math.isfinite(self.total_budget) or self.total_budget <= 0:
+            raise PrivacyError(
+                f"the total budget must be positive and finite, got {self.total_budget}"
+            )
         # Not a dataclass field: the lock takes no part in equality/repr and
         # must never be shared between two accountants.
         self._lock = threading.RLock()
@@ -78,21 +83,53 @@ class PrivacyAccountant:
 
     def can_afford(self, epsilon: float) -> bool:
         """Whether a charge of ``epsilon`` fits in the remaining budget."""
-        if epsilon <= 0:
-            raise PrivacyError(f"epsilon must be positive, got {epsilon}")
+        if not math.isfinite(epsilon) or epsilon <= 0:
+            raise PrivacyError(f"epsilon must be positive and finite, got {epsilon}")
         return epsilon <= self.remaining + 1e-12
 
-    def charge(self, epsilon: float, label: str = "") -> None:
+    def charge(self, epsilon: float, label: str = "") -> BudgetCharge:
         """Record a charge of ``epsilon``; raises if the budget is exceeded.
 
         Check and append happen atomically, so concurrent callers cannot
-        jointly exceed the budget.
+        jointly exceed the budget.  The returned record is the handle
+        :meth:`refund` takes back.
         """
         with self._lock:
             if not self.can_afford(epsilon):
                 raise PrivacyError(
                     f"privacy budget exhausted: requested {epsilon}, remaining {self.remaining}"
                 )
+            record = BudgetCharge(epsilon=epsilon, label=label)
+            self.charges.append(record)
+            return record
+
+    def refund(self, record: BudgetCharge) -> None:
+        """Take back a specific charge (by identity), restoring its ε.
+
+        Only the transactional charge pipeline of the serving layer calls
+        this, to roll back a reservation whose release failed before any
+        noisy value was produced.  Refunding a record that is not in the
+        ledger raises :class:`PrivacyError`.
+        """
+        with self._lock:
+            for idx in range(len(self.charges) - 1, -1, -1):
+                if self.charges[idx] is record:
+                    del self.charges[idx]
+                    return
+        raise PrivacyError(f"cannot refund a charge that is not in the ledger: {record}")
+
+    def restore_charge(self, epsilon: float, label: str = "") -> None:
+        """Re-apply a historically granted charge during journal replay.
+
+        Unlike :meth:`charge` this skips the affordability check: the charge
+        was granted in a previous process lifetime and must be reflected in
+        the recovered ledger even if the accountant was reconfigured with a
+        smaller budget (in which case the ledger simply reads as overspent
+        and denies everything further — the conservative direction).
+        """
+        if not math.isfinite(epsilon) or epsilon <= 0:
+            raise PrivacyError(f"epsilon must be positive and finite, got {epsilon}")
+        with self._lock:
             self.charges.append(BudgetCharge(epsilon=epsilon, label=label))
 
     def reset(self) -> None:

@@ -19,10 +19,20 @@ it into a multi-tenant serving system:
   duplicate-answer reuse and concurrent sensitivity computation;
 * :mod:`repro.service.api` — a stdlib ``http.server`` JSON API
   (``/register``, ``/count``, ``/batch``, ``/budget``, ``/stats``) behind
-  the ``repro-dp serve`` CLI command.
+  the ``repro-dp serve`` CLI command;
+* :mod:`repro.service.persistence` — the write-ahead ledger journal and
+  compacted snapshots that make sessions, spent budgets and audit totals
+  survive a crash or restart (``PrivateQueryService(state_dir=...)``,
+  ``repro-dp serve --state-dir``, ``repro-dp state replay``).
 """
 
 from repro.service.cache import CacheStats, LRUCache
+from repro.service.persistence import (
+    LedgerJournal,
+    RecoveredSession,
+    RecoveredState,
+    StateStore,
+)
 from repro.service.executor import (
     BatchExecutor,
     BatchItemResult,
@@ -31,7 +41,13 @@ from repro.service.executor import (
 )
 from repro.service.registry import DatabaseRegistry, RegisteredDatabase
 from repro.service.service import CountResponse, PrivateQueryService
-from repro.service.sessions import AuditLog, AuditRecord, Session, SessionManager
+from repro.service.sessions import (
+    AuditLog,
+    AuditRecord,
+    ChargeTransaction,
+    Session,
+    SessionManager,
+)
 
 __all__ = [
     "AuditLog",
@@ -41,11 +57,16 @@ __all__ = [
     "BatchRequest",
     "BatchResult",
     "CacheStats",
+    "ChargeTransaction",
     "CountResponse",
     "DatabaseRegistry",
+    "LedgerJournal",
     "LRUCache",
     "PrivateQueryService",
+    "RecoveredSession",
+    "RecoveredState",
     "RegisteredDatabase",
     "Session",
     "SessionManager",
+    "StateStore",
 ]

@@ -24,6 +24,14 @@ Errors map onto status codes: malformed requests → 400, exhausted budgets →
 :class:`~http.server.ThreadingHTTPServer`; thread safety is provided by the
 service layer itself (accountant locks, cache locks, the rng lock).
 
+HTTP/1.1 keep-alive is framing-safe on every path: a response — including
+an error response sent before the request body was parsed — first drains
+the declared ``Content-Length`` (or closes the connection when the unread
+body is unreasonably large), so a pipelined follow-up request on the same
+connection can never be misparsed against leftover body bytes.  Non-finite
+numbers (``NaN``, ``Infinity``) are rejected both on input (400) and on
+output (responses are serialised with ``allow_nan=False``).
+
 This front end is built on :mod:`http.server` so the library stays
 dependency-free; production deployments would put a real WSGI/ASGI server in
 front of :class:`PrivateQueryService` the same way this module does.
@@ -32,6 +40,7 @@ front of :class:`PrivateQueryService` the same way this module does.
 from __future__ import annotations
 
 import json
+import math
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping
 from urllib.parse import parse_qs, urlparse
@@ -48,11 +57,24 @@ __all__ = ["make_server", "ServiceRequestHandler"]
 
 
 def _as_float(value: Any, field: str) -> float:
-    """Coerce a JSON value to float, mapping failures to a 400-class error."""
+    """Coerce a JSON value to a *finite* float (400-class error otherwise).
+
+    ``NaN`` passes a later ``<= 0`` validity check (every comparison with
+    NaN is false) and ``inf`` passes a ``> 0`` one, so both must be rejected
+    at coercion before they can poison budget arithmetic downstream.
+    """
     try:
-        return float(value)
+        result = float(value)
     except (TypeError, ValueError):
         raise ServiceError(f"{field!r} must be a number, got {value!r}") from None
+    if not math.isfinite(result):
+        raise ServiceError(f"{field!r} must be a finite number, got {value!r}")
+    return result
+
+
+def _reject_non_finite(constant: str) -> float:
+    """``json.loads`` hook: refuse ``NaN``/``Infinity`` literals in bodies."""
+    raise ServiceError(f"request body contains a non-finite number: {constant}")
 
 
 def _database_from_payload(payload: Mapping[str, Any]):
@@ -85,15 +107,81 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     # Plumbing
     # ------------------------------------------------------------------ #
+    #: Error paths drain at most this many unread body bytes to keep the
+    #: connection reusable; larger bodies are answered with a closed
+    #: connection instead of reading them to the end.
+    max_drain_bytes = 1 << 20
+
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         if self.log_requests:
             super().log_message(format, *args)
 
+    def _declared_body_length(self) -> int:
+        self._body_unreadable: str | None = None
+        if self.headers.get("Transfer-Encoding"):
+            # This server never decodes chunked bodies; without a known
+            # length the connection cannot be re-synchronised after the
+            # response, so it must not be kept alive — and the request must
+            # not silently run with an empty body in place of the one sent.
+            self.close_connection = True
+            self._body_unreadable = (
+                "chunked request bodies are not supported (send Content-Length)"
+            )
+            return 0
+        raw = self.headers.get("Content-Length")
+        if raw is None:
+            return 0
+        try:
+            length = int(raw)
+            if length < 0:
+                raise ValueError(raw)
+            return length
+        except ValueError:
+            # Unparseable (or negative) framing: any body bytes on the wire
+            # would desync the connection, so reject and close.
+            self.close_connection = True
+            self._body_unreadable = f"invalid Content-Length: {raw!r}"
+            return 0
+
+    def _drain_unread_body(self) -> None:
+        """Consume whatever part of the request body was never read.
+
+        Sending a response while unread body bytes sit on the socket
+        corrupts HTTP/1.1 keep-alive: the next pipelined request would be
+        parsed starting inside the previous request's body.  Every response
+        path calls this first; oversized or unterminated bodies downgrade to
+        ``Connection: close`` instead of being slurped.
+        """
+        remaining = getattr(self, "_unread_body", 0)
+        self._unread_body = 0
+        if remaining <= 0:
+            return
+        if remaining > self.max_drain_bytes:
+            self.close_connection = True
+            return
+        while remaining > 0:
+            chunk = self.rfile.read(min(remaining, 65536))
+            if not chunk:
+                self.close_connection = True
+                return
+            remaining -= len(chunk)
+
     def _send_json(self, status: int, payload: Mapping[str, Any]) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        try:
+            body = json.dumps(payload, allow_nan=False).encode("utf-8")
+        except ValueError:
+            # Standard JSON has no NaN/Infinity literal; a non-finite value
+            # in a response is a server-side bug, not a client error.
+            status = 500
+            body = json.dumps(
+                {"error": "internal error: response contained a non-finite number"}
+            ).encode("utf-8")
+        self._drain_unread_body()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
@@ -101,12 +189,20 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self._send_json(status, {"error": message})
 
     def _read_body(self) -> dict[str, Any]:
-        length = int(self.headers.get("Content-Length") or 0)
+        unreadable = getattr(self, "_body_unreadable", None)
+        if unreadable:
+            # A body was declared but cannot be read: reject, never execute
+            # the request with defaults in place of the client's parameters.
+            raise ServiceError(unreadable)
+        length = getattr(self, "_unread_body", None)
+        if length is None:
+            length = self._declared_body_length()
         raw = self.rfile.read(length) if length else b""
+        self._unread_body = 0
         if not raw:
             return {}
         try:
-            payload = json.loads(raw.decode("utf-8"))
+            payload = json.loads(raw.decode("utf-8"), parse_constant=_reject_non_finite)
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ServiceError(f"request body is not valid JSON: {exc}") from None
         if not isinstance(payload, dict):
@@ -131,6 +227,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     # Routes
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self._unread_body = self._declared_body_length()
         parsed = urlparse(self.path)
         if parsed.path == "/stats":
             self._dispatch(lambda: (200, self.service.stats()))
@@ -148,6 +245,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(404, f"no such endpoint: {parsed.path}")
 
     def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        self._unread_body = self._declared_body_length()
         path = urlparse(self.path).path
         routes = {
             "/register": self._post_register,

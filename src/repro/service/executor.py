@@ -22,11 +22,12 @@ produces error entries for its members without aborting the rest.
 
 from __future__ import annotations
 
+import math
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
-from repro.exceptions import ReproError, ServiceError
+from repro.exceptions import ServiceError
 from repro.query.cq import ConjunctiveQuery
 from repro.service.service import CountResponse, PrivateQueryService
 
@@ -50,9 +51,18 @@ class BatchRequest:
         if unknown:
             raise ServiceError(f"unknown batch request fields: {sorted(unknown)}")
         epsilon = payload.get("epsilon")
+        if epsilon is not None:
+            try:
+                epsilon = float(epsilon)
+            except (TypeError, ValueError):
+                raise ServiceError(
+                    f"batch request epsilon must be a number, got {epsilon!r}"
+                ) from None
+            if not math.isfinite(epsilon):
+                raise ServiceError(f"batch request epsilon must be finite, got {epsilon}")
         return cls(
             query=payload["query"],
-            epsilon=float(epsilon) if epsilon is not None else None,
+            epsilon=epsilon,
             method=payload.get("method", "residual"),
         )
 
@@ -149,8 +159,12 @@ class BatchExecutor:
                 raise ServiceError(
                     "per-request epsilons and epsilon_total are mutually exclusive"
                 )
-            if epsilon_total <= 0:
-                raise ServiceError(f"epsilon_total must be positive, got {epsilon_total}")
+            # NaN sails through a bare "<= 0" comparison and would poison
+            # epsilon_per_group for every group; reject non-finite totals.
+            if not math.isfinite(epsilon_total) or epsilon_total <= 0:
+                raise ServiceError(
+                    f"epsilon_total must be positive and finite, got {epsilon_total}"
+                )
         elif any(req.epsilon is None for req in normalized):
             raise ServiceError(
                 "every request needs an epsilon when epsilon_total is not given"
@@ -184,7 +198,10 @@ class BatchExecutor:
                     session=session,
                     method=req.method,
                 )
-            except ReproError as exc:
+            except Exception as exc:
+                # The per-item failure contract covers *any* exception — a
+                # poisoned query object raising something outside ReproError
+                # must not escape pool.map and abort the whole batch.
                 return exc
 
         with ThreadPoolExecutor(max_workers=self._max_workers) as pool:

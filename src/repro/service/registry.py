@@ -6,16 +6,29 @@ records whose ``(name, version)`` pair the caches use as part of their keys:
 re-registering a name bumps the version, so every cached plan, profile or
 sensitivity derived from the old contents silently becomes unreachable (and
 ages out of the LRU) instead of being served stale.
+
+When the registry is backed by a :class:`~repro.service.persistence.StateStore`,
+every (un)registration journals a **versioned metadata snapshot** of the
+database — name, version, backend, relation sizes.  Database *contents* are
+not persisted (re-register them after a restart); what recovery guarantees
+is that the version sequence resumes where it left off, so cache keys
+derived from pre-restart contents can never be resurrected by a post-restart
+registration under the same name.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 from repro.data.database import Database
 from repro.engine.backend import get_backend
 from repro.exceptions import ServiceError, UnknownResourceError
+from repro.service.persistence import exclusive_or_null
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.service.persistence import StateStore
 
 __all__ = ["DatabaseRegistry", "RegisteredDatabase"]
 
@@ -54,12 +67,24 @@ class RegisteredDatabase:
 
 
 class DatabaseRegistry:
-    """A thread-safe mapping of names to registered databases."""
+    """A thread-safe mapping of names to registered databases.
 
-    def __init__(self) -> None:
+    ``journal`` optionally write-ahead-logs every (un)registration's
+    metadata; mutating paths acquire the store lock first (the serving
+    layer's outermost lock) so snapshots stay consistent.
+    """
+
+    def __init__(self, journal: "StateStore | None" = None) -> None:
         self._lock = threading.RLock()
         self._entries: dict[str, RegisteredDatabase] = {}
         self._versions: dict[str, int] = {}
+        # Metadata of databases known from a recovered journal but whose
+        # contents have not been re-registered in this process lifetime.
+        self._recovered: dict[str, dict[str, Any]] = {}
+        self.journal = journal
+
+    def _exclusive(self):
+        return exclusive_or_null(self.journal)
 
     def register(
         self,
@@ -81,18 +106,27 @@ class DatabaseRegistry:
         if not name or not isinstance(name, str):
             raise ServiceError(f"database name must be a non-empty string, got {name!r}")
         backend = get_backend(backend).name
-        with self._lock:
-            if name in self._entries and not replace:
-                raise ServiceError(
-                    f"database {name!r} is already registered (pass replace=True to update)"
+        with self._exclusive():
+            with self._lock:
+                if name in self._entries and not replace:
+                    raise ServiceError(
+                        f"database {name!r} is already registered (pass replace=True to update)"
+                    )
+                version = self._versions.get(name, 0) + 1
+                entry = RegisteredDatabase(
+                    name=name, version=version, database=database, backend=backend
                 )
-            version = self._versions.get(name, 0) + 1
-            self._versions[name] = version
-            entry = RegisteredDatabase(
-                name=name, version=version, database=database, backend=backend
-            )
-            self._entries[name] = entry
-            return entry
+
+                def install() -> None:
+                    self._versions[name] = version
+                    self._entries[name] = entry
+                    self._recovered.pop(name, None)
+
+                if self.journal is not None:
+                    self.journal.append("register", apply=install, **entry.describe())
+                else:
+                    install()
+                return entry
 
     def get(self, name: str) -> RegisteredDatabase:
         """The current registration of ``name`` (raises if unknown)."""
@@ -104,10 +138,40 @@ class DatabaseRegistry:
 
     def unregister(self, name: str) -> None:
         """Remove ``name`` (raises if unknown); the version counter survives."""
+        with self._exclusive():
+            with self._lock:
+                if name not in self._entries:
+                    raise UnknownResourceError(f"unknown database {name!r}")
+
+                def remove() -> None:
+                    del self._entries[name]
+
+                if self.journal is not None:
+                    self.journal.append("unregister", apply=remove, name=name)
+                else:
+                    remove()
+
+    def restore(
+        self, versions: dict[str, int], metadata: dict[str, dict[str, Any]]
+    ) -> None:
+        """Resume the version sequence (and remember metadata) from recovery.
+
+        Silent by design — the state came *from* the journal.  Contents are
+        not restored; a recovered name answers queries again only after the
+        caller re-registers its database (with ``replace=True``), which
+        continues the version sequence from the recovered counter.
+        """
         with self._lock:
-            if name not in self._entries:
-                raise UnknownResourceError(f"unknown database {name!r}")
-            del self._entries[name]
+            for name, version in versions.items():
+                self._versions[name] = max(self._versions.get(name, 0), int(version))
+            for name, meta in metadata.items():
+                if name not in self._entries:
+                    self._recovered[name] = dict(meta)
+
+    def recovered_metadata(self) -> dict[str, dict[str, Any]]:
+        """Metadata of recovered-but-not-reloaded databases (by name)."""
+        with self._lock:
+            return {name: dict(meta) for name, meta in self._recovered.items()}
 
     def names(self) -> list[str]:
         """The registered names, sorted."""
@@ -127,3 +191,20 @@ class DatabaseRegistry:
         with self._lock:
             entries = list(self._entries.values())
         return {entry.name: entry.describe() for entry in entries}
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """The databases/versions portion of a compacted state snapshot.
+
+        Recovered-but-not-reloaded metadata is carried forward so a
+        compaction can never lose a version counter.
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+            databases: dict[str, Any] = {
+                name: dict(meta) for name, meta in self._recovered.items()
+            }
+            versions = dict(self._versions)
+        for entry in entries:
+            databases[entry.name] = entry.describe()
+            versions[entry.name] = max(versions.get(entry.name, 0), entry.version)
+        return {"databases": databases, "versions": versions}

@@ -21,6 +21,15 @@ deterministic function of the query shape and database version, and noise is
 always drawn fresh from the service's generator.  With a fixed seed, a
 cached service and an uncached one (``cache_capacity=0``) produce *bitwise
 identical* release sequences.
+
+With ``state_dir=`` the service becomes **restartable**: sessions, spent
+budgets, the shared deployment budget, audit totals and registered-database
+version metadata are write-ahead journaled (and periodically compacted into
+snapshots) by :mod:`repro.service.persistence`, and a service constructed on
+the same directory recovers them.  Charges are transactional — reserve →
+journal → commit, with rollback if drawing the release fails — so ε can
+never be consumed without either a release or a durable record of the
+refusal.
 """
 
 from __future__ import annotations
@@ -45,6 +54,7 @@ from repro.query.parser import parse_query
 from repro.sensitivity.base import SensitivityResult
 from repro.sensitivity.residual import ResidualSensitivity
 from repro.service.cache import LRUCache
+from repro.service.persistence import RecoveredState, StateStore
 from repro.service.registry import DatabaseRegistry, RegisteredDatabase
 from repro.service.sessions import SessionManager
 
@@ -119,6 +129,14 @@ class PrivateQueryService:
         service produces a reproducible release sequence.
     strategy:
         Evaluation strategy forwarded to the residual-sensitivity engine.
+    state_dir:
+        Optional directory for durable state (see
+        :mod:`repro.service.persistence`).  Sessions, budgets and audit
+        totals found there are recovered before the service starts serving;
+        every subsequent state transition is write-ahead journaled.
+    snapshot_interval:
+        Journal records between automatic compacted snapshots (``0``
+        disables automatic compaction).  Only meaningful with ``state_dir``.
 
     Examples
     --------
@@ -142,12 +160,25 @@ class PrivateQueryService:
         session_ttl: float | None = None,
         rng: np.random.Generator | int | None = None,
         strategy: str = "auto",
+        state_dir: str | None = None,
+        snapshot_interval: int = 1000,
     ):
-        shared = PrivacyAccountant(total_budget) if total_budget is not None else None
-        self._registry = DatabaseRegistry()
-        self._sessions = SessionManager(
-            session_budget, ttl=session_ttl, shared=shared
+        self._store = (
+            StateStore(state_dir, snapshot_interval=snapshot_interval)
+            if state_dir is not None
+            else None
         )
+        recovered = self._store.recover() if self._store is not None else None
+        shared = PrivacyAccountant(total_budget) if total_budget is not None else None
+        self._registry = DatabaseRegistry(journal=self._store)
+        self._sessions = SessionManager(
+            session_budget, ttl=session_ttl, shared=shared, journal=self._store
+        )
+        self._recovered_seq = 0
+        if recovered is not None:
+            self._restore(recovered)
+        if self._store is not None:
+            self._store.snapshot_provider = self._snapshot_state
         self._plan_cache = LRUCache(cache_capacity)
         self._profile_cache = LRUCache(cache_capacity)
         self._sensitivity_cache = LRUCache(cache_capacity)
@@ -159,6 +190,48 @@ class PrivateQueryService:
         self._rng_lock = threading.Lock()
         self._requests_served = 0
         self._stats_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    @property
+    def store(self) -> StateStore | None:
+        """The durable state store (``None`` without ``state_dir``)."""
+        return self._store
+
+    def _restore(self, recovered: RecoveredState) -> None:
+        """Rebuild sessions, budgets, audit and registry metadata — silently
+        (no journaling: the state came *from* the journal)."""
+        for session in recovered.sessions.values():
+            self._sessions.restore_session(session)
+        if self._sessions.shared is not None:
+            for epsilon, label in recovered.shared_charge_list:
+                self._sessions.shared.restore_charge(epsilon, label=label)
+        if recovered.audit_total:
+            self._sessions.audit.restore(recovered.audit_tail, recovered.audit_total)
+        self._registry.restore(recovered.versions, recovered.databases)
+        self._recovered_seq = recovered.seq
+
+    def _snapshot_state(self) -> dict[str, Any]:
+        """The compacted-snapshot body (called under the store lock, which
+        quiesces every mutating path)."""
+        return {
+            **self._sessions.snapshot_state(),
+            **self._registry.snapshot_state(),
+        }
+
+    def close(self, *, snapshot: bool = True) -> None:
+        """Flush durable state and release the journal file handle.
+
+        With ``snapshot=True`` (the default) a final compacted snapshot is
+        written first, so the next recovery replays an empty journal.  A
+        service without ``state_dir`` has nothing to do.
+        """
+        if self._store is None:
+            return
+        if snapshot and self._store.snapshot_provider is not None:
+            self._store.compact()
+        self._store.close()
 
     # ------------------------------------------------------------------ #
     # Registry / sessions passthrough
@@ -294,6 +367,9 @@ class PrivateQueryService:
         budget, if configured) before any noise is drawn; raises
         :class:`~repro.exceptions.PrivacyError` when either budget cannot
         afford it, and :class:`ServiceError` for unknown databases/sessions.
+        The charge is transactional: if drawing the release fails, the
+        reservation is rolled back (and the refusal journaled) instead of
+        silently consuming ε without an answer.
         """
         if method not in _METHODS:
             raise ServiceError(f"unknown calibration method {method!r}")
@@ -311,26 +387,31 @@ class PrivateQueryService:
         true_count, count_hit = self._true_count(reg, parsed, key)
 
         label = key if key is not None else parsed.name
-        self._sessions.charge(session, epsilon, label=f"{database}:{label}")
-
-        with self._rng_lock:
-            releaser = PrivateCountingQuery(
-                parsed,
-                epsilon=epsilon,
-                method=method,  # type: ignore[arg-type]
-                rng=self._rng,
-                strategy=self._strategy,
-                backend=reg.backend,
-            )
-            release = releaser.release(
-                reg.database, true_count=true_count, sensitivity=sensitivity
-            )
+        txn = self._sessions.begin_charge(session, epsilon, label=f"{database}:{label}")
+        try:
+            with self._rng_lock:
+                releaser = PrivateCountingQuery(
+                    parsed,
+                    epsilon=epsilon,
+                    method=method,  # type: ignore[arg-type]
+                    rng=self._rng,
+                    strategy=self._strategy,
+                    backend=reg.backend,
+                )
+                release = releaser.release(
+                    reg.database, true_count=true_count, sensitivity=sensitivity
+                )
+        except Exception as exc:
+            txn.rollback(reason=f"release failed: {exc}")
+            raise
+        txn.commit()
         with self._stats_lock:
             self._requests_served += 1
 
-        remaining = None
-        if session is not None:
-            remaining = self._sessions.get(session).ledger.remaining
+        # The transaction captured the post-charge remaining budget under the
+        # session lock: re-fetching the session here could race TTL expiry
+        # and lose a paid-for answer to UnknownResourceError.
+        remaining = txn.remaining
         return CountResponse(
             database=reg.name,
             version=reg.version,
@@ -404,6 +485,15 @@ class PrivateQueryService:
                 "records": len(self._sessions.audit),
                 "total_recorded": self._sessions.audit.total_recorded,
             },
+            "persistence": (
+                None
+                if self._store is None
+                else {
+                    **self._store.describe(),
+                    "recovered_seq": self._recovered_seq,
+                    "recovered_databases": sorted(self._registry.recovered_metadata()),
+                }
+            ),
         }
 
     def clear_caches(self) -> None:

@@ -3,29 +3,77 @@
 Each client session owns a :class:`~repro.mechanisms.accountant.PrivacyAccountant`
 (its *ledger*).  The manager can additionally hold a *shared* accountant —
 the deployment-wide budget all sessions draw from — in which case a charge
-must fit in both: the session ledger is checked under the session's lock,
-then the shared accountant is charged (itself atomic), then the session
-ledger.  This ordering needs no refunds and guarantees that concurrent
-sessions can never jointly overspend the shared budget.
+must fit in both.
 
-Every charge attempt — granted or denied — is appended to a bounded
-:class:`AuditLog`, the record a deployment would reconcile against its DP
-disclosure policy.
+Charging is **transactional** (:meth:`SessionManager.begin_charge`): the ε
+is *reserved* against both ledgers under the session's lock, the charge is
+*journaled* to the write-ahead ledger journal (when the manager is backed by
+a :class:`~repro.service.persistence.StateStore`), and the caller then either
+*commits* (the release was produced) or *rolls back* (the release failed —
+both reservations are refunded and the refusal is journaled).  A request can
+therefore never consume ε without either producing a release or leaving a
+durable record of the refusal.
+
+Every charge attempt — granted, denied or rolled back — is appended to a
+bounded :class:`AuditLog`, the record a deployment would reconcile against
+its DP disclosure policy.
+
+Lock ordering: when a journal is attached, its store lock is the outermost
+lock (``store > manager/session > accountant``); mutating paths enter
+``journal.exclusive()`` first so a state snapshot can never observe an
+in-memory effect whose journal record it does not cover.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 import threading
 import time
 import uuid
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.exceptions import PrivacyError, ServiceError, UnknownResourceError
-from repro.mechanisms.accountant import PrivacyAccountant
+from repro.mechanisms.accountant import BudgetCharge, PrivacyAccountant
+from repro.service.persistence import AUDIT_TAIL_LIMIT, exclusive_or_null
 
-__all__ = ["AuditLog", "AuditRecord", "Session", "SessionManager"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.service.persistence import RecoveredSession, StateStore
+
+__all__ = [
+    "AuditLog",
+    "AuditRecord",
+    "ChargeTransaction",
+    "Session",
+    "SessionManager",
+]
+
+
+def _refund_all(reservations: list[tuple[PrivacyAccountant, BudgetCharge]]) -> None:
+    """Refund a reservation list in reverse acquisition order."""
+    for accountant, record in reversed(reservations):
+        accountant.refund(record)
+
+
+def _validate_epsilon(epsilon: object) -> None:
+    """Reject a non-numeric/non-finite/non-positive charge ε."""
+    if not isinstance(epsilon, (int, float)) or not math.isfinite(epsilon) or epsilon <= 0:
+        raise PrivacyError(f"epsilon must be positive and finite, got {epsilon!r}")
+
+
+def _journal_safe(epsilon: object) -> float:
+    """A journal/audit-safe ε for *denied* requests.
+
+    A denial of ``NaN``/``inf``/non-numeric ε must still leave a durable
+    deny record, but those values cannot be serialised (``allow_nan=False``
+    everywhere); the record carries 0.0 and the detail string names the
+    offending value.  Granted charges never pass through here — their ε is
+    validated finite before any ledger is touched.
+    """
+    if isinstance(epsilon, (int, float)) and math.isfinite(epsilon):
+        return float(epsilon)
+    return 0.0
 
 
 @dataclass(frozen=True)
@@ -34,7 +82,7 @@ class AuditRecord:
 
     seq: int
     session_id: str
-    action: str  # "create" | "charge" | "deny" | "close" | "expire"
+    action: str  # "create" | "charge" | "deny" | "rollback" | "close" | "expire"
     epsilon: float
     label: str
     ok: bool
@@ -78,17 +126,17 @@ class AuditLog:
         detail: str = "",
     ) -> AuditRecord:
         """Record an event; the oldest record is dropped when full."""
-        record = AuditRecord(
-            seq=next(self._seq),
-            session_id=session_id,
-            action=action,
-            epsilon=epsilon,
-            label=label,
-            ok=ok,
-            detail=detail,
-            timestamp=time.time(),
-        )
         with self._lock:
+            record = AuditRecord(
+                seq=next(self._seq),
+                session_id=session_id,
+                action=action,
+                epsilon=epsilon,
+                label=label,
+                ok=ok,
+                detail=detail,
+                timestamp=time.time(),
+            )
             self._records.append(record)
             self._total += 1
             if len(self._records) > self._max_records:
@@ -99,6 +147,34 @@ class AuditLog:
         """The most recent ``n`` records, oldest first."""
         with self._lock:
             return self._records[-n:] if n > 0 else []
+
+    def restore(self, tail: list[dict[str, Any]], total_recorded: int) -> None:
+        """Reload the log from recovered state (a bounded tail + the total).
+
+        Used once, at service start, before any new record is appended; the
+        sequence counter resumes at ``total_recorded`` so recovered and new
+        records never share a seq.
+        """
+        with self._lock:
+            if self._total:
+                raise ServiceError("cannot restore an audit log that already has records")
+            kept = tail[-self._max_records:]
+            base = total_recorded - len(kept)
+            self._records = [
+                AuditRecord(
+                    seq=base + offset,
+                    session_id=str(entry.get("session", "-")),
+                    action=str(entry.get("action", "")),
+                    epsilon=float(entry.get("epsilon", 0.0)),
+                    label=str(entry.get("label", "")),
+                    ok=bool(entry.get("ok", True)),
+                    detail=str(entry.get("detail", "")),
+                    timestamp=float(entry.get("timestamp", 0.0)),
+                )
+                for offset, entry in enumerate(kept)
+            ]
+            self._total = total_recorded
+            self._seq = itertools.count(total_recorded)
 
     @property
     def total_recorded(self) -> int:
@@ -115,8 +191,8 @@ class Session:
     """One client session: an id, a budget ledger and activity timestamps.
 
     Instances are created by :class:`SessionManager`; charge through the
-    manager (or :meth:`charge`) rather than the raw ledger so the shared
-    budget and the audit log stay consistent.
+    manager (or :meth:`SessionManager.charge`) rather than the raw ledger so
+    the shared budget, the journal and the audit log stay consistent.
     """
 
     def __init__(self, session_id: str, budget: float, created_at: float):
@@ -145,6 +221,57 @@ class Session:
         }
 
 
+class ChargeTransaction:
+    """A reserved charge awaiting :meth:`commit` or :meth:`rollback`.
+
+    Created by :meth:`SessionManager.begin_charge` *after* the ε has been
+    reserved against the session and shared ledgers and the charge has been
+    journaled.  ``remaining`` is the session's post-charge remaining budget,
+    captured atomically under the session lock — callers must use it instead
+    of re-fetching the session, which can lose a paid-for answer to a TTL
+    expiry racing the lookup.
+    """
+
+    def __init__(
+        self,
+        manager: "SessionManager",
+        session_id: str | None,
+        epsilon: float,
+        label: str,
+        remaining: float | None,
+        reservations: list[tuple[PrivacyAccountant, BudgetCharge]],
+    ):
+        self._manager = manager
+        self.session_id = session_id
+        self.epsilon = epsilon
+        self.label = label
+        self.remaining = remaining
+        self._reservations = reservations
+        self._state = "reserved"
+
+    @property
+    def state(self) -> str:
+        """``"reserved"``, ``"committed"`` or ``"rolled_back"``."""
+        return self._state
+
+    def commit(self) -> None:
+        """Finalise the charge (the release was produced).
+
+        The charge was already journaled and audited atomically at reserve
+        time; committing simply forfeits the right to roll back.
+        """
+        if self._state != "reserved":
+            raise ServiceError(f"cannot commit a {self._state} charge transaction")
+        self._state = "committed"
+
+    def rollback(self, reason: str = "") -> None:
+        """Refund both reservations and journal the refusal."""
+        if self._state != "reserved":
+            raise ServiceError(f"cannot roll back a {self._state} charge transaction")
+        self._state = "rolled_back"
+        self._manager._rollback(self, reason)
+
+
 class SessionManager:
     """Creates, expires and charges sessions.
 
@@ -160,6 +287,9 @@ class SessionManager:
         Optional deployment-wide accountant every charge must also fit in.
     clock:
         Monotonic time source (injectable for tests).
+    journal:
+        Optional :class:`~repro.service.persistence.StateStore`; when given,
+        every state transition is written ahead to its ledger journal.
     """
 
     def __init__(
@@ -170,18 +300,36 @@ class SessionManager:
         shared: PrivacyAccountant | None = None,
         clock: Callable[[], float] = time.monotonic,
         audit: AuditLog | None = None,
+        journal: "StateStore | None" = None,
     ):
-        if default_budget <= 0:
-            raise ServiceError(f"default_budget must be positive, got {default_budget}")
+        if not math.isfinite(default_budget) or default_budget <= 0:
+            raise ServiceError(
+                f"default_budget must be positive and finite, got {default_budget}"
+            )
         if ttl is not None and ttl <= 0:
             raise ServiceError(f"ttl must be positive (or None), got {ttl}")
         self.default_budget = default_budget
         self.ttl = ttl
         self.shared = shared
         self.audit = audit if audit is not None else AuditLog()
+        self.journal = journal
         self._clock = clock
         self._lock = threading.RLock()
         self._sessions: dict[str, Session] = {}
+
+    # ------------------------------------------------------------------ #
+    # Journal plumbing
+    # ------------------------------------------------------------------ #
+    def _exclusive(self):
+        """The journal's store lock (a no-op context without a journal)."""
+        return exclusive_or_null(self.journal)
+
+    def _record(self, event: str, *, apply: Callable[[], None] | None = None, **fields) -> None:
+        """Journal ``event`` then run ``apply`` (or just run it, unjournaled)."""
+        if self.journal is not None:
+            self.journal.append(event, apply=apply, **fields)
+        elif apply is not None:
+            apply()
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -189,15 +337,30 @@ class SessionManager:
     def create(self, *, budget: float | None = None, session_id: str | None = None) -> Session:
         """A new session (fresh ledger); raises if the id is already live."""
         budget = self.default_budget if budget is None else budget
-        if budget <= 0:
-            raise ServiceError(f"session budget must be positive, got {budget}")
+        if not isinstance(budget, (int, float)) or not math.isfinite(budget) or budget <= 0:
+            raise ServiceError(f"session budget must be positive and finite, got {budget}")
         session_id = session_id or uuid.uuid4().hex[:16]
-        with self._lock:
-            if session_id in self._sessions:
-                raise ServiceError(f"session {session_id!r} already exists")
+        with self._exclusive():
             session = Session(session_id, budget, created_at=self._clock())
-            self._sessions[session_id] = session
-        self.audit.append(session_id, "create", epsilon=budget, detail="session created")
+
+            def install() -> None:
+                with self._lock:
+                    if session.session_id in self._sessions:
+                        raise ServiceError(f"session {session.session_id!r} already exists")
+                    self._sessions[session.session_id] = session
+                self.audit.append(
+                    session.session_id, "create", epsilon=budget, detail="session created"
+                )
+
+            # Check uniqueness before journaling so a duplicate id never
+            # leaves a create record (without a journal, install() is the
+            # atomic check-and-insert).  The audit append rides inside the
+            # applied effect so a compacted snapshot can never observe a
+            # journaled event whose audit record has not landed yet.
+            with self._lock:
+                if self.journal is not None and session_id in self._sessions:
+                    raise ServiceError(f"session {session_id!r} already exists")
+            self._record("session_create", apply=install, session=session_id, budget=budget)
         return session
 
     def get(self, session_id: str) -> Session:
@@ -211,27 +374,65 @@ class SessionManager:
 
     def close(self, session_id: str) -> None:
         """Close and remove a session."""
-        with self._lock:
-            session = self._sessions.pop(session_id, None)
-        if session is None:
-            raise UnknownResourceError(f"unknown or expired session {session_id!r}")
-        session.closed = True
-        self.audit.append(session_id, "close", detail="session closed")
+        with self._exclusive():
+            closed: list[Session] = []
+
+            def remove() -> None:
+                # The pop doubles as the existence check so two racing
+                # closers cannot both succeed (and double-audit).
+                with self._lock:
+                    session = self._sessions.pop(session_id, None)
+                if session is None:
+                    raise UnknownResourceError(
+                        f"unknown or expired session {session_id!r}"
+                    )
+                closed.append(session)
+                self.audit.append(session_id, "close", detail="session closed")
+
+            # With a journal, check existence before writing the close
+            # record (racing closers are serialised by the store lock, so
+            # remove() cannot fail after the record is journaled).
+            if self.journal is not None:
+                with self._lock:
+                    if session_id not in self._sessions:
+                        raise UnknownResourceError(
+                            f"unknown or expired session {session_id!r}"
+                        )
+            self._record("session_close", apply=remove, session=session_id)
+            closed[0].closed = True
 
     def expire_idle(self) -> list[str]:
         """Expire (and return the ids of) sessions idle past the TTL."""
         if self.ttl is None:
             return []
         now = self._clock()
-        expired: list[str] = []
+        # Cheap pre-check before touching the (global) store lock: every
+        # get() runs through here, and in the common nothing-is-stale case
+        # concurrent readers must not serialize on the journal.
         with self._lock:
-            for session_id, session in list(self._sessions.items()):
-                if now - session.last_active > self.ttl:
-                    del self._sessions[session_id]
-                    session.closed = True
-                    expired.append(session_id)
-        for session_id in expired:
-            self.audit.append(session_id, "expire", detail="idle past ttl")
+            if not any(
+                now - session.last_active > self.ttl
+                for session in self._sessions.values()
+            ):
+                return []
+        expired: list[str] = []
+        with self._exclusive():
+            with self._lock:
+                stale = [
+                    (session_id, session)
+                    for session_id, session in self._sessions.items()
+                    if now - session.last_active > self.ttl
+                ]
+            for session_id, session in stale:
+
+                def remove(session_id: str = session_id) -> None:
+                    with self._lock:
+                        self._sessions.pop(session_id, None)
+                    self.audit.append(session_id, "expire", detail="idle past ttl")
+
+                self._record("session_expire", apply=remove, session=session_id)
+                session.closed = True
+                expired.append(session_id)
         return expired
 
     def active_ids(self) -> list[str]:
@@ -240,18 +441,39 @@ class SessionManager:
         with self._lock:
             return sorted(self._sessions)
 
+    def restore_session(self, recovered: "RecoveredSession") -> Session:
+        """Rebuild a session from recovered journal state.
+
+        Silent by design: no journal record (the state came *from* the
+        journal) and no audit entry (the audit log is restored separately).
+        """
+        with self._lock:
+            if recovered.session_id in self._sessions:
+                raise ServiceError(
+                    f"cannot restore session {recovered.session_id!r}: already live"
+                )
+            session = Session(
+                recovered.session_id, recovered.budget, created_at=self._clock()
+            )
+            for epsilon, label in recovered.charges:
+                session.ledger.restore_charge(epsilon, label=label)
+            self._sessions[recovered.session_id] = session
+        return session
+
     # ------------------------------------------------------------------ #
     # Charging
     # ------------------------------------------------------------------ #
     def precheck(self, session_id: str | None, epsilon: float) -> None:
         """Cheaply reject a charge that cannot possibly succeed.
 
-        Non-atomic and advisory — :meth:`charge` remains the authoritative
-        check — but it lets the service refuse hopeless requests *before*
-        paying for sensitivity computation.  Denials are audited.
+        Non-atomic and advisory — :meth:`begin_charge` remains the
+        authoritative check — but it lets the service refuse hopeless
+        requests *before* paying for sensitivity computation.  Denials are
+        journaled and audited.
         """
         audit_id = session_id if session_id is not None else "-"
         try:
+            _validate_epsilon(epsilon)
             if session_id is not None:
                 session = self.get(session_id)
                 if not session.ledger.can_afford(epsilon):
@@ -265,45 +487,145 @@ class SessionManager:
                     f"remaining {self.shared.remaining}"
                 )
         except PrivacyError as exc:
-            self.audit.append(
-                audit_id, "deny", epsilon=epsilon, ok=False, detail=str(exc)
+            safe_epsilon = _journal_safe(epsilon)
+            self._record(
+                "deny",
+                apply=lambda: self.audit.append(
+                    audit_id, "deny", epsilon=safe_epsilon, ok=False, detail=str(exc)
+                ),
+                session=session_id,
+                epsilon=safe_epsilon,
+                label="",
+                detail=str(exc),
             )
             raise
 
-    def charge(self, session_id: str | None, epsilon: float, label: str = "") -> None:
-        """Charge ``epsilon`` against the session *and* the shared budget.
+    def begin_charge(
+        self, session_id: str | None, epsilon: float, label: str = ""
+    ) -> ChargeTransaction:
+        """Atomically reserve and journal a charge; commit or roll back later.
+
+        The pipeline is *reserve → journal → commit*: the ε is charged
+        against the session ledger (under the session's lock) and the shared
+        accountant, the charge record is appended to the write-ahead journal
+        — all under the store lock, so a crash at any point replays to a
+        consistent state — and the returned transaction is then committed by
+        the caller once the release exists, or rolled back (refunding both
+        ledgers, journaling the refusal) if producing it failed.
 
         ``session_id=None`` charges only the shared budget (anonymous,
-        ledger-less access — the CLI one-shot path).  Denials are audited and
-        re-raised as :class:`PrivacyError`.
+        ledger-less access — the CLI one-shot path).  Denials are journaled,
+        audited and re-raised as :class:`PrivacyError`.
         """
         audit_id = session_id if session_id is not None else "-"
         try:
+            # Validate up front: with neither a session ledger nor a shared
+            # accountant no can_afford() would ever run, and a NaN/inf must
+            # deny here rather than reach the journal (or silently succeed).
+            _validate_epsilon(epsilon)
             if session_id is None:
-                if self.shared is not None:
-                    self.shared.charge(epsilon, label=label)
+                with self._exclusive():
+                    reservations = self._reserve_and_journal(None, epsilon, label)
+                remaining: float | None = None
             else:
                 session = self.get(session_id)
-                with session.lock:
-                    # Verify the session ledger first (under its lock, so no
-                    # concurrent charge on the same session can interleave),
-                    # then charge the shared accountant (atomic), then the
-                    # ledger — which can no longer fail.  No refund path.
-                    if not session.ledger.can_afford(epsilon):
-                        raise PrivacyError(
-                            f"session budget exhausted: requested {epsilon}, "
-                            f"remaining {session.ledger.remaining}"
-                        )
-                    if self.shared is not None:
-                        self.shared.charge(epsilon, label=f"{session_id}:{label}")
-                    session.ledger.charge(epsilon, label=label)
-                    session.last_active = self._clock()
+                with self._exclusive():
+                    with session.lock:
+                        # Verify the session ledger first (under its lock, so
+                        # no concurrent charge on the same session can
+                        # interleave), then reserve the shared accountant
+                        # (atomic), then the ledger — which can no longer
+                        # fail — then journal.  Any failure refunds in
+                        # reverse order.
+                        if not session.ledger.can_afford(epsilon):
+                            raise PrivacyError(
+                                f"session budget exhausted: requested {epsilon}, "
+                                f"remaining {session.ledger.remaining}"
+                            )
+                        reservations = self._reserve_and_journal(session, epsilon, label)
+                        session.last_active = self._clock()
+                        remaining = session.ledger.remaining
         except PrivacyError as exc:
-            self.audit.append(
-                audit_id, "deny", epsilon=epsilon, label=label, ok=False, detail=str(exc)
+            safe_epsilon = _journal_safe(epsilon)
+            self._record(
+                "deny",
+                apply=lambda: self.audit.append(
+                    audit_id, "deny", epsilon=safe_epsilon, label=label, ok=False,
+                    detail=str(exc),
+                ),
+                session=session_id,
+                epsilon=safe_epsilon,
+                label=label,
+                detail=str(exc),
             )
             raise
-        self.audit.append(audit_id, "charge", epsilon=epsilon, label=label)
+        return ChargeTransaction(self, session_id, epsilon, label, remaining, reservations)
+
+    def _reserve_and_journal(
+        self, session: Session | None, epsilon: float, label: str
+    ) -> list[tuple[PrivacyAccountant, BudgetCharge]]:
+        """Reserve ε on the shared (and session) ledgers, then journal it.
+
+        The single definition both ``begin_charge`` branches share: any
+        failure — including the journal append itself — refunds every
+        reservation in reverse order and re-raises.  Caller holds the store
+        lock (and the session lock, when there is a session).
+        """
+        session_id = session.session_id if session is not None else None
+        audit_id = session_id if session_id is not None else "-"
+        reservations: list[tuple[PrivacyAccountant, BudgetCharge]] = []
+        try:
+            if self.shared is not None:
+                shared_label = label if session is None else f"{session_id}:{label}"
+                reservations.append(
+                    (self.shared, self.shared.charge(epsilon, label=shared_label))
+                )
+            if session is not None:
+                reservations.append(
+                    (session.ledger, session.ledger.charge(epsilon, label=label))
+                )
+            self._record(
+                "charge",
+                apply=lambda: self.audit.append(
+                    audit_id, "charge", epsilon=epsilon, label=label
+                ),
+                session=session_id,
+                epsilon=epsilon,
+                label=label,
+                shared=self.shared is not None,
+            )
+        except BaseException:
+            _refund_all(reservations)
+            raise
+        return reservations
+
+    def charge(self, session_id: str | None, epsilon: float, label: str = "") -> None:
+        """Charge ``epsilon`` and commit immediately (no release to await)."""
+        self.begin_charge(session_id, epsilon, label=label).commit()
+
+    def _rollback(self, txn: ChargeTransaction, reason: str) -> None:
+        """Refund a reserved charge and journal the refusal (see ``rollback``)."""
+
+        def undo() -> None:
+            _refund_all(txn._reservations)
+            self.audit.append(
+                txn.session_id if txn.session_id is not None else "-",
+                "rollback",
+                epsilon=txn.epsilon,
+                label=txn.label,
+                ok=False,
+                detail=reason,
+            )
+
+        self._record(
+            "rollback",
+            apply=undo,
+            session=txn.session_id,
+            epsilon=txn.epsilon,
+            label=txn.label,
+            detail=reason,
+            shared=self.shared is not None,
+        )
 
     def describe(self, session_id: str) -> dict[str, object]:
         """The budget view of a session, plus the shared budget if any."""
@@ -312,3 +634,41 @@ class SessionManager:
             view["shared_budget"] = self.shared.total_budget
             view["shared_remaining"] = self.shared.remaining
         return view
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """The sessions/shared/audit portion of a compacted state snapshot.
+
+        Called by the :class:`~repro.service.persistence.StateStore` *while
+        holding its store lock*, which quiesces every mutating path, so the
+        ledgers can be read consistently.
+        """
+        with self._lock:
+            sessions = list(self._sessions.values())
+        return {
+            "sessions": [
+                {
+                    "session": session.session_id,
+                    "budget": session.ledger.total_budget,
+                    "charges": [
+                        [charge.epsilon, charge.label] for charge in session.ledger.charges
+                    ],
+                }
+                for session in sessions
+            ],
+            "shared": (
+                None
+                if self.shared is None
+                else {
+                    "spent": self.shared.spent,
+                    "charges": [
+                        [charge.epsilon, charge.label] for charge in self.shared.charges
+                    ],
+                }
+            ),
+            "audit": {
+                "total_recorded": self.audit.total_recorded,
+                "tail": [
+                    record.to_dict() for record in self.audit.tail(AUDIT_TAIL_LIMIT)
+                ],
+            },
+        }

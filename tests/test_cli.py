@@ -268,3 +268,54 @@ class TestServeParser:
         assert args.session_budget == 2.0
         assert args.total_budget == 10.0
         assert args.cache_capacity == 64
+        assert args.state_dir is None
+        assert args.snapshot_interval == 1000
+
+    def test_serve_state_dir_arguments(self):
+        args = build_parser().parse_args(
+            ["serve", "--state-dir", "./state", "--snapshot-interval", "50"]
+        )
+        assert args.state_dir == "./state"
+        assert args.snapshot_interval == 50
+
+
+class TestStateCommand:
+    @pytest.fixture
+    def state_dir(self, tmp_path):
+        """A state directory produced by a real (abandoned) service run."""
+        from repro.service import PrivateQueryService
+
+        db = database_from_edges(
+            [(a, b) for a in range(4) for b in range(4) if a != b]
+        )
+        service = PrivateQueryService(
+            session_budget=2.0, total_budget=10.0, rng=0, state_dir=str(tmp_path)
+        )
+        service.register_database("k4", db)
+        service.create_session(session_id="cli-test")
+        service.count("k4", "Edge(x, y)", epsilon=0.5, session="cli-test")
+        return tmp_path  # no close(): replay works from the journal alone
+
+    def test_state_replay_text(self, state_dir, capsys):
+        assert main(["state", "replay", "--state-dir", str(state_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "cli-test" in output
+        assert "spent 0.500000" in output
+        assert "k4: version 1" in output
+
+    def test_state_replay_json(self, state_dir, capsys):
+        assert main(["state", "replay", "--state-dir", str(state_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sessions"]["cli-test"]["spent"] == pytest.approx(0.5)
+        assert payload["shared"]["spent"] == pytest.approx(0.5)
+        assert payload["databases"]["k4"]["version"] == 1
+        assert payload["audit"]["total_recorded"] == 2  # create + charge
+
+    def test_state_replay_missing_dir_errors(self, tmp_path, capsys):
+        code = main(["state", "replay", "--state-dir", str(tmp_path / "nope")])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_state_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["state"])

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import urllib.error
 import urllib.request
@@ -183,6 +184,31 @@ class TestErrorMapping:
         assert status == 400
         assert "method" in body["error"]
 
+    def test_non_finite_epsilon_is_400(self, server_url):
+        post(f"{server_url}/register", {"name": "k4", "edges": K4_EDGES})
+        for raw in ("NaN", "Infinity", "-Infinity"):
+            # json.dumps would refuse these literals; hand-craft the body the
+            # way a hostile client would (Python's json.loads accepts them).
+            body = (
+                '{"database": "k4", "query": "Edge(x, y)", "epsilon": ' + raw + "}"
+            ).encode("utf-8")
+            request = urllib.request.Request(
+                f"{server_url}/count", data=body, method="POST"
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request)
+            assert excinfo.value.code == 400
+            assert "non-finite" in json.loads(excinfo.value.read())["error"]
+
+    def test_non_finite_session_budget_is_400(self, server_url):
+        body = b'{"budget": NaN}'
+        request = urllib.request.Request(
+            f"{server_url}/budget", data=body, method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+
     def test_non_numeric_epsilon_is_400(self, server_url):
         post(f"{server_url}/register", {"name": "k4", "edges": K4_EDGES})
         status, body = post(
@@ -200,3 +226,125 @@ class TestErrorMapping:
         )
         assert status == 400
         assert "epsilon must be positive" in body["error"]
+
+
+def _raw_request(method: str, path: str, body: bytes = b"") -> bytes:
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        "Host: test\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Content-Type: application/json\r\n"
+        "\r\n"
+    ).encode("ascii")
+    return head + body
+
+
+def _read_response(reader) -> tuple[int, dict]:
+    status_line = reader.readline()
+    assert status_line.startswith(b"HTTP/1.1 "), status_line
+    status = int(status_line.split()[1])
+    length = 0
+    while True:
+        line = reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    return status, json.loads(reader.read(length))
+
+
+class TestKeepAliveFraming:
+    """Error responses must drain the request body or close the connection:
+    leftover body bytes would be parsed as the *next* pipelined request."""
+
+    def _roundtrip(self, server_url, first: bytes) -> tuple[int, int, dict]:
+        host, port = server_url.removeprefix("http://").split(":")
+        second = _raw_request(
+            "POST",
+            "/count",
+            json.dumps(
+                {"database": "k4", "query": "Edge(x, y)", "epsilon": 0.5}
+            ).encode("utf-8"),
+        )
+        with socket.create_connection((host, int(port)), timeout=10) as conn:
+            reader = conn.makefile("rb")
+            conn.sendall(first + second)
+            first_status, _ = _read_response(reader)
+            second_status, second_body = _read_response(reader)
+        return first_status, second_status, second_body
+
+    def test_unknown_endpoint_error_does_not_poison_next_request(self, server_url):
+        post(f"{server_url}/register", {"name": "k4", "edges": K4_EDGES})
+        payload = json.dumps({"irrelevant": "body bytes that must be drained"})
+        first = _raw_request("POST", "/no-such-endpoint", payload.encode("utf-8"))
+        first_status, second_status, second_body = self._roundtrip(server_url, first)
+        assert first_status == 404
+        assert second_status == 200
+        assert isinstance(second_body["noisy_count"], float)
+
+    def test_early_validation_error_does_not_poison_next_request(self, server_url):
+        post(f"{server_url}/register", {"name": "k4", "edges": K4_EDGES})
+        # GET /budget rejects before ever touching the (declared) body.
+        first = _raw_request("GET", "/budget", b'{"unread": "body"}')
+        first_status, second_status, second_body = self._roundtrip(server_url, first)
+        assert first_status == 400
+        assert second_status == 200
+        assert isinstance(second_body["noisy_count"], float)
+
+    def test_chunked_body_is_rejected_and_closes_connection(self, server_url):
+        """The server never decodes chunked bodies: the request must be
+        rejected (never run with an empty body in place of the one sent)
+        and the un-resynchronisable connection must not be kept alive."""
+        host, port = server_url.removeprefix("http://").split(":")
+        chunked = (
+            b"POST /budget HTTP/1.1\r\n"
+            b"Host: test\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"\r\n"
+            b"11\r\n"
+            b'{"budget": 5.0}\r\n'
+            b"0\r\n\r\n"
+        )
+        with socket.create_connection((host, int(port)), timeout=10) as conn:
+            reader = conn.makefile("rb")
+            conn.sendall(chunked)
+            status, body = _read_response(reader)
+            assert status == 400
+            assert "chunked" in body["error"]  # rejected, not defaulted
+            assert reader.read() == b""  # connection closed, never misparsed
+        # No session was created with default parameters behind the 400.
+        _, stats = get(f"{server_url}/stats")
+        assert stats["sessions"]["active"] == []
+
+    def test_negative_content_length_is_rejected_and_closes(self, server_url):
+        host, port = server_url.removeprefix("http://").split(":")
+        raw = (
+            b"POST /budget HTTP/1.1\r\n"
+            b"Host: test\r\n"
+            b"Content-Length: -5\r\n"
+            b"\r\n"
+        )
+        with socket.create_connection((host, int(port)), timeout=10) as conn:
+            reader = conn.makefile("rb")
+            conn.sendall(raw)
+            status, body = _read_response(reader)
+            assert status == 400
+            assert "Content-Length" in body["error"]
+            assert reader.read() == b""  # desynced framing: connection closed
+
+    def test_oversized_unread_body_closes_connection(self, server_url):
+        host, port = server_url.removeprefix("http://").split(":")
+        huge = 4 * 1024 * 1024  # above max_drain_bytes: draining would stall
+        head = (
+            "POST /no-such-endpoint HTTP/1.1\r\n"
+            "Host: test\r\n"
+            f"Content-Length: {huge}\r\n"
+            "\r\n"
+        ).encode("ascii")
+        with socket.create_connection((host, int(port)), timeout=10) as conn:
+            reader = conn.makefile("rb")
+            conn.sendall(head + b"x" * 1024)  # never send the rest
+            status, body = _read_response(reader)
+            assert status == 404
+            assert reader.read() == b""  # server closed instead of waiting

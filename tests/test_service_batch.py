@@ -126,6 +126,54 @@ class TestFailureIsolation:
         with pytest.raises(Exception):
             service.batch("toy", [{"query": "R(x,", "epsilon": 0.1}])
 
+    def test_poisoned_query_fails_only_its_item(self, service):
+        """An arbitrary (non-ReproError) exception inside one group must be
+        recorded per-item, not escape pool.map and abort the whole batch."""
+        from repro.query.cq import ConjunctiveQuery
+        from repro.query.predicates import GenericPredicate
+        from repro.query.parser import parse_query
+
+        def explode(*values):
+            raise RuntimeError("poisoned predicate")
+
+        poisoned = ConjunctiveQuery(
+            parse_query("R(x, y)").atoms,
+            predicates=[GenericPredicate(explode, ["x"])],
+        )
+        result = service.batch(
+            "toy",
+            [
+                BatchRequest(query="R(x, y)", epsilon=0.1),
+                BatchRequest(query=poisoned, epsilon=0.1),
+            ],
+        )
+        assert not result.ok
+        good, bad = result.items
+        assert good.ok
+        assert not bad.ok
+        assert "poisoned predicate" in bad.error
+        # The poisoned group failed before its charge: only the healthy
+        # group's epsilon was consumed.
+        assert result.epsilon_charged == pytest.approx(0.1)
+
+    def test_non_numeric_batch_epsilon_is_a_service_error(self):
+        # A bare float() ValueError would surface as HTTP 500; the coercion
+        # must map to ServiceError like every other numeric field (400).
+        with pytest.raises(ServiceError, match="must be a number"):
+            BatchRequest.from_mapping({"query": "R(x, y)", "epsilon": "abc"})
+
+    def test_non_finite_batch_epsilons_rejected(self, service):
+        with pytest.raises(ServiceError, match="finite"):
+            BatchRequest.from_mapping({"query": "R(x, y)", "epsilon": float("nan")})
+        with pytest.raises(ServiceError, match="finite"):
+            service.batch(
+                "toy", [{"query": "R(x, y)"}], epsilon_total=float("nan")
+            )
+        with pytest.raises(ServiceError, match="finite"):
+            service.batch(
+                "toy", [{"query": "R(x, y)"}], epsilon_total=float("inf")
+            )
+
     def test_unknown_request_field_rejected(self):
         with pytest.raises(ServiceError):
             BatchRequest.from_mapping({"query": "R(x, y)", "bogus": 1})
