@@ -31,6 +31,8 @@ from repro.engine.backend import get_backend
 from repro.query.parser import parse_query
 from repro.sensitivity.residual import ResidualSensitivity
 
+from bench_utils import bench_rng
+
 #: Tuples per relation in the large-join workload (the ISSUE floor is 10^5).
 TUPLES = 120_000
 #: Distinct join-key values; TUPLES / KEYS is the average join fan-out.
@@ -39,8 +41,8 @@ KEYS = 25_000
 JOIN = parse_query("R(x, y), S(y, z)")
 
 
-def _large_join_db(seed: int = 0) -> Database:
-    rng = np.random.default_rng(seed)
+def _large_join_db() -> Database:
+    rng = bench_rng("backend.join")
     schema = DatabaseSchema.from_arities({"R": 2, "S": 2})
     r_keys = rng.integers(0, KEYS, size=TUPLES)
     s_keys = rng.integers(0, KEYS, size=TUPLES)

@@ -33,6 +33,8 @@ from repro.graphs.generators import collaboration_graph
 from repro.graphs.loader import database_from_networkx
 from repro.service.service import PrivateQueryService
 
+from bench_utils import derive_seed
+
 PATH2 = "Edge(x, y), Edge(y, z)"
 THREADS = 8
 ROUNDS = 25
@@ -40,12 +42,12 @@ ROUNDS = 25
 
 @pytest.fixture(scope="module")
 def graph_db():
-    return database_from_networkx(collaboration_graph(150, 6.0, seed=21))
+    return database_from_networkx(collaboration_graph(150, 6.0, seed=derive_seed("concurrency.graph")))
 
 
 def _warm_service(graph_db, **kwargs):
     service = PrivateQueryService(
-        session_budget=1e9, cache_capacity=64, rng=5, **kwargs
+        session_budget=1e9, cache_capacity=64, rng=derive_seed("concurrency.noise"), **kwargs
     )
     service.register_database("g", graph_db)
     service.count("g", PATH2, epsilon=0.5)  # warm plan/profile/sensitivity

@@ -22,11 +22,13 @@ from repro.graphs.loader import database_from_networkx
 from repro.graphs.patterns import k_star_query, triangle_query
 from repro.query.atoms import Variable
 
+from bench_utils import derive_seed
+
 
 @pytest.fixture(scope="module")
 def medium_graph_db():
     """A 300-node clustered graph (a few thousand edge tuples)."""
-    return database_from_networkx(collaboration_graph(300, 8.0, seed=21))
+    return database_from_networkx(collaboration_graph(300, 8.0, seed=derive_seed("engine.graph")))
 
 
 def test_triangle_residual_multiplicity_eliminate(benchmark, medium_graph_db):

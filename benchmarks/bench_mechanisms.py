@@ -23,10 +23,12 @@ from repro.sensitivity.elastic import ElasticSensitivity
 from repro.sensitivity.residual import ResidualSensitivity
 from repro.sensitivity.smooth_triangle import TriangleSmoothSensitivity
 
+from bench_utils import derive_seed
+
 
 @pytest.fixture(scope="module")
 def graph_db():
-    return database_from_networkx(collaboration_graph(200, 8.0, seed=33))
+    return database_from_networkx(collaboration_graph(200, 8.0, seed=derive_seed("mechanisms.graph")))
 
 
 @pytest.fixture(scope="module")
@@ -53,18 +55,22 @@ def test_smooth_sensitivity_triangle(benchmark, graph_db):
 
 
 def test_full_release_residual(benchmark, graph_db, true_count):
-    releaser = PrivateCountingQuery(triangle_query(), epsilon=1.0, rng=0)
+    releaser = PrivateCountingQuery(
+        triangle_query(), epsilon=1.0, rng=derive_seed("mechanisms.release")
+    )
     release = benchmark(lambda: releaser.release(graph_db, true_count=true_count))
     assert release.noisy_count is not None
 
 
 def test_laplace_sampling(benchmark):
-    noise = LaplaceNoise(scale=10.0, rng=0)
+    noise = LaplaceNoise(scale=10.0, rng=derive_seed("mechanisms.laplace"))
     samples = benchmark(lambda: noise.sample(size=10_000))
     assert samples.shape == (10_000,)
 
 
 def test_general_cauchy_sampling(benchmark):
-    noise = GeneralCauchyNoise(scale=10.0, gamma=4.0, rng=0)
+    noise = GeneralCauchyNoise(
+        scale=10.0, gamma=4.0, rng=derive_seed("mechanisms.cauchy")
+    )
     samples = benchmark(lambda: noise.sample(size=10_000))
     assert samples.shape == (10_000,)

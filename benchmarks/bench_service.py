@@ -24,19 +24,28 @@ from repro.graphs.generators import collaboration_graph
 from repro.graphs.loader import database_from_networkx
 from repro.service.service import PrivateQueryService
 
+from bench_utils import derive_seed
+
 TRIANGLE = "Edge(x, y), Edge(y, z), Edge(x, z), x != y, y != z, x != z"
 REPEATS = 8
 
 
 @pytest.fixture(scope="module")
 def graph_db():
-    return database_from_networkx(collaboration_graph(200, 8.0, seed=33))
+    return database_from_networkx(collaboration_graph(200, 8.0, seed=derive_seed("service.graph")))
 
 
-def _run_repeated(graph_db, *, cache_capacity: int, seed: int = 99):
-    """Time ``REPEATS`` releases of the same shape; return (seconds, responses)."""
+def _run_repeated(graph_db, *, cache_capacity: int):
+    """Time ``REPEATS`` releases of the same shape; return (seconds, responses).
+
+    Both the cached and uncached runs draw noise from the same derived
+    stream, which is what makes their release sequences comparable
+    bitwise.
+    """
     service = PrivateQueryService(
-        session_budget=float(REPEATS), cache_capacity=cache_capacity, rng=seed
+        session_budget=float(REPEATS),
+        cache_capacity=cache_capacity,
+        rng=derive_seed("service.noise"),
     )
     service.register_database("g", graph_db)
     session = service.create_session().session_id
@@ -77,7 +86,9 @@ def test_cached_speedup_and_identical_results(graph_db):
 
 def test_warm_release_benchmark(benchmark, graph_db):
     """Per-release latency once the shape caches are warm."""
-    service = PrivateQueryService(session_budget=1e9, cache_capacity=64, rng=0)
+    service = PrivateQueryService(
+        session_budget=1e9, cache_capacity=64, rng=derive_seed("service.noise")
+    )
     service.register_database("g", graph_db)
     service.count("g", TRIANGLE, epsilon=0.5)  # warm plan/profile/sensitivity
     response = benchmark(lambda: service.count("g", TRIANGLE, epsilon=0.5))
@@ -86,7 +97,9 @@ def test_warm_release_benchmark(benchmark, graph_db):
 
 def test_cold_release_benchmark(benchmark, graph_db):
     """Per-release latency with caching disabled (the one-shot library cost)."""
-    service = PrivateQueryService(session_budget=1e9, cache_capacity=0, rng=0)
+    service = PrivateQueryService(
+        session_budget=1e9, cache_capacity=0, rng=derive_seed("service.noise")
+    )
     service.register_database("g", graph_db)
     response = benchmark(lambda: service.count("g", TRIANGLE, epsilon=0.5))
     assert not response.sensitivity_cache_hit
@@ -94,7 +107,9 @@ def test_cold_release_benchmark(benchmark, graph_db):
 
 def test_batch_dedup_benchmark(benchmark, graph_db):
     """A 16-request batch with only two distinct shapes."""
-    service = PrivateQueryService(session_budget=1e9, cache_capacity=64, rng=0)
+    service = PrivateQueryService(
+        session_budget=1e9, cache_capacity=64, rng=derive_seed("service.noise")
+    )
     service.register_database("g", graph_db)
     requests = [
         {"query": TRIANGLE if i % 2 else "Edge(x, y), Edge(y, z)", "epsilon": 0.01}

@@ -1,7 +1,6 @@
 """Helpers shared by the benchmark modules.
 
-Two environment variables control the cost/fidelity trade-off of the
-dataset-driven benchmarks:
+Environment variables controlling the benchmarks:
 
 ``REPRO_BENCH_SCALE``
     Surrogate scale factor (default 0.015 — a few hundred vertices per
@@ -9,13 +8,28 @@ dataset-driven benchmarks:
 ``REPRO_BENCH_FULL``
     Set to ``1`` to run every dataset × query combination instead of the
     representative subset (substantially slower in pure Python).
+``REPRO_BENCH_SEED``
+    Master seed (default 0) for *every* source of randomness in the
+    benchmark suite: workload construction, surrogate graphs, and noise.
+
+Seed discipline: benchmark modules must not hard-code seeds or call
+``np.random`` directly — they derive per-stream seeds with
+:func:`derive_seed` (or take a generator from :func:`bench_rng`), so one
+environment variable reproduces every workload bit-for-bit and the seed is
+recorded in the pytest-benchmark JSON (see ``conftest.py``).
+``tests/test_bench_seed.py`` enforces this by scanning the benchmark
+sources for literal ``seed=``/``rng=`` arguments.
 """
 
 from __future__ import annotations
 
 import os
+import zlib
 
-__all__ = ["bench_scale", "full_run"]
+__all__ = ["bench_scale", "bench_seed", "bench_rng", "derive_seed", "full_run", "seed_record"]
+
+#: Environment variable holding the master benchmark seed.
+BENCH_SEED_ENV = "REPRO_BENCH_SEED"
 
 
 def bench_scale() -> float:
@@ -26,3 +40,34 @@ def bench_scale() -> float:
 def full_run() -> bool:
     """Whether to run the full dataset × query grid."""
     return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def bench_seed() -> int:
+    """The master benchmark seed (``REPRO_BENCH_SEED``, default 0)."""
+    return int(os.environ.get(BENCH_SEED_ENV, "0"))
+
+
+def derive_seed(stream: str) -> int:
+    """A stable per-stream seed derived from the master seed.
+
+    ``stream`` names the consumer (e.g. ``"backend.join"``); crc32 keeps the
+    derivation stable across Python versions and processes, so the same
+    ``REPRO_BENCH_SEED`` always reproduces the same workloads bit-for-bit.
+    """
+    return zlib.crc32(f"{bench_seed()}:{stream}".encode("utf-8"))
+
+
+def bench_rng(stream: str):
+    """A numpy Generator seeded with :func:`derive_seed` of ``stream``."""
+    import numpy as np
+
+    return np.random.default_rng(derive_seed(stream))
+
+
+def seed_record() -> dict:
+    """The reproducibility record stamped into benchmark JSON output."""
+    return {
+        "bench_seed": bench_seed(),
+        "bench_scale": bench_scale(),
+        "bench_full": full_run(),
+    }

@@ -19,7 +19,17 @@ for path in (str(_SRC), str(_HERE)):
     if path not in sys.path:
         sys.path.insert(0, path)
 
-from bench_utils import bench_scale, full_run  # noqa: E402
+from bench_utils import bench_scale, full_run, seed_record  # noqa: E402
+
+
+def pytest_benchmark_update_machine_info(config, machine_info):
+    """Stamp the recorded seed/scale into every pytest-benchmark JSON.
+
+    With the seed in the JSON, any benchmark artifact can be reproduced
+    bit-for-bit by exporting ``REPRO_BENCH_SEED``/``REPRO_BENCH_SCALE``
+    before re-running (see ``bench_utils`` and ``docs/testing.md``).
+    """
+    machine_info["repro"] = seed_record()
 
 
 @pytest.fixture(scope="session")

@@ -35,6 +35,15 @@ Installed as ``repro-dp`` (see ``pyproject.toml``).  Sub-commands:
     replay`` replays the snapshot + write-ahead journal and prints the
     recovered sessions, budgets and audit totals without starting a server.
 
+``fuzz``
+    Differential fuzzing and statistical verification (:mod:`repro.qa`):
+    random schemas/databases/queries are checked python-backend ==
+    numpy-backend == brute-force oracle (counts, boundary multiplicities,
+    sensitivity profiles, smoothness invariants), and seeded releases are
+    goodness-of-fit tested against the exact noise law at query, service
+    and batch level.  Every failure prints a self-contained replay
+    snippet; exit code 1 means mismatches were found.
+
 ``count`` and ``sensitivity`` accept ``--json`` to emit machine-readable
 output instead of the human-readable text.  ``count``, ``sensitivity``,
 ``serve`` and ``batch`` accept ``--backend {python,numpy}`` to pick the
@@ -220,6 +229,24 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--state-dir", required=True, help="state directory to replay")
     replay.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="differential fuzzing (backends vs oracle) + noise-calibration tests",
+    )
+    fuzz.add_argument("--cases", type=int, default=100, help="number of generated workloads")
+    fuzz.add_argument("--seed", type=int, default=0, help="master workload seed")
+    fuzz.add_argument(
+        "--start", type=int, default=0, help="first case index (cases are seed-addressable)"
+    )
+    fuzz.add_argument(
+        "--calibration-samples",
+        type=int,
+        default=400,
+        help="noise draws per calibration level (0 disables the statistical verifier)",
+    )
+    fuzz.add_argument("--json", action="store_true", help="emit a JSON report instead of text")
+    _add_backend_argument(fuzz)
+
     batch = subparsers.add_parser(
         "batch", help="answer a JSON file of (query, epsilon) requests in one shot"
     )
@@ -328,6 +355,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "state":
         return _run_state(args)
+
+    if args.command == "fuzz":
+        return _run_fuzz(args)
 
     if args.command == "table1":
         result = run_table1(
@@ -472,6 +502,66 @@ def _run_state(args: argparse.Namespace) -> int:
     else:
         print("no registered databases")
     return 0
+
+
+def _run_fuzz(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.engine.backend import get_backend as _get_backend
+    from repro.qa.calibration import verify_calibration
+    from repro.qa.runner import DifferentialRunner
+
+    backend = _get_backend(args.backend).name
+    runner = DifferentialRunner(args.seed, backend=backend)
+    report = runner.run(args.cases, start=args.start)
+
+    calibration = None
+    if args.calibration_samples > 0:
+        with tempfile.TemporaryDirectory(prefix="repro-fuzz-state-") as state_dir:
+            calibration = verify_calibration(
+                seed=args.seed,
+                samples=args.calibration_samples,
+                backend=backend,
+                state_dir=state_dir,
+            )
+
+    ok = report.ok and (calibration is None or calibration.ok)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "ok": ok,
+                    "fuzz": report.to_dict(),
+                    "calibration": None if calibration is None else calibration.to_dict(),
+                }
+            )
+        )
+        return 0 if ok else 1
+
+    for failure in report.failures:
+        print(
+            f"FAIL case {failure.case_index} check {failure.check} "
+            f"(seed {failure.seed}, backend {failure.backend}):"
+        )
+        print(f"  {failure.message}")
+        print("  replay snippet:")
+        for line in failure.replay.splitlines():
+            print(f"    {line}")
+        print()
+    print(
+        f"fuzz: {report.cases} cases (seed {report.seed}, start {report.start}, "
+        f"backend {backend}), {report.checks_run} checks, "
+        f"{report.oracle_ls_cases} exhaustive-LS cases, "
+        f"{len(report.failures)} failure(s)"
+    )
+    if calibration is not None:
+        for check in calibration.checks:
+            status = "ok" if check.passed else "FAIL"
+            print(
+                f"calibration [{status}] {check.level}: n={check.samples} "
+                f"KS={check.statistic:.4f} p={check.p_value:.3g} ({check.detail})"
+            )
+    return 0 if ok else 1
 
 
 def _load_batch_requests(path: str) -> tuple[list, float | None]:

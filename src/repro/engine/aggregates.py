@@ -316,14 +316,16 @@ def boundary_multiplicity(
                 dropped_predicates=tuple(dropped),
             )
 
-    # Non-full queries: count distinct projections onto o_E; the convention
-    # T_E = 1 applies when no output variable is realised inside E.
+    # Non-full queries: count distinct projections onto o_E.  The list may
+    # be *empty* (no output variable realised inside E): every non-empty
+    # group then projects to the single empty tuple, so the evaluation
+    # below yields 1 for occupied boundary groups and 0 for an empty
+    # residual — the exact version of the paper's ``T_E = 1`` convention
+    # (Section 6), which matters when the disconnected-components product
+    # above multiplies component values, and keeps crossing comparison
+    # predicates routed through the Section 5.2 domain ranging.
     distinct_on: tuple[Variable, ...] | None = None
     if not query.is_full:
-        if not residual.output_variables:
-            return MultiplicityResult(
-                value=1, witness=None, boundary=group_vars, strategy="convention", exact=True
-            )
         distinct_on = tuple(residual.output_variables)
 
     # Predicate classification.

@@ -1,0 +1,413 @@
+"""The differential fuzz runner: production engines vs oracle vs invariants.
+
+For every generated :class:`~repro.qa.generator.FuzzCase` the runner
+executes a fixed battery of checks:
+
+``count``
+    ``|q(I)|`` must agree across the brute-force oracle, the python
+    backend, the numpy backend, and the exact-enumeration strategy.
+``multiplicity``
+    Every boundary multiplicity ``T_F(I)`` the residual-sensitivity
+    formula needs must agree between the python and numpy backends
+    (value *and* exactness flag); when the elimination result is exact it
+    must equal exact enumeration *and* the independent nested-loop oracle
+    (for residuals without boundary-crossing predicates, whose value is
+    convention-defined), and when predicates were dropped it must still
+    upper-bound both.
+``profile``
+    Full residual-sensitivity computations (value, ``k*``, the whole
+    ``L̂S^(k)`` series) must be identical on both backends, and must
+    dominate the polynomial local-sensitivity bound.
+``local-sensitivity``
+    On instances small enough for exhaustive neighbor enumeration,
+    ``RS(I)`` must dominate the *exact* ``LS(I)`` — the inequality the
+    privacy proof is built on.
+``smoothness``
+    On the case's designated neighbor pair: ``L̂S^(k)`` monotone in ``k``
+    and ``L̂S^(k)(I) ≤ L̂S^(k+1)(I')`` in both directions (Theorem 3.9).
+``release``
+    With the same seed, a full private release (count + sensitivity +
+    noise) must be bitwise identical on both backends.
+
+Every failure is wrapped in a :class:`FuzzFailure` that carries a
+self-contained replay snippet — paste it into a Python prompt (or pipe to
+``python -``) and the exact failing check re-runs from its
+``(seed, case, check)`` coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.engine.aggregates import boundary_multiplicity
+from repro.engine.backend import get_backend
+from repro.engine.evaluation import count_query
+from repro.mechanisms.mechanism import PrivateCountingQuery
+from repro.qa.generator import FuzzCase, WorkloadGenerator
+from repro.qa.oracle import (
+    oracle_count,
+    oracle_local_sensitivity,
+    oracle_max_group_count,
+    oracle_neighbor_cost,
+)
+from repro.query.cq import ConjunctiveQuery
+from repro.query.residual import residual_query
+from repro.sensitivity.local import local_sensitivity_upper_bound
+from repro.sensitivity.residual import ResidualSensitivity
+
+__all__ = ["CHECKS", "DifferentialRunner", "FuzzFailure", "FuzzReport"]
+
+#: The checks the runner executes, in execution order.
+CHECKS = (
+    "count",
+    "multiplicity",
+    "profile",
+    "local-sensitivity",
+    "smoothness",
+    "release",
+)
+
+#: Numerical slack for float comparisons of analytically-ordered quantities.
+_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One failed check, with everything needed to reproduce it."""
+
+    seed: int
+    case_index: int
+    check: str
+    backend: str
+    message: str
+    replay: str
+    case: dict[str, Any]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "case": self.case_index,
+            "check": self.check,
+            "backend": self.backend,
+            "message": self.message,
+            "replay": self.replay,
+            "workload": self.case,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """The outcome of a fuzz run."""
+
+    seed: int
+    cases: int
+    start: int = 0
+    backend: str = "python"
+    checks_run: int = 0
+    oracle_ls_cases: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "cases": self.cases,
+            "start": self.start,
+            "backend": self.backend,
+            "checks_run": self.checks_run,
+            "oracle_ls_cases": self.oracle_ls_cases,
+            "ok": self.ok,
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+
+def replay_snippet(case: FuzzCase, check: str, backend: str) -> str:
+    """A paste-ready snippet that re-runs exactly this check."""
+    lines = [
+        "# repro-dp fuzz failure replay",
+        f"# seed={case.seed} case={case.index} check={check} backend={backend}",
+        f"# query: {case.query_text}",
+    ]
+    for spec in case.relations:
+        rows = ", ".join(str(row) for row in case.rows[spec.name])
+        lines.append(
+            f"# {spec.name}(arity {spec.arity}, domain 0..{spec.domain_size - 1}, "
+            f"{'private' if spec.private else 'public'}): [{rows}]"
+        )
+    lines.append(
+        f"# neighbor edit: {case.neighbor_op} {case.neighbor_row} "
+        f"on {case.neighbor_relation}"
+    )
+    lines += [
+        "from repro.qa.replay import replay_case",
+        "",
+        f"failure = replay_case(seed={case.seed}, case={case.index}, "
+        f"check={check!r}, backend={backend!r})",
+        'print(failure.message if failure else "check passed")',
+    ]
+    return "\n".join(lines)
+
+
+class DifferentialRunner:
+    """Run the differential check battery over generated workloads.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the workload generator.
+    backend:
+        The backend recorded as "under test" in the report (name or
+        ``None`` for the process default).  The differential checks always
+        compare *both* backends regardless; this only labels the run.
+    oracle_budget:
+        Work-estimate cap above which the exhaustive-neighbor
+        ``local-sensitivity`` check is skipped for a case (see
+        :func:`repro.qa.oracle.oracle_neighbor_cost`).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        backend: str | None = None,
+        oracle_budget: int = 150_000,
+    ):
+        self._generator = WorkloadGenerator(seed)
+        self._backend = get_backend(backend).name
+        self._oracle_budget = oracle_budget
+
+    @property
+    def seed(self) -> int:
+        """The master seed of the workload generator."""
+        return self._generator.seed
+
+    # ------------------------------------------------------------------ #
+    # Driving
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        cases: int,
+        *,
+        start: int = 0,
+        on_case: Callable[[int, list[FuzzFailure]], None] | None = None,
+    ) -> FuzzReport:
+        """Run ``cases`` consecutive cases and collect every failure."""
+        report = FuzzReport(
+            seed=self.seed, cases=cases, start=start, backend=self._backend
+        )
+        for index in range(start, start + cases):
+            case = self._generator.case(index)
+            failures = self.run_case(case, report=report)
+            report.failures.extend(failures)
+            if on_case is not None:
+                on_case(index, failures)
+        return report
+
+    def run_case(
+        self, case: FuzzCase, *, report: FuzzReport | None = None
+    ) -> list[FuzzFailure]:
+        """Run every check of the battery on one case."""
+        failures = []
+        for check in CHECKS:
+            failure = self.run_check(case, check, report=report)
+            if failure is not None:
+                failures.append(failure)
+        return failures
+
+    def run_check(
+        self, case: FuzzCase, check: str, *, report: FuzzReport | None = None
+    ) -> FuzzFailure | None:
+        """Run a single named check; ``None`` means it passed."""
+        if check not in CHECKS:
+            raise ValueError(f"unknown fuzz check {check!r}; known: {CHECKS}")
+        method = getattr(self, "_check_" + check.replace("-", "_"))
+        try:
+            message = method(case, report)
+        except Exception:
+            message = f"check raised:\n{traceback.format_exc()}"
+        if report is not None:
+            report.checks_run += 1
+        if message is None:
+            return None
+        return FuzzFailure(
+            seed=case.seed,
+            case_index=case.index,
+            check=check,
+            backend=self._backend,
+            message=message,
+            replay=replay_snippet(case, check, self._backend),
+            case=case.describe(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Individual checks (return an error message, or None on success)
+    # ------------------------------------------------------------------ #
+    def _check_count(self, case: FuzzCase, report) -> str | None:
+        query, db = case.query(), case.database()
+        expected = oracle_count(query, db)
+        observed = {
+            "backend=python": count_query(query, db, backend="python"),
+            "backend=numpy": count_query(query, db, backend="numpy"),
+            "strategy=enumerate": count_query(query, db, strategy="enumerate"),
+        }
+        mismatched = {k: v for k, v in observed.items() if v != expected}
+        if mismatched:
+            return f"oracle count {expected} but {mismatched}"
+        return None
+
+    def _check_multiplicity(self, case: FuzzCase, report) -> str | None:
+        query, db = case.query(), case.database()
+        engine = ResidualSensitivity(query, beta=case.beta)
+        problems = []
+        for kept in engine.required_subsets(db):
+            label = tuple(sorted(kept))
+            py = boundary_multiplicity(query, db, kept, backend="python")
+            nm = boundary_multiplicity(query, db, kept, backend="numpy")
+            if (py.value, py.exact) != (nm.value, nm.exact):
+                problems.append(
+                    f"T_{label}: python=({py.value}, exact={py.exact}) "
+                    f"numpy=({nm.value}, exact={nm.exact})"
+                )
+                continue
+            exact = boundary_multiplicity(query, db, kept, strategy="enumerate")
+            if py.exact and exact.value != py.value:
+                problems.append(
+                    f"T_{label}: exact enumeration {exact.value} != "
+                    f"eliminate {py.value} (claimed exact)"
+                )
+            elif exact.value > py.value:
+                problems.append(
+                    f"T_{label}: upper bound {py.value} below exact {exact.value}"
+                )
+            oracle = self._oracle_multiplicity(query, db, kept)
+            if oracle is None:
+                continue  # crossing predicates: convention-dependent, skip
+            if py.exact and py.value != oracle:
+                problems.append(
+                    f"T_{label}: independent oracle {oracle} != "
+                    f"production {py.value} (claimed exact)"
+                )
+            elif py.value < oracle:
+                problems.append(
+                    f"T_{label}: upper bound {py.value} below oracle {oracle}"
+                )
+        return "; ".join(problems) or None
+
+    @staticmethod
+    def _oracle_multiplicity(query, db, kept) -> int | None:
+        """``T_F`` recomputed on the independent nested-loop oracle.
+
+        Residuals with predicates crossing the boundary are skipped
+        (``None``): their value follows the paper's infinite-domain
+        conventions (Corollary 5.1 / Section 5.2), which the
+        finite-instance oracle deliberately does not model.
+        """
+        residual = residual_query(query, kept)
+        if residual.is_empty or residual.dropped_predicates:
+            return None
+        sub_query = ConjunctiveQuery(
+            [query.atoms[index] for index in sorted(residual.atom_indices)],
+            residual.predicates,
+        )
+        group_vars = tuple(sorted(residual.boundary_relational, key=lambda v: v.name))
+        if query.is_full:
+            return oracle_max_group_count(sub_query, db, group_vars)
+        return oracle_max_group_count(
+            sub_query, db, group_vars, distinct_on=tuple(residual.output_variables)
+        )
+
+    def _check_profile(self, case: FuzzCase, report) -> str | None:
+        query, db = case.query(), case.database()
+        results = {
+            name: ResidualSensitivity(query, beta=case.beta, backend=name).compute(db)
+            for name in ("python", "numpy")
+        }
+        py, nm = results["python"], results["numpy"]
+        if py.value != nm.value:
+            return f"RS python={py.value!r} != numpy={nm.value!r}"
+        if py.details["ls_hat_series"] != nm.details["ls_hat_series"]:
+            return (
+                f"L̂S series python={py.details['ls_hat_series']} != "
+                f"numpy={nm.details['ls_hat_series']}"
+            )
+        bound = local_sensitivity_upper_bound(query, db)
+        if py.value < bound.value - _TOL:
+            return f"RS {py.value} below the LS residual bound {bound.value}"
+        return None
+
+    def _check_local_sensitivity(self, case: FuzzCase, report) -> str | None:
+        query, db = case.query(), case.database()
+        if oracle_neighbor_cost(query, db) > self._oracle_budget:
+            return None  # too large for the exhaustive oracle; skip silently
+        if report is not None:
+            report.oracle_ls_cases += 1
+        exact_ls = oracle_local_sensitivity(query, db)
+        rs = ResidualSensitivity(query, beta=case.beta).compute(db)
+        if rs.value < exact_ls - _TOL:
+            return (
+                f"RS {rs.value} < exact LS {exact_ls}: noise calibrated to RS "
+                "would break the privacy guarantee"
+            )
+        return None
+
+    def _check_smoothness(self, case: FuzzCase, report) -> str | None:
+        query = case.query()
+        db, neighbor = case.database(), case.neighbor_database()
+        engine = ResidualSensitivity(query, beta=case.beta)
+        base_profile = engine.multiplicities(db)
+        neighbor_profile = engine.multiplicities(neighbor)
+        base = [engine.ls_hat(db, k, base_profile) for k in range(3)]
+        near = [engine.ls_hat(neighbor, k, neighbor_profile) for k in range(3)]
+        for k in range(2):
+            if base[k + 1] < base[k] - _TOL:
+                return f"L̂S^({k + 1})={base[k + 1]} < L̂S^({k})={base[k]} (not monotone)"
+            if near[k + 1] < base[k] - _TOL:
+                return (
+                    f"smoothness violated: L̂S^({k})(I)={base[k]} > "
+                    f"L̂S^({k + 1})(I')={near[k + 1]}"
+                )
+            if base[k + 1] < near[k] - _TOL:
+                return (
+                    f"smoothness violated: L̂S^({k})(I')={near[k]} > "
+                    f"L̂S^({k + 1})(I)={base[k + 1]}"
+                )
+        return None
+
+    def _check_release(self, case: FuzzCase, report) -> str | None:
+        query, db = case.query(), case.database()
+        outcomes = {}
+        for name in ("python", "numpy"):
+            releaser = PrivateCountingQuery(
+                query,
+                epsilon=case.epsilon,
+                rng=np.random.default_rng((case.seed, case.index)),
+                backend=name,
+            )
+            outcomes[name] = releaser.release(db, keep_true_count=True)
+        py, nm = outcomes["python"], outcomes["numpy"]
+        if (py.noisy_count, py.sensitivity, py.true_count) != (
+            nm.noisy_count,
+            nm.sensitivity,
+            nm.true_count,
+        ):
+            return (
+                f"seeded release differs: python=(noisy={py.noisy_count!r}, "
+                f"S={py.sensitivity!r}, count={py.true_count!r}) "
+                f"numpy=(noisy={nm.noisy_count!r}, S={nm.sensitivity!r}, "
+                f"count={nm.true_count!r})"
+            )
+        scale = py.sensitivity / case.beta
+        if not math.isclose(py.expected_error, scale, rel_tol=1e-9, abs_tol=1e-12):
+            return (
+                f"expected error {py.expected_error} does not match the "
+                f"calibrated scale S/β = {scale}"
+            )
+        return None

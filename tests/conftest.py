@@ -1,4 +1,13 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Besides the small data fixtures, this file centralises the serving-layer
+test setup (``toy_db`` + the ``service_factory`` / ``state_service_factory``
+factories adopted by ``test_service*.py``, ``test_persistence.py`` and
+``test_stress.py``) and implements the test-tier selection: tests marked
+``soak`` (registered in ``pyproject.toml``) are skipped unless the ``-m``
+marker expression explicitly selects them — CI picks tiers by marker, not
+by environment variable.
+"""
 
 from __future__ import annotations
 
@@ -9,6 +18,20 @@ from repro.data.domain import IntegerDomain
 from repro.data.schema import Attribute, DatabaseSchema, RelationSchema
 from repro.graphs.loader import database_from_edges
 from repro.query.parser import parse_query
+
+
+def pytest_collection_modifyitems(config, items):
+    """Keep tier-1 fast: ``soak`` tests only run when ``-m`` selects them."""
+    markexpr = config.getoption("markexpr", default="") or ""
+    if "soak" in markexpr:
+        return
+    skip_soak = pytest.mark.skip(
+        reason="soak tier (subprocess kill -9 + journal recovery); "
+        "select with -m soak"
+    )
+    for item in items:
+        if "soak" in item.keywords:
+            item.add_marker(skip_soak)
 
 
 @pytest.fixture
@@ -43,6 +66,76 @@ def finite_domain_schema() -> DatabaseSchema:
             RelationSchema("S", [Attribute("b", domain), Attribute("c", domain)]),
         ]
     )
+
+
+@pytest.fixture
+def toy_db() -> Database:
+    """The serving-layer sample database: two private tables, skewed join key.
+
+    ``R ⋈ S`` on the second/first attribute has a heavy key (2 → 5) so cache
+    and sensitivity behaviour is non-trivial; the instance is shared by every
+    serving-layer test file.
+    """
+    schema = DatabaseSchema.from_arities({"R": 2, "S": 2})
+    return Database.from_rows(
+        schema,
+        R=[(1, 2), (2, 3), (3, 4), (2, 2)],
+        S=[(2, 5), (3, 5), (4, 6)],
+    )
+
+
+@pytest.fixture
+def service_factory(toy_db):
+    """Factory for :class:`PrivateQueryService` instances with ``toy_db`` registered.
+
+    Keyword arguments are forwarded to the service constructor (defaults:
+    ``session_budget=10.0``, ``rng=0``); pass ``register=False`` for a bare
+    service or ``db=`` to register a different instance under ``"toy"``.
+    Every created service is closed on teardown so journal handles never
+    leak across tests.
+    """
+    from repro.service.service import PrivateQueryService
+
+    created: list[PrivateQueryService] = []
+
+    def make(*, register: bool = True, db: Database | None = None, **kwargs):
+        kwargs.setdefault("session_budget", 10.0)
+        kwargs.setdefault("rng", 0)
+        service = PrivateQueryService(**kwargs)
+        if register:
+            replace = (
+                "toy" in service.registry
+                or "toy" in service.registry.recovered_metadata()
+            )
+            service.register_database(
+                "toy", db if db is not None else toy_db, replace=replace
+            )
+        created.append(service)
+        return service
+
+    yield make
+    for service in created:
+        try:
+            service.close(snapshot=False)
+        except Exception:
+            pass  # already closed by the test (e.g. a simulated crash)
+
+
+@pytest.fixture
+def state_service_factory(service_factory, tmp_path):
+    """``service_factory`` pre-wired for durable state under ``tmp_path``.
+
+    ``make(state_dir)`` builds a service journaling to that directory
+    (default: ``tmp_path / "state"``), with the persistence-test defaults
+    ``total_budget=100.0`` and registration that survives recovery cycles.
+    """
+
+    def make(state_dir=None, **kwargs):
+        kwargs.setdefault("total_budget", 100.0)
+        target = state_dir if state_dir is not None else tmp_path / "state"
+        return service_factory(state_dir=str(target), **kwargs)
+
+    return make
 
 
 @pytest.fixture

@@ -20,12 +20,25 @@ class TestConventions:
         assert result.value == 1
         assert result.strategy == "convention"
 
-    def test_nonfull_with_no_output_vars_is_one(self, small_join_db):
+    def test_nonfull_with_no_output_vars_is_one_when_occupied(self, small_join_db):
         query = parse_query("Q(z) :- R(x, y), S(y, z)")
-        # Keep only atom 0 (R): no output variable is realised inside it.
+        # Keep only atom 0 (R): no output variable is realised inside it, so
+        # every non-empty boundary group projects to the single empty tuple.
         result = boundary_multiplicity(query, small_join_db, [0])
         assert result.value == 1
-        assert result.strategy == "convention"
+        assert result.exact
+
+    def test_nonfull_with_no_output_vars_is_zero_when_residual_empty(
+        self, two_table_schema
+    ):
+        query = parse_query("Q(z) :- R(x, y), S(y, z)")
+        db = Database.from_rows(two_table_schema, R=[], S=[(10, 100)])
+        # The paper's T_E = 1 convention is the *occupied* case; an empty
+        # residual has no group at all, so the exact value is 0 (this is
+        # what keeps the disconnected-components product exact).
+        result = boundary_multiplicity(query, db, [0])
+        assert result.value == 0
+        assert result.exact
 
 
 class TestFullQueries:

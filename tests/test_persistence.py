@@ -6,36 +6,16 @@ import json
 
 import pytest
 
-from repro.data.database import Database
-from repro.data.schema import DatabaseSchema
 from repro.exceptions import PrivacyError, ServiceError
 from repro.mechanisms.accountant import PrivacyAccountant
 from repro.service.persistence import LedgerJournal, StateStore, replay_records
-from repro.service.service import PrivateQueryService
 from repro.service.sessions import SessionManager
 
 
 @pytest.fixture
-def toy_db():
-    schema = DatabaseSchema.from_arities({"R": 2, "S": 2})
-    return Database.from_rows(
-        schema,
-        R=[(1, 2), (2, 3), (3, 4), (2, 2)],
-        S=[(2, 5), (3, 5), (4, 6)],
-    )
-
-
-def make_service(state_dir, toy_db, *, register=True, snapshot_interval=1000, **kwargs):
-    kwargs.setdefault("session_budget", 10.0)
-    kwargs.setdefault("total_budget", 100.0)
-    kwargs.setdefault("rng", 0)
-    service = PrivateQueryService(
-        state_dir=str(state_dir), snapshot_interval=snapshot_interval, **kwargs
-    )
-    if register:
-        replace = "toy" in service.registry or "toy" in service.registry.recovered_metadata()
-        service.register_database("toy", toy_db, replace=replace)
-    return service
+def make_service(state_service_factory):
+    """The shared durable-service factory (``toy_db`` registered, recovery-aware)."""
+    return state_service_factory
 
 
 class TestJournal:
@@ -66,27 +46,27 @@ class TestJournal:
     def test_missing_file_is_empty(self, tmp_path):
         assert list(LedgerJournal.read_records(tmp_path / "absent.jsonl")) == []
 
-    def test_appends_after_torn_tail_do_not_corrupt_the_journal(self, tmp_path, toy_db):
+    def test_appends_after_torn_tail_do_not_corrupt_the_journal(self, tmp_path, make_service):
         """Crash-recover-crash-recover: recovery must truncate the torn line,
         or the next append merges with it and poisons the *third* start."""
-        service = make_service(tmp_path, toy_db)
+        service = make_service(tmp_path)
         sid = service.create_session().session_id
         service.count("toy", "R(x, y)", epsilon=0.5, session=sid)
         service.close(snapshot=False)
         with open(tmp_path / "journal.jsonl", "a", encoding="utf-8") as handle:
             handle.write('{"seq": 99, "event": "char')  # crash mid-append
 
-        second = make_service(tmp_path, toy_db)  # tolerates the torn tail...
+        second = make_service(tmp_path)  # tolerates the torn tail...
         second.count("toy", "R(x, y)", epsilon=0.25, session=sid)  # ...and appends
         second.close(snapshot=False)
 
-        third = make_service(tmp_path, toy_db)  # must still be parseable
+        third = make_service(tmp_path)  # must still be parseable
         assert third.budget(sid)["spent"] == pytest.approx(0.75)
 
-    def test_read_only_recovery_never_mutates_the_journal(self, tmp_path, toy_db):
+    def test_read_only_recovery_never_mutates_the_journal(self, tmp_path, make_service):
         """`state replay` against a live server must not truncate a tail
         that may simply be a record still being flushed."""
-        service = make_service(tmp_path, toy_db)
+        service = make_service(tmp_path)
         sid = service.create_session().session_id
         service.count("toy", "R(x, y)", epsilon=0.5, session=sid)
         path = tmp_path / "journal.jsonl"
@@ -136,8 +116,8 @@ class TestReplay:
 
 
 class TestRecovery:
-    def test_sessions_budgets_and_audit_survive_crash(self, tmp_path, toy_db):
-        service = make_service(tmp_path, toy_db)
+    def test_sessions_budgets_and_audit_survive_crash(self, tmp_path, make_service):
+        service = make_service(tmp_path)
         sid = service.create_session(budget=5.0).session_id
         for _ in range(4):
             service.count("toy", "R(x, y), S(y, z)", epsilon=0.5, session=sid)
@@ -150,7 +130,7 @@ class TestRecovery:
         # the kernel would release the dir lock of a killed process).
         service.close(snapshot=False)
 
-        recovered = make_service(tmp_path, toy_db)
+        recovered = make_service(tmp_path)
         after = recovered.budget(sid)
         assert after["spent"] == pytest.approx(before["spent"])
         assert after["remaining"] == pytest.approx(before["remaining"])
@@ -169,8 +149,8 @@ class TestRecovery:
         with pytest.raises(PrivacyError):
             recovered.count("toy", "R(x, y)", epsilon=9.0, session=sid)
 
-    def test_snapshot_compaction_preserves_state(self, tmp_path, toy_db):
-        service = make_service(tmp_path, toy_db, snapshot_interval=3)
+    def test_snapshot_compaction_preserves_state(self, tmp_path, make_service):
+        service = make_service(tmp_path, snapshot_interval=3)
         sid = service.create_session(budget=8.0).session_id
         for _ in range(10):
             service.count("toy", "R(x, y)", epsilon=0.5, session=sid)
@@ -179,28 +159,28 @@ class TestRecovery:
         audit_before = service.sessions.audit.total_recorded
         service.close(snapshot=False)  # die without a final snapshot
 
-        recovered = make_service(tmp_path, toy_db, snapshot_interval=3)
+        recovered = make_service(tmp_path, snapshot_interval=3)
         assert recovered.budget(sid)["spent"] == pytest.approx(before["spent"])
         assert recovered.sessions.audit.total_recorded == audit_before
 
-    def test_clean_close_writes_final_snapshot(self, tmp_path, toy_db):
-        service = make_service(tmp_path, toy_db)
+    def test_clean_close_writes_final_snapshot(self, tmp_path, make_service):
+        service = make_service(tmp_path)
         sid = service.create_session().session_id
         service.count("toy", "R(x, y)", epsilon=0.5, session=sid)
         service.close()
         snapshot = json.loads((tmp_path / "snapshot.json").read_text())
         assert snapshot["format"] == 1
         assert (tmp_path / "journal.jsonl").read_text() == ""
-        recovered = make_service(tmp_path, toy_db)
+        recovered = make_service(tmp_path)
         assert recovered.budget(sid)["spent"] == pytest.approx(0.5)
 
-    def test_registry_versions_resume_after_restart(self, tmp_path, toy_db):
-        service = make_service(tmp_path, toy_db)
+    def test_registry_versions_resume_after_restart(self, tmp_path, toy_db, make_service):
+        service = make_service(tmp_path)
         service.register_database("toy", toy_db, replace=True)
         assert service.registry.get("toy").version == 2
         service.close(snapshot=False)
 
-        recovered = make_service(tmp_path, toy_db, register=False)
+        recovered = make_service(tmp_path, register=False)
         # Contents are not persisted: the name is known but not servable...
         assert "toy" in recovered.registry.recovered_metadata()
         assert "toy" not in recovered.registry
@@ -209,16 +189,16 @@ class TestRecovery:
         entry = recovered.register_database("toy", toy_db)
         assert entry.version == 3
 
-    def test_closed_sessions_stay_closed_after_recovery(self, tmp_path, toy_db):
-        service = make_service(tmp_path, toy_db)
+    def test_closed_sessions_stay_closed_after_recovery(self, tmp_path, make_service):
+        service = make_service(tmp_path)
         sid = service.create_session().session_id
         service.sessions.close(sid)
         service.close(snapshot=False)
-        recovered = make_service(tmp_path, toy_db)
+        recovered = make_service(tmp_path)
         assert recovered.sessions.active_ids() == []
 
-    def test_state_replay_matches_in_memory_state(self, tmp_path, toy_db):
-        service = make_service(tmp_path, toy_db)
+    def test_state_replay_matches_in_memory_state(self, tmp_path, make_service):
+        service = make_service(tmp_path)
         sid = service.create_session(budget=5.0).session_id
         for epsilon in (0.5, 0.25, 0.125):
             service.count("toy", "R(x, y)", epsilon=epsilon, session=sid)
@@ -234,10 +214,10 @@ class TestRecovery:
         with pytest.raises(ServiceError, match="does not exist"):
             StateStore(str(tmp_path / "nope"), create=False)
 
-    def test_second_live_writer_is_rejected(self, tmp_path, toy_db):
+    def test_second_live_writer_is_rejected(self, tmp_path, make_service):
         """Two live processes interleaving one journal would let replay's
         seq dedup drop charges; the second writer must fail fast."""
-        service = make_service(tmp_path, toy_db)
+        service = make_service(tmp_path)
         with pytest.raises(ServiceError, match="locked by another live process"):
             StateStore(str(tmp_path))
         # Read-only inspection is always allowed...
@@ -246,22 +226,22 @@ class TestRecovery:
         service.close(snapshot=False)
         StateStore(str(tmp_path)).close()
 
-    def test_shared_charge_count_survives_restart(self, tmp_path, toy_db):
-        service = make_service(tmp_path, toy_db)
+    def test_shared_charge_count_survives_restart(self, tmp_path, make_service):
+        service = make_service(tmp_path)
         sid = service.create_session(budget=5.0).session_id
         for _ in range(3):
             service.count("toy", "R(x, y)", epsilon=0.5, session=sid)
         assert len(service.sessions.shared.charges) == 3
         service.close()  # with a final snapshot: shared charges round-trip
 
-        recovered = make_service(tmp_path, toy_db)
+        recovered = make_service(tmp_path)
         assert len(recovered.sessions.shared.charges) == 3
         assert recovered.sessions.shared.spent == pytest.approx(1.5)
 
-    def test_no_shared_budget_means_no_phantom_shared_spend(self, tmp_path, toy_db):
+    def test_no_shared_budget_means_no_phantom_shared_spend(self, tmp_path, make_service):
         """Journal replay of a shared-budget-less deployment must not invent
         shared spend (which a snapshot-based recovery would not have)."""
-        service = make_service(tmp_path, toy_db, total_budget=None)
+        service = make_service(tmp_path, total_budget=None)
         sid = service.create_session(budget=5.0).session_id
         service.count("toy", "R(x, y)", epsilon=3.0, session=sid)
 
@@ -270,7 +250,7 @@ class TestRecovery:
         assert state.shared_charges == 0
         # Restarting *with* a shared budget starts it untouched.
         service.close(snapshot=False)
-        recovered = make_service(tmp_path, toy_db, total_budget=4.0)
+        recovered = make_service(tmp_path, total_budget=4.0)
         assert recovered.sessions.shared.spent == 0.0
         assert recovered.budget(sid)["spent"] == pytest.approx(3.0)
 
@@ -351,9 +331,9 @@ class TestTransactionalCharge:
         with pytest.raises(ServiceError):
             txn.rollback()
 
-    def test_failed_release_rolls_back_service_charge(self, tmp_path, toy_db,
+    def test_failed_release_rolls_back_service_charge(self, tmp_path, make_service,
                                                       monkeypatch):
-        service = make_service(tmp_path, toy_db)
+        service = make_service(tmp_path)
         sid = service.create_session(budget=2.0).session_id
 
         def explode(*args, **kwargs):
@@ -369,16 +349,15 @@ class TestTransactionalCharge:
         assert service.budget(sid)["shared_remaining"] == pytest.approx(100.0)
         # ...and the refusal is durable: recovery agrees.
         service.close(snapshot=False)
-        recovered = make_service(tmp_path, toy_db)
+        recovered = make_service(tmp_path)
         assert recovered.budget(sid)["spent"] == 0.0
         assert [r.action for r in recovered.sessions.audit.tail(3)][-1] == "rollback"
 
-    def test_count_survives_expiry_race_after_charge(self, toy_db):
+    def test_count_survives_expiry_race_after_charge(self, service_factory):
         """The paid-for answer must not be lost to a TTL lookup race."""
         now = [0.0]
-        service = PrivateQueryService(session_budget=5.0, rng=0, session_ttl=10.0)
+        service = service_factory(session_budget=5.0, session_ttl=10.0)
         service._sessions._clock = lambda: now[0]
-        service.register_database("toy", toy_db)
         sid = service.create_session().session_id
         real_begin = service.sessions.begin_charge
 

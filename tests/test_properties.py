@@ -4,15 +4,24 @@ These are the invariants the paper's privacy proof rests on, checked on
 randomly generated small instances:
 
 * **Lemma 3.1** — monotonicity of the boundary multiplicities under tuple
-  insertion.
+  insertion (binary and ternary atoms).
 * **Lemma 3.2-style stability** — ``T_E`` changes by a bounded amount under a
   single tuple change.
 * **Theorem 3.9 (smoothness)** — ``L̂S^(k)(I) <= L̂S^(k+1)(I')`` for neighbors,
-  with and without self-joins; this is exactly what makes the RS mechanism
-  ε-DP.
+  with and without self-joins, with and without generated predicates; this
+  is exactly what makes the RS mechanism ε-DP.
 * **RS ≥ LS** and monotonicity of ``L̂S^(k)`` in ``k``.
 * Elastic sensitivity's analogous smoothness, and ES ≥ its own ``L̂S^(0)``.
 * Distance symmetry / triangle-style sanity of the database edit distance.
+* Strategy agreement (``enumerate`` == ``eliminate``/``auto``) for counting
+  and boundary multiplicities under generated predicate combinations.
+
+Failures print the hypothesis reproduction blob (``print_blob=True``) —
+rerun with ``@reproduce_failure`` exactly as hypothesis instructs.  The
+deeper end of random-input coverage (random schemas, skew, oracle
+comparison, noise calibration) lives in :mod:`repro.qa` and
+``tests/test_qa_fuzz.py``; these properties stay cheap enough to run on
+every tier-1 invocation.
 """
 
 from __future__ import annotations
@@ -23,21 +32,29 @@ from hypothesis import strategies as st
 from repro.data.database import Database
 from repro.data.schema import DatabaseSchema
 from repro.engine.aggregates import boundary_multiplicity
+from repro.engine.evaluation import count_query
 from repro.query.parser import parse_query
 from repro.sensitivity.elastic import ElasticSensitivity
 from repro.sensitivity.local import local_sensitivity_upper_bound
 from repro.sensitivity.residual import ResidualSensitivity
 
-SETTINGS = settings(
-    max_examples=25,
+_COMMON = dict(
     deadline=None,
+    print_blob=True,  # print the reproduction seed/blob on failure
     suppress_health_check=[HealthCheck.too_slow],
 )
+
+#: Cheap invariants (a handful of boundary multiplicities per example).
+SETTINGS = settings(max_examples=75, **_COMMON)
+#: Expensive invariants (full residual-sensitivity profiles per example).
+HEAVY_SETTINGS = settings(max_examples=25, **_COMMON)
 
 # Small value domains keep the instances tiny but collision-rich.
 value = st.integers(min_value=0, max_value=4)
 pair = st.tuples(value, value)
 pairs = st.lists(pair, min_size=0, max_size=8, unique=True)
+triple = st.tuples(value, value, value)
+triples = st.lists(triple, min_size=0, max_size=6, unique=True)
 
 
 def _join_db(r_rows, s_rows) -> Database:
@@ -50,11 +67,47 @@ def _edge_db(rows) -> Database:
     return Database.from_rows(schema, Edge=rows)
 
 
+def _ternary_db(u_rows, r_rows) -> Database:
+    schema = DatabaseSchema.from_arities({"U": 3, "R": 2})
+    return Database.from_rows(schema, U=u_rows, R=r_rows)
+
+
 JOIN_QUERY = parse_query("R(x, y), S(y, z)")
 SELF_JOIN_QUERY = parse_query("Edge(a, b), Edge(b, c)")
 TRIANGLE_QUERY = parse_query(
     "Edge(a, b), Edge(b, c), Edge(a, c), a != b, b != c, a != c"
 )
+TERNARY_QUERY = parse_query("U(x, y, z), R(z, w)")
+
+#: Generated predicate suffixes for the two-table join (variables x, y, z).
+join_predicates = st.lists(
+    st.sampled_from(
+        ["x != z", "x != y", "y != z", "x <= z", "x < y", "y >= 1", "z <= 3", "x > 0"]
+    ),
+    min_size=0,
+    max_size=2,
+    unique=True,
+)
+
+#: Generated predicate suffixes for the ternary join (variables x, y, z, w).
+ternary_predicates = st.lists(
+    st.sampled_from(["x != w", "y <= z", "x < w", "y != z", "w >= 2"]),
+    min_size=0,
+    max_size=2,
+    unique=True,
+)
+
+#: Generated predicate suffixes for the self-join path (variables a, b, c).
+self_join_predicates = st.lists(
+    st.sampled_from(["a != c", "a != b", "a <= c", "b >= 1"]),
+    min_size=0,
+    max_size=2,
+    unique=True,
+)
+
+
+def _with_predicates(base: str, suffixes):
+    return parse_query(", ".join([base, *suffixes]) if suffixes else base)
 
 
 class TestMultiplicityProperties:
@@ -67,6 +120,17 @@ class TestMultiplicityProperties:
         for kept in ([0], [1], [0, 1]):
             before = boundary_multiplicity(JOIN_QUERY, db, kept).value
             after = boundary_multiplicity(JOIN_QUERY, bigger, kept).value
+            assert after >= before
+
+    @SETTINGS
+    @given(u_rows=triples, r_rows=pairs, extra=triple)
+    def test_lemma_3_1_monotonicity_ternary(self, u_rows, r_rows, extra):
+        """Monotonicity also on a 3-ary atom joined to a binary one."""
+        db = _ternary_db(u_rows, r_rows)
+        bigger = db.with_tuple_added("U", extra)
+        for kept in ([0], [1], [0, 1]):
+            before = boundary_multiplicity(TERNARY_QUERY, db, kept).value
+            after = boundary_multiplicity(TERNARY_QUERY, bigger, kept).value
             assert after >= before
 
     @SETTINGS
@@ -88,16 +152,51 @@ class TestMultiplicityProperties:
             fast = boundary_multiplicity(JOIN_QUERY, db, kept, strategy="eliminate").value
             assert exact == fast
 
+    @SETTINGS
+    @given(r_rows=pairs, s_rows=pairs, suffixes=join_predicates)
+    def test_count_strategies_agree_with_generated_predicates(
+        self, r_rows, s_rows, suffixes
+    ):
+        """enumerate == auto for counting, whatever predicates are attached."""
+        query = _with_predicates("R(x, y), S(y, z)", suffixes)
+        db = _join_db(r_rows, s_rows)
+        exact = count_query(query, db, strategy="enumerate")
+        auto = count_query(query, db, strategy="auto")
+        assert exact == auto
+
+    @SETTINGS
+    @given(u_rows=triples, r_rows=pairs, suffixes=ternary_predicates)
+    def test_ternary_counts_agree_across_backends(self, u_rows, r_rows, suffixes):
+        query = _with_predicates("U(x, y, z), R(z, w)", suffixes)
+        db = _ternary_db(u_rows, r_rows)
+        assert count_query(query, db, backend="python") == count_query(
+            query, db, backend="numpy"
+        )
+
+    @SETTINGS
+    @given(r_rows=pairs, s_rows=pairs, suffixes=join_predicates)
+    def test_predicate_multiplicities_upper_bound_exact(self, r_rows, s_rows, suffixes):
+        """``auto`` boundary multiplicities always dominate exact enumeration."""
+        query = _with_predicates("R(x, y), S(y, z)", suffixes)
+        db = _join_db(r_rows, s_rows)
+        for kept in ([0], [1], [0, 1]):
+            exact = boundary_multiplicity(query, db, kept, strategy="enumerate")
+            auto = boundary_multiplicity(query, db, kept, strategy="auto")
+            if auto.exact:
+                assert auto.value == exact.value
+            else:
+                assert auto.value >= exact.value
+
 
 class TestResidualSensitivityProperties:
-    @SETTINGS
+    @HEAVY_SETTINGS
     @given(r_rows=pairs, s_rows=pairs, k=st.integers(min_value=0, max_value=3))
     def test_ls_hat_monotone_in_k(self, r_rows, s_rows, k):
         db = _join_db(r_rows, s_rows)
         rs = ResidualSensitivity(JOIN_QUERY, beta=0.2)
         assert rs.ls_hat(db, k + 1) >= rs.ls_hat(db, k)
 
-    @SETTINGS
+    @HEAVY_SETTINGS
     @given(r_rows=pairs, s_rows=pairs, extra=pair, k=st.integers(min_value=0, max_value=2))
     def test_smoothness_without_self_joins(self, r_rows, s_rows, extra, k):
         """Theorem 3.9 on the two-relation join query."""
@@ -107,7 +206,26 @@ class TestResidualSensitivityProperties:
         assert rs.ls_hat(neighbor, k + 1) >= rs.ls_hat(db, k) - 1e-9
         assert rs.ls_hat(db, k + 1) >= rs.ls_hat(neighbor, k) - 1e-9
 
-    @SETTINGS
+    @HEAVY_SETTINGS
+    @given(
+        r_rows=pairs,
+        s_rows=pairs,
+        extra=pair,
+        k=st.integers(min_value=0, max_value=2),
+        suffixes=join_predicates,
+    )
+    def test_smoothness_with_generated_predicates(
+        self, r_rows, s_rows, extra, k, suffixes
+    ):
+        """Theorem 3.9 must survive whatever predicates Section 5 allows."""
+        query = _with_predicates("R(x, y), S(y, z)", suffixes)
+        db = _join_db(r_rows, s_rows)
+        neighbor = db.with_tuple_added("S", extra)
+        rs = ResidualSensitivity(query, beta=0.2)
+        assert rs.ls_hat(neighbor, k + 1) >= rs.ls_hat(db, k) - 1e-9
+        assert rs.ls_hat(db, k + 1) >= rs.ls_hat(neighbor, k) - 1e-9
+
+    @HEAVY_SETTINGS
     @given(rows=pairs, extra=pair, k=st.integers(min_value=0, max_value=2))
     def test_smoothness_with_self_joins(self, rows, extra, k):
         """Theorem 3.9 on the self-join path query (logical copies move together)."""
@@ -117,7 +235,24 @@ class TestResidualSensitivityProperties:
         assert rs.ls_hat(neighbor, k + 1) >= rs.ls_hat(db, k) - 1e-9
         assert rs.ls_hat(db, k + 1) >= rs.ls_hat(neighbor, k) - 1e-9
 
-    @SETTINGS
+    @HEAVY_SETTINGS
+    @given(
+        rows=pairs,
+        extra=pair,
+        k=st.integers(min_value=0, max_value=1),
+        suffixes=self_join_predicates,
+    )
+    def test_smoothness_self_join_with_generated_predicates(
+        self, rows, extra, k, suffixes
+    ):
+        query = _with_predicates("Edge(a, b), Edge(b, c)", suffixes)
+        db = _edge_db(rows)
+        neighbor = db.with_tuple_added("Edge", extra)
+        rs = ResidualSensitivity(query, beta=0.2)
+        assert rs.ls_hat(neighbor, k + 1) >= rs.ls_hat(db, k) - 1e-9
+        assert rs.ls_hat(db, k + 1) >= rs.ls_hat(neighbor, k) - 1e-9
+
+    @HEAVY_SETTINGS
     @given(rows=pairs, extra=pair, k=st.integers(min_value=0, max_value=2))
     def test_smoothness_triangle_with_predicates(self, rows, extra, k):
         db = _edge_db(rows)
@@ -125,7 +260,17 @@ class TestResidualSensitivityProperties:
         rs = ResidualSensitivity(TRIANGLE_QUERY, beta=0.2)
         assert rs.ls_hat(neighbor, k + 1) >= rs.ls_hat(db, k) - 1e-9
 
-    @SETTINGS
+    @HEAVY_SETTINGS
+    @given(u_rows=triples, r_rows=pairs, extra=triple, k=st.integers(min_value=0, max_value=1))
+    def test_smoothness_ternary(self, u_rows, r_rows, extra, k):
+        """Theorem 3.9 on the mixed-arity join."""
+        db = _ternary_db(u_rows, r_rows)
+        neighbor = db.with_tuple_added("U", extra)
+        rs = ResidualSensitivity(TERNARY_QUERY, beta=0.2)
+        assert rs.ls_hat(neighbor, k + 1) >= rs.ls_hat(db, k) - 1e-9
+        assert rs.ls_hat(db, k + 1) >= rs.ls_hat(neighbor, k) - 1e-9
+
+    @HEAVY_SETTINGS
     @given(r_rows=pairs, s_rows=pairs)
     def test_rs_upper_bounds_ls(self, r_rows, s_rows):
         """RS is a smooth *upper bound*: at least the exact local sensitivity."""
@@ -134,9 +279,18 @@ class TestResidualSensitivityProperties:
         ls_value = local_sensitivity_upper_bound(JOIN_QUERY, db).value
         assert rs_value >= ls_value - 1e-9
 
+    @HEAVY_SETTINGS
+    @given(rows=pairs, suffixes=self_join_predicates)
+    def test_rs_upper_bounds_ls_self_join_with_predicates(self, rows, suffixes):
+        query = _with_predicates("Edge(a, b), Edge(b, c)", suffixes)
+        db = _edge_db(rows)
+        rs_value = ResidualSensitivity(query, beta=0.2).compute(db).value
+        ls_value = local_sensitivity_upper_bound(query, db).value
+        assert rs_value >= ls_value - 1e-9
+
 
 class TestElasticSensitivityProperties:
-    @SETTINGS
+    @HEAVY_SETTINGS
     @given(rows=pairs, extra=pair, k=st.integers(min_value=0, max_value=2))
     def test_elastic_smoothness(self, rows, extra, k):
         db = _edge_db(rows)
@@ -144,7 +298,7 @@ class TestElasticSensitivityProperties:
         es = ElasticSensitivity(SELF_JOIN_QUERY, beta=0.2)
         assert es.ls_hat(neighbor, k + 1) >= es.ls_hat(db, k) - 1e-9
 
-    @SETTINGS
+    @HEAVY_SETTINGS
     @given(rows=pairs)
     def test_elastic_at_least_its_base(self, rows):
         db = _edge_db(rows)

@@ -7,29 +7,16 @@ import threading
 import pytest
 
 from repro.data.database import Database
-from repro.data.schema import DatabaseSchema
 from repro.exceptions import PrivacyError, ServiceError
 from repro.service.cache import LRUCache
 from repro.service.registry import DatabaseRegistry
-from repro.service.service import PrivateQueryService
 from repro.service.sessions import SessionManager
 
 
 @pytest.fixture
-def toy_db():
-    schema = DatabaseSchema.from_arities({"R": 2, "S": 2})
-    return Database.from_rows(
-        schema,
-        R=[(1, 2), (2, 3), (3, 4), (2, 2)],
-        S=[(2, 5), (3, 5), (4, 6)],
-    )
-
-
-@pytest.fixture
-def service(toy_db):
-    svc = PrivateQueryService(session_budget=10.0, rng=0)
-    svc.register_database("toy", toy_db)
-    return svc
+def service(service_factory):
+    """The shared factory's default service (``toy_db`` registered, rng=0)."""
+    return service_factory()
 
 
 class TestRegistry:
@@ -219,7 +206,7 @@ class TestServiceCounting:
         stats = service.stats()["caches"]["profile"]
         assert stats["hits"] >= 1
 
-    def test_cached_equals_uncached_with_same_seed(self, toy_db):
+    def test_cached_equals_uncached_with_same_seed(self, service_factory):
         queries = [
             "R(x, y), S(y, z)",
             "R(a, b), S(b, c)",  # renamed duplicate: cache hit on cached svc
@@ -229,10 +216,7 @@ class TestServiceCounting:
         epsilons = [0.5, 0.5, 0.8, 0.3]
 
         def run(capacity):
-            svc = PrivateQueryService(
-                session_budget=10.0, cache_capacity=capacity, rng=1234
-            )
-            svc.register_database("toy", toy_db)
+            svc = service_factory(cache_capacity=capacity, rng=1234)
             sid = svc.create_session().session_id
             return [
                 svc.count("toy", q, epsilon=e, session=sid)
@@ -266,9 +250,8 @@ class TestServiceCounting:
             assert response.method == method
             assert response.sensitivity >= 0
 
-    def test_sessionless_requests_use_shared_budget(self, toy_db):
-        svc = PrivateQueryService(session_budget=1.0, total_budget=0.5, rng=0)
-        svc.register_database("toy", toy_db)
+    def test_sessionless_requests_use_shared_budget(self, service_factory):
+        svc = service_factory(session_budget=1.0, total_budget=0.5)
         svc.count("toy", "R(x, y)", epsilon=0.5)
         with pytest.raises(PrivacyError):
             svc.count("toy", "R(x, y)", epsilon=0.1)

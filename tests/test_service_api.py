@@ -11,12 +11,11 @@ import urllib.request
 import pytest
 
 from repro.service.api import make_server
-from repro.service.service import PrivateQueryService
 
 
 @pytest.fixture
-def server_url():
-    service = PrivateQueryService(session_budget=5.0, rng=11)
+def server_url(service_factory):
+    service = service_factory(register=False, session_budget=5.0, rng=11)
     server = make_server(service, "127.0.0.1", 0)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()

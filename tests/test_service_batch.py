@@ -4,24 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.data.database import Database
-from repro.data.schema import DatabaseSchema
 from repro.exceptions import ServiceError
 from repro.service.executor import BatchExecutor, BatchRequest
-from repro.service.service import PrivateQueryService
 
 
 @pytest.fixture
-def service():
-    schema = DatabaseSchema.from_arities({"R": 2, "S": 2})
-    db = Database.from_rows(
-        schema,
-        R=[(1, 2), (2, 3), (3, 4), (4, 1)],
-        S=[(2, 7), (3, 7)],
-    )
-    svc = PrivateQueryService(session_budget=10.0, rng=7)
-    svc.register_database("toy", db)
-    return svc
+def service(service_factory):
+    return service_factory(rng=7)
 
 
 class TestDeduplication:

@@ -10,10 +10,11 @@ The serving layer's core safety claims under parallel load:
 * a fixed service seed produces a bitwise-identical release sequence for a
   sequential workload, journaled or not.
 
-The quick variants below run in tier-1; ``REPRO_SOAK=1`` additionally
-enables the subprocess soak test that kills a real server mid-batch with
-``SIGKILL`` and recovers it from the journal (the CI soak job runs it on
-both execution backends).
+The quick variants below run in tier-1 (marked ``slow`` so a minimal
+``-m "not slow"`` pass can skip them); the subprocess soak test that kills
+a real server mid-batch with ``SIGKILL`` and recovers it from the journal
+is marked ``soak`` and only runs when selected with ``-m soak`` (the CI
+soak job runs it on both execution backends).
 """
 
 from __future__ import annotations
@@ -32,23 +33,11 @@ from pathlib import Path
 
 import pytest
 
-from repro.data.database import Database
-from repro.data.schema import DatabaseSchema
 from repro.exceptions import PrivacyError
 from repro.service.persistence import StateStore
 from repro.service.service import PrivateQueryService
 
 THREADS = 8
-
-
-@pytest.fixture
-def toy_db():
-    schema = DatabaseSchema.from_arities({"R": 2, "S": 2})
-    return Database.from_rows(
-        schema,
-        R=[(1, 2), (2, 3), (3, 4), (2, 2)],
-        S=[(2, 5), (3, 5), (4, 6)],
-    )
 
 
 def hammer(worker, count=THREADS):
@@ -72,6 +61,7 @@ def hammer(worker, count=THREADS):
         raise failures[0]
 
 
+@pytest.mark.slow
 class TestNoOverspend:
     def test_one_session_hammered_by_counts(self, toy_db):
         service = PrivateQueryService(session_budget=1.0, rng=0)
@@ -155,6 +145,7 @@ class TestNoOverspend:
         assert view["spent"] <= view["budget"] + 1e-9
 
 
+@pytest.mark.slow
 class TestJournalReplayEquivalence:
     def test_concurrent_workload_replays_exactly(self, tmp_path, toy_db):
         service = PrivateQueryService(
@@ -308,10 +299,7 @@ def _spawn_server(state_dir, extra=()):
     raise AssertionError("server never reported its address")
 
 
-@pytest.mark.skipif(
-    not os.environ.get("REPRO_SOAK"),
-    reason="soak test (subprocess kill -9 + journal recovery); set REPRO_SOAK=1",
-)
+@pytest.mark.soak
 def test_soak_kill_server_midbatch_and_replay(tmp_path):
     backend = os.environ.get("REPRO_BACKEND")
     extra = ("--backend", backend) if backend else ()
