@@ -48,7 +48,9 @@ Installed as ``repro-dp`` (see ``pyproject.toml``).  Sub-commands:
 output instead of the human-readable text.  ``count``, ``sensitivity``,
 ``serve`` and ``batch`` accept ``--backend {python,numpy}`` to pick the
 execution backend (see ``docs/backends.md``); every output reports which
-backend ran.
+backend ran.  The same four commands accept ``--parallelism N`` to fan
+residual-sensitivity component evaluations out over a thread pool (see
+``docs/performance.md``); results are identical with or without it.
 
 Examples
 --------
@@ -118,6 +120,16 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_parallelism_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=None,
+        help="worker-pool size for residual-sensitivity component "
+        "evaluations (default: serial); results are identical either way",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -139,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
     count.add_argument("--seed", type=int, default=None, help="noise seed (for reproducibility)")
     count.add_argument("--json", action="store_true", help="emit JSON instead of text")
     _add_backend_argument(count)
+    _add_parallelism_argument(count)
 
     sensitivity = subparsers.add_parser(
         "sensitivity", help="print sensitivities of a query without releasing a count"
@@ -148,6 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
     sensitivity.add_argument("--beta", type=float, default=0.1, help="smoothing parameter")
     sensitivity.add_argument("--json", action="store_true", help="emit JSON instead of text")
     _add_backend_argument(sensitivity)
+    _add_parallelism_argument(sensitivity)
 
     table1 = subparsers.add_parser("table1", help="reproduce Table 1")
     table1.add_argument("--datasets", nargs="*", default=[], choices=available_datasets())
@@ -218,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
         "automatic compaction; only meaningful with --state-dir)",
     )
     _add_backend_argument(serve)
+    _add_parallelism_argument(serve)
 
     state = subparsers.add_parser(
         "state", help="inspect a durable serving-state directory"
@@ -273,6 +288,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--seed", type=int, default=None, help="noise seed (for reproducibility)")
     batch.add_argument("--json", action="store_true", help="emit the full JSON batch result")
     _add_backend_argument(batch)
+    _add_parallelism_argument(batch)
 
     return parser
 
@@ -298,6 +314,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             method=args.method,
             rng=args.seed,
             backend=args.backend,
+            parallelism=args.parallelism,
         )
         release = releaser.release(database)
         if args.json:
@@ -325,9 +342,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         database = _load_database(args)
         query = parse_query(args.query)
         backend = get_backend(args.backend).name
-        residual = ResidualSensitivity(query, beta=args.beta, backend=backend).compute(database)
+        residual = ResidualSensitivity(
+            query, beta=args.beta, backend=backend, parallelism=args.parallelism
+        ).compute(database)
         elastic = ElasticSensitivity(query, beta=args.beta).compute(database)
         global_bound = GlobalSensitivityBound(query).compute(database)
+        profiler = residual.detail("profiler")
         if args.json:
             print(
                 json.dumps(
@@ -337,6 +357,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                         "residual": residual.value,
                         "elastic": elastic.value,
                         "global_agm": global_bound.value,
+                        "profiler": profiler,
                     }
                 )
             )
@@ -345,6 +366,14 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(f"elastic sensitivity  : {elastic.value:.2f}")
         print(f"global bound (AGM)   : {global_bound.value:.2f}")
         print(f"backend              : {backend}")
+        if profiler is not None:
+            print(
+                "profiler             : "
+                f"{profiler['subsets_total']} subsets -> "
+                f"{profiler['components_evaluated']} component evaluations "
+                f"({profiler['component_hits']} shared), "
+                f"{profiler['factorization_hits']} factorization cache hits"
+            )
         return 0
 
     if args.command == "serve":
@@ -440,6 +469,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         cache_capacity=args.cache_capacity,
         session_ttl=args.session_ttl,
         rng=args.seed,
+        parallelism=args.parallelism,
         state_dir=args.state_dir,
         snapshot_interval=args.snapshot_interval,
     )
@@ -605,7 +635,9 @@ def _run_batch(args: argparse.Namespace) -> int:
             "pass --epsilon-total / --budget"
         )
 
-    service = _build_service(args, session_budget=budget, rng=args.seed)
+    service = _build_service(
+        args, session_budget=budget, rng=args.seed, parallelism=args.parallelism
+    )
     name = service.registry.names()[0]
     session = service.create_session()
     result = service.batch(

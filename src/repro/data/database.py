@@ -122,6 +122,16 @@ class Database:
             clone._relations[name] = rel.copy()
         return clone
 
+    def release_caches(self) -> None:
+        """Drop every relation's derived caches (indexes, columns, factorizations).
+
+        Called by the serving-layer registry when this instance's
+        registration is replaced or removed, so snapshots tied to a stale
+        database version free their memory instead of lingering until GC.
+        """
+        for rel in self._relations.values():
+            rel.release_caches()
+
     def with_tuple_added(self, relation: str, row: tuple) -> "Database":
         """A copy of this instance with ``row`` inserted into ``relation``."""
         clone = self.copy()

@@ -9,8 +9,19 @@ needs directly:
 * maximum frequencies ``mf(x, R)`` over attribute subsets, which are the
   building block of elastic sensitivity (Section 4.4),
 * a columnar snapshot (:meth:`Relation.to_columns`) consumed by the
-  vectorized NumPy execution backend, and
+  vectorized NumPy execution backend,
+* a generic per-column *factorization* slot
+  (:meth:`Relation.cached_factorization` / :meth:`Relation.store_factorization`)
+  in which the columnar backend memoizes the dense-code encodings of base
+  columns (``np.unique`` is the single hottest primitive of vectorized bucket
+  elimination; caching it here shares the work across every residual subset,
+  query and service request against the same instance), and
 * projection / selection helpers used by tests and data loading.
+
+All derived caches (indexes, columns, factorizations) are invalidated
+together on mutation; :meth:`Relation.release_caches` drops them eagerly
+(the serving-layer registry calls it when a database version is replaced,
+so superseded snapshots free their memory immediately).
 
 Set semantics matches the paper: duplicate insertions are no-ops and the
 tuple-DP distance between two instances is the number of insertions,
@@ -36,6 +47,7 @@ class Relation:
         self._rows: set[tuple] = set()
         self._indexes: dict[tuple[int, ...], dict[tuple, list[tuple]]] = {}
         self._columns: tuple | None = None
+        self._factorizations: dict[int, object] = {}
         self._version = 0
         if rows is not None:
             for row in rows:
@@ -118,6 +130,19 @@ class Relation:
         self._version += 1
         self._indexes.clear()
         self._columns = None
+        self._factorizations.clear()
+
+    def release_caches(self) -> None:
+        """Drop every derived cache (indexes, columnar snapshot, factorizations).
+
+        Semantically a no-op — everything recomputes on demand — but frees
+        the memory of superseded snapshots immediately.  The serving-layer
+        registry calls this when a registration is replaced or removed, so
+        cache state tied to an old database version cannot linger.
+        """
+        self._indexes.clear()
+        self._columns = None
+        self._factorizations.clear()
 
     # ------------------------------------------------------------------ #
     # Copying and comparison
@@ -219,6 +244,21 @@ class Relation:
             columns.append(column)
         self._columns = tuple(columns)
         return self._columns
+
+    def cached_factorization(self, position: int) -> object | None:
+        """The memoized factorization of column ``position``, or ``None``.
+
+        The stored object is opaque to this class (the columnar engine keeps
+        its :class:`~repro.engine.columnar.ColumnCodes` here); it is dropped
+        whenever the relation mutates, exactly like the columnar snapshot.
+        """
+        return self._factorizations.get(position)
+
+    def store_factorization(self, position: int, factorization: object) -> None:
+        """Memoize the factorization of column ``position`` until mutation."""
+        if position < 0 or position >= self.arity:
+            raise SchemaError(f"position {position} out of range for {self.name!r}")
+        self._factorizations[position] = factorization
 
     def active_domain(self, position: int | None = None) -> set:
         """Values appearing in the instance (at ``position``, or anywhere)."""

@@ -19,7 +19,10 @@ which produce identical results and differ only in speed.  See
 
 On top of these, :mod:`repro.engine.aggregates` computes the boundary
 multiplicities ``T_E(I)`` of residual queries (the building block of residual
-sensitivity), :mod:`repro.engine.agm` computes AGM bounds via the fractional
+sensitivity), :mod:`repro.engine.profile` evaluates whole residual-sensitivity
+profiles in one shared-lattice pass (component memoization, isomorphism
+dedup, optional worker pool — see ``docs/performance.md``),
+:mod:`repro.engine.agm` computes AGM bounds via the fractional
 edge cover LP, and :mod:`repro.engine.domains` builds the augmented active
 domain ``Z+(q, I)`` needed for comparison predicates (Section 5.2).
 :mod:`repro.engine.canonical` canonicalizes query structure into cache keys
@@ -40,12 +43,15 @@ from repro.engine.backend import (
 from repro.engine.canonical import canonical_query_key
 from repro.engine.evaluation import count_query, evaluate_query
 from repro.engine.join import count_assignments, group_counts, iterate_assignments
+from repro.engine.profile import LatticeProfile, ProfileStats, evaluate_profile
 
 __all__ = [
     "AGMBound",
     "ExecutionBackend",
+    "LatticeProfile",
     "MultiplicityResult",
     "NumpyBackend",
+    "ProfileStats",
     "PythonBackend",
     "available_backends",
     "boundary_multiplicity",
@@ -53,6 +59,7 @@ __all__ = [
     "count_assignments",
     "count_query",
     "default_backend_name",
+    "evaluate_profile",
     "evaluate_query",
     "fractional_edge_cover",
     "get_backend",

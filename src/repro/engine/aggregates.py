@@ -46,7 +46,11 @@ from repro.query.cq import ConjunctiveQuery
 from repro.query.predicates import Predicate
 from repro.query.residual import ResidualQuery, residual_query
 
-__all__ = ["MultiplicityResult", "boundary_multiplicity"]
+__all__ = [
+    "MultiplicityResult",
+    "boundary_multiplicity",
+    "combine_component_results",
+]
 
 #: Default cap on backtracking extension steps before giving up on the exact
 #: enumeration fallback.
@@ -83,6 +87,44 @@ class MultiplicityResult:
     strategy: str
     exact: bool
     dropped_predicates: tuple[Predicate, ...] = ()
+
+
+def combine_component_results(
+    residual: ResidualQuery,
+    group_vars: tuple[Variable, ...],
+    parts: Sequence[MultiplicityResult],
+    component_vars: Sequence[frozenset[Variable]],
+) -> MultiplicityResult:
+    """Assemble ``T_E`` of a disconnected residual from its component results.
+
+    The components' boundaries are disjoint, so the maximum joint
+    multiplicity is the product of the per-component maxima.  Predicates
+    inside the residual but spanning two components can never be applied by
+    the per-component evaluation; they are reported as dropped and the value
+    becomes an upper bound.  Shared by :func:`boundary_multiplicity` (which
+    evaluates the components recursively) and the shared-lattice profile
+    evaluator (:mod:`repro.engine.profile`, which memoizes them across
+    subsets) so both produce identical results.
+    """
+    value = 1
+    exact = True
+    dropped: list[Predicate] = []
+    for part in parts:
+        value *= part.value
+        exact = exact and part.exact
+        dropped.extend(part.dropped_predicates)
+    for pred in residual.predicates:
+        if not any(pred.variables <= vars_ for vars_ in component_vars):
+            dropped.append(pred)
+            exact = False
+    return MultiplicityResult(
+        value=value,
+        witness=None,
+        boundary=group_vars,
+        strategy="eliminate",
+        exact=exact,
+        dropped_predicates=tuple(dropped),
+    )
 
 
 def _max_entry(counts: dict[tuple, int]) -> tuple[int, tuple | None]:
@@ -284,12 +326,8 @@ def boundary_multiplicity(
 
         components = QueryHypergraph(query, residual.atom_indices).connected_components()
         if len(components) > 1:
-            value = 1
-            exact = True
-            dropped: list[Predicate] = []
-            component_vars: list[frozenset[Variable]] = []
-            for component in components:
-                part = boundary_multiplicity(
+            parts = [
+                boundary_multiplicity(
                     query,
                     database,
                     component,
@@ -297,23 +335,13 @@ def boundary_multiplicity(
                     max_enumeration=max_enumeration,
                     backend=exec_backend,
                 )
-                value *= part.value
-                exact = exact and part.exact
-                dropped.extend(part.dropped_predicates)
-                component_vars.append(query.variables_of(component))
-            # Predicates inside the residual but spanning two components can
-            # never be applied by the per-component evaluation.
-            for pred in residual.predicates:
-                if not any(pred.variables <= vars_ for vars_ in component_vars):
-                    dropped.append(pred)
-                    exact = False
-            return MultiplicityResult(
-                value=value,
-                witness=None,
-                boundary=group_vars,
-                strategy="eliminate",
-                exact=exact,
-                dropped_predicates=tuple(dropped),
+                for component in components
+            ]
+            return combine_component_results(
+                residual,
+                group_vars,
+                parts,
+                [query.variables_of(component) for component in components],
             )
 
     # Non-full queries: count distinct projections onto o_E.  The list may

@@ -7,13 +7,14 @@ attribute), intermediate results are :class:`ArrayFactor` objects — count
 annotations over value columns — and the three primitive operations of bucket
 elimination are all vectorized:
 
-* **hash join** — join keys are *factorized* into dense ``int64`` codes with
-  ``np.unique`` over the concatenated key columns of both sides, then matched
-  with ``np.argsort``/``np.searchsorted`` and expanded with ``np.repeat``
-  (a sort-merge join over the factorized codes);
+* **hash join** — join keys are *factorized* into dense ``int64`` codes
+  (:class:`ColumnCodes`), both sides' code spaces are merged over their
+  distinct values, and rows are matched with ``np.argsort``/``np.searchsorted``
+  and expanded with ``np.repeat`` (a sort-merge join over the factorized
+  codes);
 * **group-by aggregation** (summing variables out, and the boundary
-  multiplicity profiles of residual sensitivity) — group keys are factorized
-  the same way and counts are accumulated with ``np.add.at``;
+  multiplicity profiles of residual sensitivity) — group keys are packed from
+  the per-column codes and counts are accumulated with ``np.add.at``;
 * **predicate filtering** — inequality and comparison predicates become
   boolean column masks; generic predicates fall back to a row loop so that
   exactness is preserved;
@@ -22,6 +23,23 @@ elimination are all vectorized:
   :data:`repro.engine.elimination.MATMUL_THRESHOLD` take a sparse matrix
   product (the joined rows are never materialised), with the same
   predicate-dropping semantics as the dict engine's fast path.
+
+Factorization is the single hottest primitive, so it is **cached and
+propagated** instead of recomputed:
+
+* base-relation columns are factorized once per ``(relation, column)`` and
+  memoized on the :class:`~repro.data.relation.Relation` itself (invalidated
+  on mutation, released when the serving-layer registry bumps a database
+  version) — every residual subset, query and service request against the
+  same instance reuses the codes;
+* every :class:`ArrayFactor` carries its per-column :class:`ColumnCodes`
+  through joins, filters and projections (indexing codes is O(rows); the
+  ``np.unique`` it replaces is O(rows log rows)), so intermediate results
+  never re-factorize a column they inherited.
+
+:func:`factorization_cache_stats` exposes process-wide hit/miss counters;
+the profile evaluator (:mod:`repro.engine.profile`) and the serving layer's
+``/stats`` endpoint surface them.
 
 The algorithm — elimination order, bucket grouping, the points where
 predicates become applicable and the dropped-predicate bookkeeping — is
@@ -37,12 +55,14 @@ Counts are ``int64``; workloads whose intermediate multiplicities exceed
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
 from repro.data.database import Database
+from repro.data.relation import Relation
 from repro.engine import elimination as _elimination
 from repro.engine.elimination import (
     EliminationResult,
@@ -58,7 +78,12 @@ from repro.query.predicates import (
     Predicate,
 )
 
-__all__ = ["ArrayFactor", "eliminate_group_counts_columnar"]
+__all__ = [
+    "ArrayFactor",
+    "ColumnCodes",
+    "eliminate_group_counts_columnar",
+    "factorization_cache_stats",
+]
 
 #: Re-factorize packed row codes once their key space exceeds this bound,
 #: keeping every subsequent ``codes * cardinality + codes`` combination safely
@@ -66,6 +91,106 @@ __all__ = ["ArrayFactor", "eliminate_group_counts_columnar"]
 _RENORMALIZE_CARDINALITY = 2**31
 
 
+# --------------------------------------------------------------------- #
+# Key factorization
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ColumnCodes:
+    """The dense factorization of one value column.
+
+    ``codes`` assigns every row an ``int64`` code in ``range(cardinality)``;
+    ``values`` lists the distinct values (``values[codes]`` reconstructs the
+    column).  ``sorted_values`` records whether ``values`` is a sorted
+    non-object array (the ``np.unique`` fast path) — two sorted code spaces
+    can be merged with vectorized ``searchsorted`` arithmetic, everything
+    else goes through Python-dict interning (which also unifies
+    numerically-equal values of different types, exactly like Python's own
+    hashing).
+
+    Codes survive row selection and fancy indexing unchanged (``values`` may
+    then over-approximate the values actually present, which is harmless:
+    codes are only ever compared for equality), so factors propagate their
+    factorizations through joins and filters instead of recomputing them.
+    """
+
+    codes: np.ndarray
+    values: np.ndarray
+    sorted_values: bool
+
+    @property
+    def cardinality(self) -> int:
+        """Number of distinct values in the code space."""
+        return int(len(self.values))
+
+    def take(self, selector: np.ndarray) -> "ColumnCodes":
+        """The factorization of the rows chosen by a mask / index array."""
+        return ColumnCodes(self.codes[selector], self.values, self.sorted_values)
+
+
+def _factorize_column(col: np.ndarray) -> ColumnCodes:
+    """Factorize one column: ``np.unique`` for plain dtypes, dict interning
+    for object columns (hashable but not necessarily mutually orderable)."""
+    if col.dtype != object:
+        uniq, inverse = np.unique(col, return_inverse=True)
+        return ColumnCodes(inverse.astype(np.int64, copy=False), uniq, True)
+    table: dict = {}
+    out = np.empty(len(col), dtype=np.int64)
+    for i, value in enumerate(col.tolist()):
+        out[i] = table.setdefault(value, len(table))
+    values = np.empty(len(table), dtype=object)
+    values[:] = list(table)
+    return ColumnCodes(out, values, False)
+
+
+class _FactorizationCounters:
+    """Process-wide hit/miss counters of the base-column factorization cache."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def record(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses}
+
+
+_FACTORIZATION_COUNTERS = _FactorizationCounters()
+
+
+def factorization_cache_stats() -> dict[str, int]:
+    """Cumulative ``{"hits", "misses"}`` of the per-(relation, column) cache.
+
+    Process-wide (the cache itself lives on each
+    :class:`~repro.data.relation.Relation`); callers wanting the delta of one
+    computation snapshot before and after — see
+    :mod:`repro.engine.profile`.
+    """
+    return _FACTORIZATION_COUNTERS.snapshot()
+
+
+def _relation_factorization(relation: Relation, position: int) -> ColumnCodes:
+    """The cached factorization of a base-relation column (compute on miss)."""
+    cached = relation.cached_factorization(position)
+    if isinstance(cached, ColumnCodes):
+        _FACTORIZATION_COUNTERS.record(True)
+        return cached
+    factorized = _factorize_column(relation.to_columns()[position])
+    relation.store_factorization(position, factorized)
+    _FACTORIZATION_COUNTERS.record(False)
+    return factorized
+
+
+# --------------------------------------------------------------------- #
+# Factors
+# --------------------------------------------------------------------- #
 @dataclass
 class ArrayFactor:
     """A count-annotated factor stored columnar.
@@ -73,6 +198,8 @@ class ArrayFactor:
     ``columns`` holds one value array per entry of ``variables`` (aligned,
     equal length); ``counts`` is the per-row multiplicity.  Value arrays are
     either ``int64`` (fast path) or ``object`` (arbitrary hashable values).
+    ``codes`` optionally carries the :class:`ColumnCodes` factorization of
+    each column (``None`` entries are factorized lazily and memoized).
     A factor over zero variables is a scalar: ``columns`` is empty and
     ``counts`` has exactly one entry (or zero entries for the empty result).
     """
@@ -80,6 +207,7 @@ class ArrayFactor:
     variables: tuple[Variable, ...]
     columns: tuple[np.ndarray, ...]
     counts: np.ndarray
+    codes: list[ColumnCodes | None] | None = field(default=None)
 
     def __len__(self) -> int:
         return int(self.counts.shape[0])
@@ -88,70 +216,118 @@ class ArrayFactor:
         """The value column of ``var`` (raises ``ValueError`` if absent)."""
         return self.columns[self.variables.index(var)]
 
+    def _code_slots(self) -> list[ColumnCodes | None]:
+        if self.codes is None:
+            self.codes = [None] * len(self.columns)
+        return self.codes
+
+    def code_of(self, var: Variable) -> ColumnCodes:
+        """The (lazily computed, memoized) factorization of ``var``'s column."""
+        slots = self._code_slots()
+        index = self.variables.index(var)
+        if slots[index] is None:
+            slots[index] = _factorize_column(self.columns[index])
+        return slots[index]
+
     def take(self, selector: np.ndarray) -> "ArrayFactor":
         """A new factor keeping the rows chosen by a boolean mask / index array."""
+        codes = None
+        if self.codes is not None:
+            codes = [cc.take(selector) if cc is not None else None for cc in self.codes]
         return ArrayFactor(
             self.variables,
             tuple(col[selector] for col in self.columns),
             self.counts[selector],
+            codes,
         )
 
 
-# --------------------------------------------------------------------- #
-# Key factorization
-# --------------------------------------------------------------------- #
-def _column_codes(col: np.ndarray) -> tuple[np.ndarray, int]:
-    """Dense ``int64`` codes for one column, plus the number of distinct values.
+def _renormalize(codes: np.ndarray) -> tuple[np.ndarray, int]:
+    uniq, inverse = np.unique(codes, return_inverse=True)
+    return inverse.astype(np.int64, copy=False), max(int(len(uniq)), 1)
 
-    Non-object dtypes go through ``np.unique``; object columns (values
-    hashable but not necessarily mutually orderable) are interned through a
-    dictionary, which also unifies numerically-equal values of different
-    types exactly like Python's own hashing does.
+
+def _factor_row_codes(factor: ArrayFactor, variables: Sequence[Variable]) -> np.ndarray:
+    """``int64`` codes identifying the distinct rows of ``variables`` in ``factor``.
+
+    Zero variables means every row is the same (all-zero codes).  Multi-column
+    keys are packed positionally (``codes * cardinality + codes``) from the
+    per-column factorizations and re-factorized whenever the packed key space
+    approaches the ``int64`` range.
     """
-    if col.dtype != object:
-        uniq, inverse = np.unique(col, return_inverse=True)
-        return inverse.astype(np.int64, copy=False), int(len(uniq))
-    table: dict = {}
-    out = np.empty(len(col), dtype=np.int64)
-    for i, value in enumerate(col.tolist()):
-        out[i] = table.setdefault(value, len(table))
-    return out, len(table)
-
-
-def _row_codes(columns: Sequence[np.ndarray], length: int) -> np.ndarray:
-    """``int64`` codes identifying the distinct rows of ``columns``.
-
-    Zero columns means every row is the same (all-zero codes).  Multi-column
-    keys are packed positionally (``codes * cardinality + codes``) and
-    re-factorized whenever the packed key space approaches the ``int64``
-    range.
-    """
-    if not columns:
-        return np.zeros(length, dtype=np.int64)
+    if not variables:
+        return np.zeros(len(factor), dtype=np.int64)
     codes: np.ndarray | None = None
     cardinality = 1
-    for col in columns:
-        col_codes, distinct = _column_codes(col)
-        distinct = max(distinct, 1)
+    for var in variables:
+        cc = factor.code_of(var)
+        distinct = max(cc.cardinality, 1)
         if codes is None:
-            codes, cardinality = col_codes, distinct
+            codes, cardinality = cc.codes, distinct
         else:
-            codes = codes * np.int64(distinct) + col_codes
+            codes = codes * np.int64(distinct) + cc.codes
             cardinality *= distinct
         if cardinality > _RENORMALIZE_CARDINALITY:
-            uniq, inverse = np.unique(codes, return_inverse=True)
-            codes = inverse.astype(np.int64, copy=False)
-            cardinality = max(int(len(uniq)), 1)
+            codes, cardinality = _renormalize(codes)
     return codes
 
 
-def _join_codes(
-    left_cols: Sequence[np.ndarray], right_cols: Sequence[np.ndarray], nl: int, nr: int
+def _merge_column_codes(
+    left: ColumnCodes, right: ColumnCodes
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Re-encode two factorizations of one variable into a joint code space.
+
+    Only the *distinct values* of each side are compared (O(distinct) work
+    instead of the O(rows) column concatenation the codes replace); the row
+    codes are then translated with one vectorized ``take`` per side.
+    """
+    if left.sorted_values and right.sorted_values:
+        combined = np.concatenate([left.values, right.values])
+        joint, inverse = np.unique(combined, return_inverse=True)
+        left_map = inverse[: len(left.values)].astype(np.int64, copy=False)
+        right_map = inverse[len(left.values) :].astype(np.int64, copy=False)
+        cardinality = int(len(joint))
+    else:
+        table: dict = {}
+        left_map = np.fromiter(
+            (table.setdefault(v, len(table)) for v in left.values.tolist()),
+            dtype=np.int64,
+            count=len(left.values),
+        )
+        right_map = np.fromiter(
+            (table.setdefault(v, len(table)) for v in right.values.tolist()),
+            dtype=np.int64,
+            count=len(right.values),
+        )
+        cardinality = len(table)
+    left_codes = left_map[left.codes] if len(left.values) else left.codes
+    right_codes = right_map[right.codes] if len(right.values) else right.codes
+    return left_codes, right_codes, cardinality
+
+
+def _factor_join_codes(
+    left: ArrayFactor, right: ArrayFactor, shared: Sequence[Variable]
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Codes for the shared key columns, consistent across both join sides."""
-    combined = [np.concatenate([a, b]) for a, b in zip(left_cols, right_cols)]
-    codes = _row_codes(combined, nl + nr)
-    return codes[:nl], codes[nl:]
+    """Row codes for the shared key columns, consistent across both join sides."""
+    nl, nr = len(left), len(right)
+    lcodes: np.ndarray | None = None
+    rcodes: np.ndarray | None = None
+    cardinality = 1
+    for var in shared:
+        lcol, rcol, distinct = _merge_column_codes(left.code_of(var), right.code_of(var))
+        distinct = max(distinct, 1)
+        if lcodes is None or rcodes is None:
+            lcodes, rcodes, cardinality = lcol, rcol, distinct
+        else:
+            lcodes = lcodes * np.int64(distinct) + lcol
+            rcodes = rcodes * np.int64(distinct) + rcol
+            cardinality *= distinct
+        if cardinality > _RENORMALIZE_CARDINALITY:
+            combined, cardinality = _renormalize(np.concatenate([lcodes, rcodes]))
+            lcodes, rcodes = combined[:nl], combined[nl:]
+    if lcodes is None or rcodes is None:
+        return np.zeros(nl, dtype=np.int64), np.zeros(nr, dtype=np.int64)
+    return lcodes, rcodes
 
 
 # --------------------------------------------------------------------- #
@@ -169,12 +345,7 @@ def _join(left: ArrayFactor, right: ArrayFactor) -> ArrayFactor:
     shared = tuple(v for v in left.variables if v in right.variables)
     nl, nr = len(left), len(right)
     if shared:
-        lkey, rkey = _join_codes(
-            [left.column(v) for v in shared],
-            [right.column(v) for v in shared],
-            nl,
-            nr,
-        )
+        lkey, rkey = _factor_join_codes(left, right, shared)
         order = np.argsort(rkey, kind="stable")
         rsorted = rkey[order]
         lo = np.searchsorted(rsorted, lkey, side="left")
@@ -196,19 +367,36 @@ def _join(left: ArrayFactor, right: ArrayFactor) -> ArrayFactor:
     out_cols = tuple(col[left_idx] for col in left.columns) + tuple(
         right.column(v)[right_idx] for v in extra
     )
-    return ArrayFactor(out_vars, out_cols, left.counts[left_idx] * right.counts[right_idx])
+    left_codes = left.codes or [None] * len(left.columns)
+    right_slots = right.codes or [None] * len(right.columns)
+    out_codes: list[ColumnCodes | None] = [
+        cc.take(left_idx) if cc is not None else None for cc in left_codes
+    ]
+    for v in extra:
+        cc = right_slots[right.variables.index(v)]
+        out_codes.append(cc.take(right_idx) if cc is not None else None)
+    return ArrayFactor(
+        out_vars, out_cols, left.counts[left_idx] * right.counts[right_idx], out_codes
+    )
 
 
 def _project_sum(factor: ArrayFactor, keep: Sequence[Variable]) -> ArrayFactor:
     """Sum out every variable not in ``keep`` (vectorized group-by)."""
     keep_set = set(keep)
     keep_vars = tuple(v for v in factor.variables if v in keep_set)
-    cols = [factor.column(v) for v in keep_vars]
-    codes = _row_codes(cols, len(factor))
+    codes = _factor_row_codes(factor, keep_vars)
     uniq, first_idx, inverse = np.unique(codes, return_index=True, return_inverse=True)
     sums = np.zeros(len(uniq), dtype=np.int64)
     np.add.at(sums, inverse, factor.counts)
-    return ArrayFactor(keep_vars, tuple(col[first_idx] for col in cols), sums)
+    slots = factor.codes or [None] * len(factor.columns)
+    out_codes = []
+    out_cols = []
+    for v in keep_vars:
+        index = factor.variables.index(v)
+        out_cols.append(factor.columns[index][first_idx])
+        cc = slots[index]
+        out_codes.append(cc.take(first_idx) if cc is not None else None)
+    return ArrayFactor(keep_vars, tuple(out_cols), sums, out_codes)
 
 
 # --------------------------------------------------------------------- #
@@ -280,7 +468,13 @@ def _apply_ready_predicates(
 # Atom factors
 # --------------------------------------------------------------------- #
 def _atom_factor(query: ConjunctiveQuery, database: Database, atom_index: int) -> ArrayFactor:
-    """The initial factor of one atom: distinct variable bindings with count 1."""
+    """The initial factor of one atom: distinct variable bindings with count 1.
+
+    Columns (and their factorizations) come straight from the relation's
+    cached columnar snapshot, so repeated eliminations over the same
+    instance — every subset of a sensitivity profile, every query of a
+    serving session — skip the ``np.unique`` factorization entirely.
+    """
     atom = query.atoms[atom_index]
     relation = database.relation(atom.relation)
     raw = relation.to_columns()
@@ -301,16 +495,20 @@ def _atom_factor(query: ConjunctiveQuery, database: Database, atom_index: int) -
         for position in positions[1:]:
             conjoin(_as_bool_mask(raw[positions[0]] == raw[position], length))
 
+    codes: list[ColumnCodes | None] = [
+        _relation_factorization(relation, var_positions[v][0]) for v in variables
+    ]
     if mask is not None:
         keep = np.nonzero(mask)[0]
         columns = tuple(raw[var_positions[v][0]][keep] for v in variables)
+        codes = [cc.take(keep) if cc is not None else None for cc in codes]
         rows = int(len(keep))
     else:
         columns = tuple(raw[var_positions[v][0]] for v in variables)
         rows = length
     # Distinct relation rows always induce distinct bindings (constants and
     # repeated variables are filtered above), so every count is 1.
-    return ArrayFactor(tuple(variables), columns, np.ones(rows, dtype=np.int64))
+    return ArrayFactor(tuple(variables), columns, np.ones(rows, dtype=np.int64), codes)
 
 
 # --------------------------------------------------------------------- #
@@ -320,12 +518,7 @@ def _estimated_join_rows(
     left: ArrayFactor, right: ArrayFactor, shared: tuple[Variable, ...]
 ) -> int:
     """Number of rows the join of two factors would produce (exact, cheap)."""
-    lkey, rkey = _join_codes(
-        [left.column(v) for v in shared],
-        [right.column(v) for v in shared],
-        len(left),
-        len(right),
-    )
+    lkey, rkey = _factor_join_codes(left, right, shared)
     order = np.argsort(rkey, kind="stable")
     rsorted = rkey[order]
     lo = np.searchsorted(rsorted, lkey, side="left")
@@ -367,19 +560,14 @@ def _matmul_aggregate(
     if not nl or not nr:
         return empty_result(), pending
 
-    lmid, rmid = _join_codes(
-        [left.column(v) for v in shared],
-        [right.column(v) for v in shared],
-        nl,
-        nr,
-    )
+    lmid, rmid = _factor_join_codes(left, right, shared)
     if not np.isin(rmid, lmid).any():
         return empty_result(), pending
     mid_uniq, mid_inverse = np.unique(np.concatenate([lmid, rmid]), return_inverse=True)
     lmid_dense, rmid_dense = mid_inverse[:nl], mid_inverse[nl:]
 
-    lrow = _row_codes([left.column(v) for v in left_keep], nl)
-    rcol = _row_codes([right.column(v) for v in right_keep], nr)
+    lrow = _factor_row_codes(left, left_keep)
+    rcol = _factor_row_codes(right, right_keep)
     lrow_uniq, lrow_first, lrow_dense = np.unique(
         lrow, return_index=True, return_inverse=True
     )
@@ -407,7 +595,16 @@ def _matmul_aggregate(
     out_cols = tuple(left.column(v)[left_idx] for v in left_keep) + tuple(
         right.column(v)[right_idx] for v in right_keep
     )
-    factor = ArrayFactor(out_vars, out_cols, counts)
+    left_slots = left.codes or [None] * len(left.columns)
+    right_slots = right.codes or [None] * len(right.columns)
+    out_codes: list[ColumnCodes | None] = []
+    for v in left_keep:
+        cc = left_slots[left.variables.index(v)]
+        out_codes.append(cc.take(left_idx) if cc is not None else None)
+    for v in right_keep:
+        cc = right_slots[right.variables.index(v)]
+        out_codes.append(cc.take(right_idx) if cc is not None else None)
+    factor = ArrayFactor(out_vars, out_cols, counts, out_codes)
 
     # Apply the pending predicates that survived the projection.
     return _apply_ready_predicates(factor, pending)

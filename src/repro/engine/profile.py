@@ -1,0 +1,359 @@
+"""Shared-lattice evaluation of residual-sensitivity profiles.
+
+Residual sensitivity (Equations 19–21 of the paper) needs the boundary
+multiplicity ``T_F(I)`` of *every* residual subset ``F`` in a lattice that
+is exponential in the number of private atoms.  Evaluating each subset in
+isolation — the reference path of
+:meth:`repro.sensitivity.residual.ResidualSensitivity.multiplicities_reference`
+— multiplies work that the subsets overwhelmingly share:
+
+* a disconnected residual factorizes into **connected components** whose
+  boundaries are disjoint, so ``T_F`` is the product of the per-component
+  maxima (see :func:`repro.engine.aggregates.combine_component_results`) —
+  and the *same* component recurs across dozens of subsets of the lattice;
+* components that are **isomorphic up to variable renaming** (ubiquitous
+  under self-joins: every single-atom residual of the triangle query is the
+  same query shape) have identical multiplicities on every instance.
+
+:func:`evaluate_profile` therefore plans the whole lattice up front:
+every subset is decomposed once, each *structurally distinct* component is
+evaluated exactly once (isomorphism detected through a conservative
+canonical signature in the spirit of
+:func:`repro.engine.canonical.canonical_query_key`), and per-subset results
+are assembled from the memoized component results.  Independent component
+evaluations can optionally fan out over a thread pool (``parallelism=``).
+
+The evaluator is *result-identical* to the per-subset reference path:
+value, exactness flag and dropped-predicate multiset agree on every subset
+(the ``lattice-profile`` differential-fuzz check in :mod:`repro.qa.runner`
+enforces this on both backends for every generated workload).  Components
+whose evaluation depends on more than their own shape — residuals with
+boundary-crossing comparison predicates (the Section 5.2 augmented-domain
+path) or generic predicates — are never shared structurally, only by
+identical atom sets.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Iterable, Mapping
+
+from repro.data.database import Database
+from repro.engine.aggregates import (
+    DEFAULT_MAX_ENUMERATION,
+    MultiplicityResult,
+    boundary_multiplicity,
+    combine_component_results,
+)
+from repro.engine.backend import ExecutionBackend, get_backend
+from repro.engine.canonical import _predicate_key, _term_key
+from repro.engine.columnar import factorization_cache_stats
+from repro.query.atoms import Variable
+from repro.query.cq import ConjunctiveQuery
+from repro.query.hypergraph import QueryHypergraph
+from repro.query.residual import ResidualQuery, residual_query
+
+__all__ = ["LatticeProfile", "ProfileStats", "evaluate_profile"]
+
+
+@dataclass(frozen=True)
+class ProfileStats:
+    """Work-sharing diagnostics of one :func:`evaluate_profile` run.
+
+    Attributes
+    ----------
+    subsets_total:
+        Number of lattice subsets the profile covers.
+    components_total:
+        Component references across all subsets (what the per-subset
+        reference path would evaluate).
+    components_evaluated:
+        Distinct component evaluations actually run.
+    component_hits:
+        Reuses: ``components_total - components_evaluated`` (a component
+        recurring in another subset, or an isomorphic twin).
+    factorization_hits / factorization_misses:
+        Delta of the process-wide per-(relation, column) factorization-cache
+        counters (:func:`repro.engine.columnar.factorization_cache_stats`)
+        over this run — best-effort under concurrency, exact when the run
+        has the process to itself.
+    """
+
+    subsets_total: int
+    components_total: int
+    components_evaluated: int
+    component_hits: int
+    factorization_hits: int
+    factorization_misses: int
+
+    def to_dict(self) -> dict[str, int]:
+        """A JSON-serialisable view (for reports, ``--json`` and ``/stats``)."""
+        return {
+            "subsets_total": self.subsets_total,
+            "components_total": self.components_total,
+            "components_evaluated": self.components_evaluated,
+            "component_hits": self.component_hits,
+            "factorization_hits": self.factorization_hits,
+            "factorization_misses": self.factorization_misses,
+        }
+
+
+@dataclass(frozen=True)
+class LatticeProfile:
+    """The full ``{F → T_F}`` profile plus its work-sharing statistics."""
+
+    results: Mapping[frozenset[int], MultiplicityResult]
+    stats: ProfileStats
+
+
+# --------------------------------------------------------------------- #
+# Component canonicalization
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _ComponentInfo:
+    """Structural description of one connected component of the lattice."""
+
+    atoms: tuple[int, ...]
+    residual: ResidualQuery
+    group_vars: tuple[Variable, ...]
+    names: Mapping[Variable, str]
+    by_name: Mapping[str, Variable]
+    signature: tuple | None
+    pred_keys: tuple[str | None, ...]
+
+
+def _component_info(query: ConjunctiveQuery, component: frozenset[int]) -> _ComponentInfo:
+    residual = residual_query(query, component)
+    group_vars = tuple(sorted(residual.boundary_relational, key=lambda v: v.name))
+    atoms = tuple(sorted(component))
+
+    names: dict[Variable, str] = {}
+    for idx in atoms:
+        for term in query.atoms[idx].terms:
+            if isinstance(term, Variable) and term not in names:
+                names[term] = f"v{len(names)}"
+    by_name = {name: var for var, name in names.items()}
+
+    pred_keys = tuple(_predicate_key(p, names) for p in residual.predicates)
+
+    signature: tuple | None
+    if any(not p.is_inequality for p in residual.dropped_predicates) or any(
+        key is None for key in pred_keys
+    ):
+        # Section 5.2 domain-ranging (value depends on predicates linking to
+        # the outside) or generic predicates (not structurally comparable):
+        # share only by identical atom set.
+        signature = None
+    else:
+        atom_keys = tuple(
+            (
+                query.atoms[idx].relation,
+                tuple(_term_key(t, names) for t in query.atoms[idx].terms),
+            )
+            for idx in atoms
+        )
+        boundary_key = tuple(sorted(names[v] for v in residual.boundary_relational))
+        output_key = (
+            ("*",)
+            if query.is_full
+            else tuple(sorted(names[v] for v in residual.output_variables))
+        )
+        signature = (atom_keys, boundary_key, output_key, tuple(sorted(pred_keys)))
+
+    return _ComponentInfo(
+        atoms=atoms,
+        residual=residual,
+        group_vars=group_vars,
+        names=names,
+        by_name=by_name,
+        signature=signature,
+        pred_keys=pred_keys,
+    )
+
+
+def _translate_result(
+    result: MultiplicityResult, source: _ComponentInfo, target: _ComponentInfo
+) -> MultiplicityResult:
+    """Re-express an isomorphic component's result in the target's variables.
+
+    ``source`` and ``target`` share a canonical signature, so the positional
+    variable correspondence (canonical name → variable) is a query
+    isomorphism: the value, exactness and strategy carry over verbatim,
+    dropped predicates map to the target's own predicate objects through
+    their canonical keys, and the witness tuple is re-ordered to the
+    target's boundary-variable ordering.
+    """
+    dropped = []
+    if result.dropped_predicates:
+        target_by_key: dict[str, list[int]] = {}
+        for idx, key in enumerate(target.pred_keys):
+            target_by_key.setdefault(key, []).append(idx)
+        consumed: dict[str, int] = {}
+        source_preds = list(source.residual.predicates)
+        for pred in result.dropped_predicates:
+            source_idx = next(
+                i for i, p in enumerate(source_preds) if p is pred or p == pred
+            )
+            key = source.pred_keys[source_idx]
+            position = consumed.get(key, 0)
+            consumed[key] = position + 1
+            dropped.append(target.residual.predicates[target_by_key[key][position]])
+
+    witness = result.witness
+    if witness is not None:
+        source_index = {var: i for i, var in enumerate(source.group_vars)}
+        witness = tuple(
+            witness[source_index[source.by_name[target.names[var]]]]
+            for var in target.group_vars
+        )
+
+    return replace(
+        result,
+        witness=witness,
+        boundary=target.group_vars,
+        dropped_predicates=tuple(dropped),
+    )
+
+
+# --------------------------------------------------------------------- #
+# The evaluator
+# --------------------------------------------------------------------- #
+def evaluate_profile(
+    query: ConjunctiveQuery,
+    database: Database,
+    subsets: Iterable[Iterable[int]],
+    *,
+    strategy: str = "auto",
+    max_enumeration: int | None = DEFAULT_MAX_ENUMERATION,
+    backend: str | ExecutionBackend | None = None,
+    parallelism: int | None = None,
+) -> LatticeProfile:
+    """Evaluate ``T_F(I)`` for every subset ``F`` in one shared pass.
+
+    Parameters
+    ----------
+    query / database:
+        The parent conjunctive query and the instance ``I``.
+    subsets:
+        The kept-atom subsets the profile must cover (typically
+        :meth:`~repro.sensitivity.residual.ResidualSensitivity.required_subsets`).
+    strategy / max_enumeration / backend:
+        Forwarded to :func:`repro.engine.aggregates.boundary_multiplicity`.
+        ``strategy="enumerate"`` deliberately bypasses all sharing (the
+        exact-enumeration path does not decompose residuals either) and
+        evaluates per subset.
+    parallelism:
+        Fan independent component evaluations out over a thread pool of this
+        size; ``None``/``0``/``1`` evaluates serially (the default).
+        Results are identical either way.
+
+    Returns
+    -------
+    LatticeProfile
+        Per-subset :class:`~repro.engine.aggregates.MultiplicityResult`
+        values (in ``subsets`` order) plus sharing statistics.
+    """
+    exec_backend = get_backend(backend)
+    fact_before = factorization_cache_stats()
+    subset_list = [frozenset(s) for s in subsets]
+
+    def finish(
+        results: dict[frozenset[int], MultiplicityResult],
+        components_total: int,
+        components_evaluated: int,
+    ) -> LatticeProfile:
+        fact_after = factorization_cache_stats()
+        stats = ProfileStats(
+            subsets_total=len(subset_list),
+            components_total=components_total,
+            components_evaluated=components_evaluated,
+            component_hits=components_total - components_evaluated,
+            factorization_hits=fact_after["hits"] - fact_before["hits"],
+            factorization_misses=fact_after["misses"] - fact_before["misses"],
+        )
+        return LatticeProfile(results=results, stats=stats)
+
+    def evaluate(kept: Iterable[int]) -> MultiplicityResult:
+        return boundary_multiplicity(
+            query,
+            database,
+            kept,
+            strategy=strategy,
+            max_enumeration=max_enumeration,
+            backend=exec_backend,
+        )
+
+    if strategy == "enumerate":
+        results = {kept: evaluate(kept) for kept in subset_list}
+        nonempty = sum(1 for kept in subset_list if kept)
+        return finish(results, nonempty, nonempty)
+
+    # Phase 1 — plan: decompose every subset into connected components.
+    plans: dict[frozenset[int], list[frozenset[int]]] = {}
+    infos: dict[frozenset[int], _ComponentInfo] = {}
+    for kept in subset_list:
+        if kept in plans:
+            continue
+        if not kept:
+            plans[kept] = []
+            continue
+        components = [
+            frozenset(c) for c in QueryHypergraph(query, kept).connected_components()
+        ]
+        plans[kept] = components
+        for component in components:
+            if component not in infos:
+                infos[component] = _component_info(query, component)
+
+    # Phase 2 — dedupe: pick one representative per canonical signature.
+    representative: dict[frozenset[int], frozenset[int]] = {}
+    by_signature: dict[tuple, frozenset[int]] = {}
+    for component in sorted(infos, key=lambda c: (len(c), tuple(sorted(c)))):
+        signature = infos[component].signature
+        if signature is None:
+            representative[component] = component
+        else:
+            representative[component] = by_signature.setdefault(signature, component)
+
+    # Phase 3 — evaluate each representative once (optionally in parallel).
+    to_evaluate = sorted(
+        set(representative.values()), key=lambda c: (len(c), tuple(sorted(c)))
+    )
+    if parallelism is not None and parallelism > 1 and len(to_evaluate) > 1:
+        with ThreadPoolExecutor(max_workers=parallelism) as pool:
+            evaluated = dict(zip(to_evaluate, pool.map(evaluate, to_evaluate)))
+    else:
+        evaluated = {component: evaluate(component) for component in to_evaluate}
+
+    component_results: dict[frozenset[int], MultiplicityResult] = {}
+    for component, rep in representative.items():
+        if component == rep:
+            component_results[component] = evaluated[rep]
+        else:
+            component_results[component] = _translate_result(
+                evaluated[rep], infos[rep], infos[component]
+            )
+
+    # Phase 4 — assemble the per-subset results (in the requested order).
+    results = {}
+    for kept in subset_list:
+        components = plans[kept]
+        if not components:
+            results[kept] = evaluate(kept)  # the T_∅ = 1 convention
+        elif len(components) == 1:
+            results[kept] = component_results[components[0]]
+        else:
+            residual = residual_query(query, kept)
+            group_vars = tuple(
+                sorted(residual.boundary_relational, key=lambda v: v.name)
+            )
+            results[kept] = combine_component_results(
+                residual,
+                group_vars,
+                [component_results[c] for c in components],
+                [query.variables_of(c) for c in components],
+            )
+
+    components_total = sum(len(c) for c in plans.values())
+    return finish(results, components_total, len(to_evaluate))

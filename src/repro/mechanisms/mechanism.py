@@ -116,6 +116,10 @@ class PrivateCountingQuery:
         ``"residual"`` method, the boundary multiplicities.  Backends are
         result-equivalent: with the same seed the released noisy counts are
         bitwise identical whichever backend runs.
+    parallelism:
+        Worker-pool size for the residual-sensitivity component
+        evaluations (``None``/``0``/``1``: serial, the default).  A pure
+        throughput knob — results are identical.
 
     Examples
     --------
@@ -140,6 +144,7 @@ class PrivateCountingQuery:
         edge_relation: str = "Edge",
         strategy: str = "auto",
         backend: str | None = None,
+        parallelism: int | None = None,
     ):
         if epsilon <= 0:
             raise PrivacyError(f"epsilon must be positive, got {epsilon}")
@@ -153,6 +158,7 @@ class PrivateCountingQuery:
         self._edge_relation = edge_relation
         self._strategy = strategy
         self._backend = get_backend(backend).name
+        self._parallelism = parallelism
         self._smooth = SmoothSensitivityMechanism(self._epsilon, rng=self._rng)
 
     @property
@@ -188,7 +194,11 @@ class PrivateCountingQuery:
         beta = self._smooth.beta
         if self._method == "residual":
             return ResidualSensitivity(
-                self._query, beta=beta, strategy=self._strategy, backend=self._backend
+                self._query,
+                beta=beta,
+                strategy=self._strategy,
+                backend=self._backend,
+                parallelism=self._parallelism,
             ).compute(database)
         if self._method == "elastic":
             return ElasticSensitivity(self._query, beta=beta).compute(database)

@@ -14,6 +14,13 @@ executes a fixed battery of checks:
     (for residuals without boundary-crossing predicates, whose value is
     convention-defined), and when predicates were dropped it must still
     upper-bound both.
+``lattice-profile``
+    The shared-lattice profile evaluator
+    (:func:`repro.engine.profile.evaluate_profile` — component
+    memoization, isomorphism dedup, optional parallelism) must equal the
+    per-subset ``boundary_multiplicity`` reference on every required
+    subset — value, exactness flag and dropped-predicate multiset — on
+    both backends, and a parallel evaluation must equal the serial one.
 ``profile``
     Full residual-sensitivity computations (value, ``k*``, the whole
     ``L̂S^(k)`` series) must be identical on both backends, and must
@@ -46,6 +53,7 @@ import numpy as np
 
 from repro.engine.aggregates import boundary_multiplicity
 from repro.engine.backend import get_backend
+from repro.engine.profile import evaluate_profile
 from repro.engine.evaluation import count_query
 from repro.mechanisms.mechanism import PrivateCountingQuery
 from repro.qa.generator import FuzzCase, WorkloadGenerator
@@ -66,6 +74,7 @@ __all__ = ["CHECKS", "DifferentialRunner", "FuzzFailure", "FuzzReport"]
 CHECKS = (
     "count",
     "multiplicity",
+    "lattice-profile",
     "profile",
     "local-sensitivity",
     "smoothness",
@@ -323,6 +332,68 @@ class DifferentialRunner:
         return oracle_max_group_count(
             sub_query, db, group_vars, distinct_on=tuple(residual.output_variables)
         )
+
+    def _check_lattice_profile(self, case: FuzzCase, report) -> str | None:
+        from repro.query.hypergraph import QueryHypergraph
+
+        query, db = case.query(), case.database()
+        engine = ResidualSensitivity(query, beta=case.beta)
+        subsets = engine.required_subsets(db)
+        # Independently derived decomposition sizes — the check must not
+        # trust the evaluator's own arithmetic for its ground truth.
+        expected_components = sum(
+            len(QueryHypergraph(query, kept).connected_components())
+            for kept in subsets
+            if kept
+        )
+        problems = []
+        for backend_name in ("python", "numpy"):
+            shared = evaluate_profile(query, db, subsets, backend=backend_name)
+            stats = shared.stats
+            evaluated_ok = (
+                stats.components_evaluated == 0
+                if expected_components == 0  # only the empty residual subset
+                else 0 < stats.components_evaluated <= expected_components
+            )
+            if stats.components_total != expected_components or not evaluated_ok:
+                problems.append(
+                    f"[{backend_name}] profiler counters wrong: "
+                    f"{stats.components_evaluated} evaluated of "
+                    f"{stats.components_total} total, independent decomposition "
+                    f"says {expected_components}"
+                )
+            if stats.subsets_total != len(subsets):
+                problems.append(
+                    f"[{backend_name}] subsets_total {stats.subsets_total} != "
+                    f"{len(subsets)} required subsets"
+                )
+            for kept in subsets:
+                label = tuple(sorted(kept))
+                base = boundary_multiplicity(query, db, kept, backend=backend_name)
+                got = shared.results[kept]
+                if (got.value, got.exact) != (base.value, base.exact):
+                    problems.append(
+                        f"[{backend_name}] T_{label}: shared-lattice "
+                        f"({got.value}, exact={got.exact}) != per-subset "
+                        f"({base.value}, exact={base.exact})"
+                    )
+                elif sorted(map(repr, got.dropped_predicates)) != sorted(
+                    map(repr, base.dropped_predicates)
+                ):
+                    problems.append(
+                        f"[{backend_name}] T_{label}: dropped predicates differ: "
+                        f"shared-lattice {got.dropped_predicates!r} != "
+                        f"per-subset {base.dropped_predicates!r}"
+                    )
+        parallel = evaluate_profile(query, db, subsets, parallelism=2)
+        serial = evaluate_profile(query, db, subsets)
+        for kept in subsets:
+            if parallel.results[kept] != serial.results[kept]:
+                problems.append(
+                    f"T_{tuple(sorted(kept))}: parallel evaluation "
+                    f"{parallel.results[kept]!r} != serial {serial.results[kept]!r}"
+                )
+        return "; ".join(problems) or None
 
     def _check_profile(self, case: FuzzCase, report) -> str | None:
         query, db = case.query(), case.database()

@@ -18,6 +18,20 @@ multiplicity of the residual query on atom subset ``F`` (computed by
 Lemma 3.10 shows the maximisation over ``k`` can stop at
 ``k̂ = m_P / (1 - exp(-β / max_i n_i))``; we iterate ``k = 0 .. ceil(k̂)``.
 
+Two layers of work sharing keep the computation polynomial *and* fast:
+
+* the ``{F → T_F}`` profile is produced in one pass by the shared-lattice
+  evaluator (:func:`repro.engine.profile.evaluate_profile`): every subset is
+  decomposed into connected components once, each structurally distinct
+  component is evaluated once, and per-subset values are assembled from the
+  memoized component results (the per-subset reference path survives as
+  :meth:`ResidualSensitivity.multiplicities_reference` and is checked
+  against the shared path by the differential fuzzer);
+* the ``(E, E')`` coefficient structure of Equations (19)–(20) is folded
+  once into a ``(block, exponent-vector)`` matrix, after which every
+  ``L̂S^(k)`` is a single vectorized NumPy contraction over all distance
+  vectors instead of nested Python loops per vector per ``k``.
+
 Predicates (Section 5) and projections (Section 6) are handled entirely
 inside the ``T_F`` evaluation: predicates via the Corollary 5.1 /
 Section 5.2 boundary treatment, projections by counting distinct output
@@ -31,8 +45,11 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+import numpy as np
+
 from repro.data.database import Database
 from repro.engine.aggregates import MultiplicityResult, boundary_multiplicity
+from repro.engine.profile import LatticeProfile, ProfileStats, evaluate_profile
 from repro.exceptions import SensitivityError
 from repro.query.cq import ConjunctiveQuery, SelfJoinBlock
 from repro.query.residual import all_subsets_of_block
@@ -67,6 +84,15 @@ class ResidualSensitivityReport:
     exact_multiplicities:
         ``True`` if every ``T_F`` was evaluated exactly (no predicate had to
         be dropped by the elimination engine).
+    subsets_total:
+        Number of residual subsets the profile covers (0 when a precomputed
+        profile was supplied and no evaluation ran).
+    components_evaluated:
+        Distinct residual-component evaluations the shared-lattice evaluator
+        actually ran (see :class:`repro.engine.profile.ProfileStats`).
+    factorization_hits:
+        Columnar factorization-cache hits observed during the profile
+        evaluation (0 on the pure-Python backend, which has no columns).
     """
 
     value: float
@@ -76,6 +102,9 @@ class ResidualSensitivityReport:
     ls_hat_series: tuple[float, ...]
     multiplicities: Mapping[tuple[int, ...], int]
     exact_multiplicities: bool
+    subsets_total: int = 0
+    components_evaluated: int = 0
+    factorization_hits: int = 0
 
 
 class ResidualSensitivity:
@@ -104,6 +133,10 @@ class ResidualSensitivity:
     k_max:
         Optional override of the Lemma 3.10 truncation point (mainly for
         tests).
+    parallelism:
+        Fan independent residual-component evaluations out over a thread
+        pool of this size (``None``/``0``/``1`` — the default — evaluates
+        serially).  Purely a throughput knob: results are identical.
 
     Examples
     --------
@@ -126,14 +159,18 @@ class ResidualSensitivity:
         strategy: str = "auto",
         backend: str | None = None,
         k_max: int | None = None,
+        parallelism: int | None = None,
     ):
         if (beta is None) == (epsilon is None):
             raise SensitivityError("provide exactly one of beta= or epsilon=")
+        if parallelism is not None and parallelism < 0:
+            raise SensitivityError(f"parallelism must be non-negative, got {parallelism}")
         self._beta = validate_beta(beta if beta is not None else beta_from_epsilon(epsilon))
         self._query = query
         self._strategy = strategy
         self._backend = backend
         self._k_max_override = k_max
+        self._parallelism = parallelism
 
     # ------------------------------------------------------------------ #
     # Public accessors
@@ -195,8 +232,41 @@ class ResidualSensitivity:
     # ------------------------------------------------------------------ #
     # Core computation
     # ------------------------------------------------------------------ #
+    def profile(self, database: Database) -> LatticeProfile:
+        """The full ``{F → T_F}`` profile, evaluated by the shared-lattice pass.
+
+        One pass over the residual lattice: subsets are decomposed into
+        connected components, each structurally distinct component is
+        evaluated once, and per-subset results are assembled from the
+        memoized components (see :func:`repro.engine.profile.evaluate_profile`).
+        The returned :class:`~repro.engine.profile.LatticeProfile` carries
+        work-sharing statistics alongside the results.
+        """
+        return evaluate_profile(
+            self._query,
+            database,
+            self.required_subsets(database),
+            strategy=self._strategy,
+            backend=self._backend,
+            parallelism=self._parallelism,
+        )
+
     def multiplicities(self, database: Database) -> dict[frozenset[int], MultiplicityResult]:
-        """Evaluate ``T_F(I)`` for every required subset ``F`` (cached per call)."""
+        """Evaluate ``T_F(I)`` for every required subset ``F`` (shared-lattice pass)."""
+        return dict(self.profile(database).results)
+
+    def multiplicities_reference(
+        self, database: Database
+    ) -> dict[frozenset[int], MultiplicityResult]:
+        """The per-subset reference evaluation of the profile.
+
+        Each ``T_F`` is computed by an isolated
+        :func:`~repro.engine.aggregates.boundary_multiplicity` call, sharing
+        nothing across the lattice.  Kept as the semantic baseline: the
+        differential fuzzer asserts :meth:`multiplicities` matches it (value,
+        exactness, dropped predicates) on every generated workload, and the
+        profile benchmark measures the shared pass against it.
+        """
         results: dict[frozenset[int], MultiplicityResult] = {}
         for kept in self.required_subsets(database):
             results[kept] = boundary_multiplicity(
@@ -210,13 +280,130 @@ class ResidualSensitivity:
 
     @staticmethod
     def _distance_vectors(total: int, parts: int) -> Iterable[tuple[int, ...]]:
-        """All compositions of ``total`` into ``parts`` non-negative integers."""
-        if parts == 1:
-            yield (total,)
+        """All compositions of ``total`` into ``parts`` non-negative integers.
+
+        An iterative stars-and-bars successor walk in ascending
+        lexicographic order (the order the recursive formulation produced):
+        starting from ``(0, ..., 0, total)``, repeatedly increment the
+        rightmost position that still has weight to its right and flush that
+        weight (minus one) back to the last position.  Iteration keeps the
+        generator O(parts) per vector with no recursion depth or tuple
+        re-concatenation, so large ``total × parts`` grids stream safely.
+        """
+        if parts <= 0:
+            if parts == 0 and total == 0:
+                yield ()
             return
-        for first in range(total + 1):
-            for rest in ResidualSensitivity._distance_vectors(total - first, parts - 1):
-                yield (first,) + rest
+        vector = [0] * parts
+        vector[-1] = total
+        while True:
+            yield tuple(vector)
+            # Find the rightmost position with weight to its right;
+            # ``tail`` tracks sum(vector[position + 1:]) as we scan left.
+            position = parts - 2
+            tail = vector[parts - 1]
+            while position >= 0 and tail == 0:
+                tail += vector[position]
+                position -= 1
+            if position < 0:
+                return
+            vector[position] += 1
+            for i in range(position + 1, parts):
+                vector[i] = 0
+            vector[parts - 1] = tail - 1
+
+    def _ls_hat_structure(
+        self,
+        blocks: Sequence[SelfJoinBlock],
+        t_value: Mapping[frozenset[int], int],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fold Equations (19)–(20) into a ``(block, exponent-vector)`` matrix.
+
+        Every term of ``Σ_{E ⊆ D_i} T̂_{[n]-E, s}`` is ``T_{[n]-E-E'} ·
+        Π_{j ∈ E'} s_j``, and the monomial ``Π s_j`` depends only on how many
+        atoms of each self-join block ``E'`` contains.  Grouping the terms by
+        that exponent vector once yields coefficients ``C[i, e] = Σ T_F`` —
+        after which ``L̂S^(k)`` for *any* distance vector ``s`` is the single
+        contraction ``max_i Σ_e C[i, e] · Π_b s_b^{e_b}``, evaluated for all
+        vectors of all ``k`` as NumPy matrix products.
+
+        Returns ``(exponents, coefficients)`` with shapes ``(terms, m)`` and
+        ``(m_P, terms)``.
+        """
+        m = len(blocks)
+        private_atoms = [idx for block in blocks for idx in block.atom_indices]
+        atom_block = {
+            idx: block_pos
+            for block_pos, block in enumerate(blocks)
+            for idx in block.atom_indices
+        }
+        n = self._query.num_atoms
+        all_atoms = frozenset(range(n))
+
+        exponent_index: dict[tuple[int, ...], int] = {}
+        entries: list[dict[int, int]] = [dict() for _ in blocks]
+        for block_pos, block in enumerate(blocks):
+            bucket = entries[block_pos]
+            for removed in all_subsets_of_block(block.atom_indices):
+                remaining_private = [a for a in private_atoms if a not in removed]
+                # T̂_{[n]-E, s} = Σ_{E' ⊆ P_n - E} T_{[n]-E-E'} Π_{j ∈ E'} s_j
+                for size in range(len(remaining_private) + 1):
+                    for extra in itertools.combinations(remaining_private, size):
+                        exponents = [0] * m
+                        for j in extra:
+                            exponents[atom_block[j]] += 1
+                        kept = all_atoms - removed - frozenset(extra)
+                        index = exponent_index.setdefault(
+                            tuple(exponents), len(exponent_index)
+                        )
+                        bucket[index] = bucket.get(index, 0) + t_value[kept]
+
+        exponent_matrix = np.array(list(exponent_index), dtype=np.int64).reshape(
+            len(exponent_index), m
+        )
+        coefficients = np.zeros((len(blocks), len(exponent_index)), dtype=np.float64)
+        for block_pos, bucket in enumerate(entries):
+            for index, coefficient in bucket.items():
+                coefficients[block_pos, index] = coefficient
+        return exponent_matrix, coefficients
+
+    #: Distance vectors per vectorized batch: bounds the working set of the
+    #: contraction to ``chunk × terms`` floats even when a tiny ``β`` pushes
+    #: ``k_max`` (and with it the composition count) into the millions.
+    _LS_HAT_CHUNK = 1 << 15
+
+    def _ls_hat_from_structure(
+        self, structure: tuple[np.ndarray, np.ndarray], k: int
+    ) -> float:
+        """``L̂S^(k)`` as a vectorized contraction over all distance vectors.
+
+        Vectors stream in bounded chunks and the monomials ``Π_b s_b^{e_b}``
+        are accumulated block by block (with ``0^0 = 1`` for empty products),
+        so memory stays O(chunk × terms) rather than O(vectors × terms × m).
+        """
+        exponents, coefficients = structure
+        m = exponents.shape[1]
+        best = 0.0
+
+        def fold(batch: list[tuple[int, ...]]) -> float:
+            vectors = np.array(batch, dtype=np.int64).reshape(-1, m)
+            monomials = np.ones((len(batch), exponents.shape[0]), dtype=np.float64)
+            for b in range(m):
+                monomials *= np.power(
+                    vectors[:, b : b + 1].astype(np.float64), exponents[None, :, b]
+                )
+            totals = monomials @ coefficients.T  # (vectors, blocks)
+            return float(totals.max()) if totals.size else 0.0
+
+        batch: list[tuple[int, ...]] = []
+        for vector in self._distance_vectors(k, m):
+            batch.append(vector)
+            if len(batch) >= self._LS_HAT_CHUNK:
+                best = max(best, fold(batch))
+                batch = []
+        if batch:
+            best = max(best, fold(batch))
+        return max(best, 0.0)
 
     def ls_hat(
         self,
@@ -231,35 +418,7 @@ class ResidualSensitivity:
         if multiplicities is None:
             multiplicities = self.multiplicities(database)
         t_value = {kept: result.value for kept, result in multiplicities.items()}
-
-        private_atoms = [idx for block in blocks for idx in block.atom_indices]
-        atom_block = {
-            idx: block_pos
-            for block_pos, block in enumerate(blocks)
-            for idx in block.atom_indices
-        }
-        n = self._query.num_atoms
-        all_atoms = frozenset(range(n))
-
-        best = 0.0
-        for vector in self._distance_vectors(k, len(blocks)):
-            s_of_atom = {idx: vector[atom_block[idx]] for idx in private_atoms}
-            for block_pos, block in enumerate(blocks):
-                total = 0.0
-                for removed in all_subsets_of_block(block.atom_indices):
-                    remaining_private = [a for a in private_atoms if a not in removed]
-                    # T̂_{[n]-E, s} = Σ_{E' ⊆ P_n - E} T_{[n]-E-E'} Π_{j ∈ E'} s_j
-                    for size in range(len(remaining_private) + 1):
-                        for extra in itertools.combinations(remaining_private, size):
-                            product = 1
-                            for j in extra:
-                                product *= s_of_atom[j]
-                            if product == 0 and size > 0:
-                                continue
-                            kept = all_atoms - removed - frozenset(extra)
-                            total += t_value[kept] * product
-                best = max(best, total)
-        return best
+        return self._ls_hat_from_structure(self._ls_hat_structure(blocks, t_value), k)
 
     def compute(
         self,
@@ -270,21 +429,29 @@ class ResidualSensitivity:
 
         ``multiplicities`` may be supplied to reuse previously computed
         ``T_F`` values (they do not depend on ``β``); the β-sweep experiment
-        (Figure 3) relies on this to evaluate many values of ``β`` with a
-        single round of residual-query evaluation.
+        (Figure 3) and the serving layer's profile cache rely on this to
+        evaluate many values of ``β`` with a single round of residual-query
+        evaluation (the profiler counters of the report then stay zero —
+        no evaluation ran).
         """
+        blocks = self._private_blocks(database)
+        stats: ProfileStats | None = None
         if multiplicities is None:
-            multiplicities = self.multiplicities(database)
+            profile = self.profile(database)
+            multiplicities = profile.results
+            stats = profile.stats
         k_max = (
             self._k_max_override
             if self._k_max_override is not None
             else self.lemma_3_10_k_max(database)
         )
+        t_value = {kept: result.value for kept, result in multiplicities.items()}
+        structure = self._ls_hat_structure(blocks, t_value)
         series: list[float] = []
         best = 0.0
         best_k = 0
         for k in range(k_max + 1):
-            ls_hat_k = self.ls_hat(database, k, multiplicities)
+            ls_hat_k = self._ls_hat_from_structure(structure, k)
             series.append(ls_hat_k)
             smoothed = math.exp(-self._beta * k) * ls_hat_k
             if smoothed > best:
@@ -301,6 +468,9 @@ class ResidualSensitivity:
                 tuple(sorted(kept)): result.value for kept, result in multiplicities.items()
             },
             exact_multiplicities=exact,
+            subsets_total=stats.subsets_total if stats is not None else 0,
+            components_evaluated=stats.components_evaluated if stats is not None else 0,
+            factorization_hits=stats.factorization_hits if stats is not None else 0,
         )
         return SensitivityResult(
             measure="RS",
@@ -312,6 +482,7 @@ class ResidualSensitivity:
                 "ls_hat_series": tuple(series),
                 "multiplicities": report.multiplicities,
                 "exact_multiplicities": exact,
+                "profiler": stats.to_dict() if stats is not None else None,
                 "report": report,
             },
         )

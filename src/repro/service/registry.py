@@ -5,7 +5,11 @@ against it.  The registry hands out immutable :class:`RegisteredDatabase`
 records whose ``(name, version)`` pair the caches use as part of their keys:
 re-registering a name bumps the version, so every cached plan, profile or
 sensitivity derived from the old contents silently becomes unreachable (and
-ages out of the LRU) instead of being served stale.
+ages out of the LRU) instead of being served stale.  The version bump also
+releases the superseded instance's *data-level* caches — columnar snapshots
+and per-(relation, column) factorizations (see
+:meth:`repro.data.database.Database.release_caches`) — so the memory of a
+replaced registration is reclaimed eagerly.
 
 When the registry is backed by a :class:`~repro.service.persistence.StateStore`,
 every (un)registration journals a **versioned metadata snapshot** of the
@@ -116,11 +120,20 @@ class DatabaseRegistry:
                 entry = RegisteredDatabase(
                     name=name, version=version, database=database, backend=backend
                 )
+                previous = self._entries.get(name)
 
                 def install() -> None:
                     self._versions[name] = version
                     self._entries[name] = entry
                     self._recovered.pop(name, None)
+                    # The version bump already makes every cache key derived
+                    # from the old contents unreachable; releasing the old
+                    # instance's derived caches (columnar snapshots, column
+                    # factorizations, indexes) frees their memory now rather
+                    # than when the LRU ages the last reference out — unless
+                    # another registration still serves the same object.
+                    if previous is not None and previous.database is not database:
+                        self._release_if_unreferenced(previous.database)
 
                 if self.journal is not None:
                     self.journal.append("register", apply=install, **entry.describe())
@@ -144,12 +157,20 @@ class DatabaseRegistry:
                     raise UnknownResourceError(f"unknown database {name!r}")
 
                 def remove() -> None:
-                    del self._entries[name]
+                    removed = self._entries.pop(name)
+                    self._release_if_unreferenced(removed.database)
 
                 if self.journal is not None:
                     self.journal.append("unregister", apply=remove, name=name)
                 else:
                     remove()
+
+    def _release_if_unreferenced(self, database: Database) -> None:
+        """Drop a superseded instance's derived caches — but only when no
+        surviving registration still serves the very same object (called
+        under ``self._lock``)."""
+        if not any(entry.database is database for entry in self._entries.values()):
+            database.release_caches()
 
     def restore(
         self, versions: dict[str, int], metadata: dict[str, dict[str, Any]]

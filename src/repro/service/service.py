@@ -12,7 +12,11 @@ Three caches cooperate (see :mod:`repro.service.cache`):
   parser and canonicalizer on repeated request strings;
 * **profile** — ``(db, version, shape)`` → the residual-query boundary
   multiplicities ``T_F(I)``, which dominate the cost of residual sensitivity
-  and are *β-independent*, so one profile serves every ε;
+  and are *β-independent*, so one profile serves every ε; profiles are
+  produced by the shared-lattice evaluator
+  (:func:`repro.engine.profile.evaluate_profile`), whose subplan-dedup and
+  factorization-cache counters the service accumulates into the
+  ``profiler`` block of :meth:`PrivateQueryService.stats`;
 * **sensitivity** / **count** — final sensitivity values and true counts per
   ``(db, version, shape[, method, β])``.
 
@@ -129,6 +133,11 @@ class PrivateQueryService:
         service produces a reproducible release sequence.
     strategy:
         Evaluation strategy forwarded to the residual-sensitivity engine.
+    parallelism:
+        Worker-pool size for the residual-sensitivity component
+        evaluations (``None``/``0``/``1``: serial, the default).  Purely a
+        throughput knob — results, and therefore seeded release sequences,
+        are identical.
     state_dir:
         Optional directory for durable state (see
         :mod:`repro.service.persistence`).  Sessions, budgets and audit
@@ -160,6 +169,7 @@ class PrivateQueryService:
         session_ttl: float | None = None,
         rng: np.random.Generator | int | None = None,
         strategy: str = "auto",
+        parallelism: int | None = None,
         state_dir: str | None = None,
         snapshot_interval: int = 1000,
     ):
@@ -184,12 +194,25 @@ class PrivateQueryService:
         self._sensitivity_cache = LRUCache(cache_capacity)
         self._count_cache = LRUCache(cache_capacity)
         self._strategy = strategy
+        self._parallelism = parallelism
         self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
         # numpy Generators are not thread-safe; the batch executor funnels
         # every noise draw through this lock.
         self._rng_lock = threading.Lock()
         self._requests_served = 0
         self._stats_lock = threading.Lock()
+        # Cumulative shared-lattice profiler counters (see repro.engine.profile);
+        # updated under _stats_lock whenever a profile is actually computed
+        # (profile-cache hits add nothing — no evaluation ran).
+        self._profiler_totals = {
+            "profiles_computed": 0,
+            "subsets_total": 0,
+            "components_total": 0,
+            "components_evaluated": 0,
+            "component_hits": 0,
+            "factorization_hits": 0,
+            "factorization_misses": 0,
+        }
 
     # ------------------------------------------------------------------ #
     # Persistence
@@ -322,13 +345,17 @@ class PrivateQueryService:
         def compute() -> SensitivityResult:
             if method == "residual":
                 engine = ResidualSensitivity(
-                    query, beta=beta, strategy=self._strategy, backend=reg.backend
+                    query,
+                    beta=beta,
+                    strategy=self._strategy,
+                    backend=reg.backend,
+                    parallelism=self._parallelism,
                 )
                 if key is None:
                     return engine.compute(reg.database)
                 profile, _ = self._profile_cache.get_or_compute(
                     (reg.name, reg.version, key),
-                    lambda: engine.multiplicities(reg.database),
+                    lambda: self._build_profile(engine, reg.database),
                 )
                 return engine.compute(reg.database, multiplicities=profile)
             # The other engines have no reusable sub-plan; delegate to the
@@ -348,6 +375,21 @@ class PrivateQueryService:
         return self._sensitivity_cache.get_or_compute(
             (reg.name, reg.version, key, method, beta), compute
         )
+
+    def _build_profile(self, engine: ResidualSensitivity, database: Database):
+        """Run the shared-lattice evaluator and accumulate its counters."""
+        profile = engine.profile(database)
+        stats = profile.stats
+        with self._stats_lock:
+            totals = self._profiler_totals
+            totals["profiles_computed"] += 1
+            totals["subsets_total"] += stats.subsets_total
+            totals["components_total"] += stats.components_total
+            totals["components_evaluated"] += stats.components_evaluated
+            totals["component_hits"] += stats.component_hits
+            totals["factorization_hits"] += stats.factorization_hits
+            totals["factorization_misses"] += stats.factorization_misses
+        return profile.results
 
     # ------------------------------------------------------------------ #
     # Serving
@@ -454,6 +496,7 @@ class PrivateQueryService:
         shared = self._sessions.shared
         with self._stats_lock:
             served = self._requests_served
+            profiler = dict(self._profiler_totals)
         return {
             "requests_served": served,
             "backends": {
@@ -481,6 +524,7 @@ class PrivateQueryService:
                 "sensitivity": self._sensitivity_cache.stats().to_dict(),
                 "count": self._count_cache.stats().to_dict(),
             },
+            "profiler": profiler,
             "audit": {
                 "records": len(self._sessions.audit),
                 "total_recorded": self._sessions.audit.total_recorded,

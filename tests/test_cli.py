@@ -148,10 +148,29 @@ class TestJsonOutput:
         )
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
-        assert set(payload) == {"beta", "backend", "residual", "elastic", "global_agm"}
+        assert set(payload) == {
+            "beta",
+            "backend",
+            "residual",
+            "elastic",
+            "global_agm",
+            "profiler",
+        }
         assert payload["beta"] == 0.2
         assert payload["residual"] > 0
         assert payload["elastic"] > 0
+        profiler = payload["profiler"]
+        assert set(profiler) == {
+            "subsets_total",
+            "components_total",
+            "components_evaluated",
+            "component_hits",
+            "factorization_hits",
+            "factorization_misses",
+        }
+        assert profiler["subsets_total"] == 3  # {}, {0}, {1} for the 2-atom join
+        assert profiler["components_total"] == 2
+        assert 1 <= profiler["components_evaluated"] <= 2
 
 
 class TestBatchCommand:

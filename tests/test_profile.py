@@ -1,0 +1,358 @@
+"""Tests for the shared-lattice profile evaluator and its supporting layers.
+
+Covers
+
+* :func:`repro.engine.profile.evaluate_profile` — per-subset equality with
+  the :func:`~repro.engine.aggregates.boundary_multiplicity` reference
+  (value, exactness, dropped predicates) across query shapes that exercise
+  component memoization, isomorphism dedup, projections, predicates and the
+  empty-subset convention, on both backends;
+* the ``parallelism`` knob (identical results, any pool size);
+* the iterative stars-and-bars ``_distance_vectors`` generator (count and
+  order pinned against the recursive formulation it replaced);
+* the vectorized ``L̂S^(k)`` contraction (pinned against a literal
+  nested-loop evaluation of Equations 19–20);
+* the per-(relation, column) factorization cache — population, hit
+  counting, invalidation on mutation and release on registry version bump;
+* the profiler counters surfaced through ``ResidualSensitivityReport`` and
+  the service ``/stats`` block.
+"""
+
+from __future__ import annotations
+
+import itertools
+from math import comb
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.schema import DatabaseSchema
+from repro.engine.aggregates import boundary_multiplicity
+from repro.engine.columnar import ColumnCodes, factorization_cache_stats
+from repro.engine.profile import evaluate_profile
+from repro.graphs.loader import database_from_edges
+from repro.graphs.patterns import k_star_query, triangle_query
+from repro.query.parser import parse_query
+from repro.query.residual import all_subsets_of_block
+from repro.sensitivity.residual import ResidualSensitivity
+from repro.service import PrivateQueryService
+
+EDGES = [
+    (1, 2), (2, 3), (1, 3), (3, 4), (4, 5), (3, 5), (5, 6), (2, 5),
+    (1, 6), (6, 7), (2, 7), (4, 7),
+]
+
+
+@pytest.fixture
+def graph_db() -> Database:
+    return database_from_edges(EDGES)
+
+
+def _assert_profiles_match(query, db, backend):
+    engine = ResidualSensitivity(query, beta=0.1, backend=backend)
+    subsets = engine.required_subsets(db)
+    shared = evaluate_profile(query, db, subsets, backend=backend)
+    for kept in subsets:
+        reference = boundary_multiplicity(query, db, kept, backend=backend)
+        result = shared.results[kept]
+        assert (result.value, result.exact) == (reference.value, reference.exact), (
+            tuple(sorted(kept)),
+            result,
+            reference,
+        )
+        assert sorted(map(repr, result.dropped_predicates)) == sorted(
+            map(repr, reference.dropped_predicates)
+        ), tuple(sorted(kept))
+    return shared
+
+
+class TestEvaluateProfileEquality:
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_triangle_query(self, graph_db, backend):
+        shared = _assert_profiles_match(triangle_query(), graph_db, backend)
+        stats = shared.stats
+        assert stats.subsets_total == 7
+        # Every non-empty proper subset of the triangle is connected: six
+        # component references, of which the three isomorphic single-atom
+        # residuals share one evaluation (the three pairs align differently).
+        assert stats.components_total == 6
+        assert stats.components_evaluated == 4
+        assert stats.component_hits == 2
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_star_query_isomorphism_dedup(self, graph_db, backend):
+        shared = _assert_profiles_match(k_star_query(3), graph_db, backend)
+        # Singles and pairs are each one isomorphism class: 2 evaluations.
+        assert shared.stats.components_evaluated == 2
+        assert shared.stats.component_hits == 4
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_disconnected_subsets_share_components(self, graph_db, backend):
+        query = parse_query("Edge(a, b), Edge(b, c), Edge(c, d), Edge(d, e)")
+        shared = _assert_profiles_match(query, graph_db, backend)
+        # 15 proper subsets of 4 atoms decompose into 19 component
+        # references; sub-paths recur across subsets.
+        assert shared.stats.subsets_total == 15
+        assert shared.stats.components_total == 19
+        assert shared.stats.component_hits > 0
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_projection_query(self, graph_db, backend):
+        _assert_profiles_match(
+            parse_query("q(x) :- Edge(x, y), Edge(y, z)"), graph_db, backend
+        )
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_two_relation_join_with_public_side(self, backend):
+        schema = DatabaseSchema.from_arities({"R": 2, "S": 2, "T": 2}, private=["R", "S"])
+        db = Database.from_rows(
+            schema,
+            R=[(1, 2), (2, 2), (2, 3)],
+            S=[(2, 5), (2, 7), (3, 7)],
+            T=[(5, 1), (7, 1)],
+        )
+        _assert_profiles_match(parse_query("R(x, y), S(y, z), T(z, w)"), db, backend)
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_comparison_predicates_crossing_boundaries(self, backend):
+        schema = DatabaseSchema.from_arities({"R": 2, "S": 2})
+        db = Database.from_rows(
+            schema, R=[(1, 2), (2, 4), (3, 1)], S=[(2, 3), (4, 1), (1, 5)]
+        )
+        _assert_profiles_match(parse_query("R(x, y), S(y, z), x < z"), db, backend)
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_constants_and_repeated_variables(self, backend):
+        schema = DatabaseSchema.from_arities({"R": 2, "S": 2})
+        db = Database.from_rows(
+            schema, R=[(1, 1), (1, 2), (2, 2)], S=[(1, 3), (2, 3), (3, 3)]
+        )
+        _assert_profiles_match(parse_query("R(x, x), S(x, 3)"), db, backend)
+
+    def test_empty_subset_uses_the_convention(self, graph_db):
+        query = triangle_query()
+        profile = evaluate_profile(query, graph_db, [frozenset()])
+        result = profile.results[frozenset()]
+        assert (result.value, result.strategy, result.exact) == (1, "convention", True)
+
+    def test_enumerate_strategy_bypasses_sharing(self, graph_db):
+        query = k_star_query(3)
+        engine = ResidualSensitivity(query, beta=0.1, strategy="enumerate")
+        subsets = engine.required_subsets(graph_db)
+        shared = evaluate_profile(query, graph_db, subsets, strategy="enumerate")
+        assert shared.stats.component_hits == 0
+        for kept in subsets:
+            reference = boundary_multiplicity(query, graph_db, kept, strategy="enumerate")
+            assert shared.results[kept] == reference
+
+
+class TestParallelism:
+    def test_parallel_results_identical(self, graph_db):
+        query = triangle_query()
+        engine = ResidualSensitivity(query, beta=0.1)
+        subsets = engine.required_subsets(graph_db)
+        serial = evaluate_profile(query, graph_db, subsets)
+        for workers in (2, 8):
+            parallel = evaluate_profile(query, graph_db, subsets, parallelism=workers)
+            assert parallel.results == serial.results
+
+    def test_parallelism_threads_through_the_engine(self, graph_db):
+        serial = ResidualSensitivity(triangle_query(), beta=0.1)
+        parallel = ResidualSensitivity(triangle_query(), beta=0.1, parallelism=3)
+        assert serial.compute(graph_db).value == parallel.compute(graph_db).value
+
+    def test_negative_parallelism_rejected(self):
+        from repro.exceptions import SensitivityError
+
+        with pytest.raises(SensitivityError):
+            ResidualSensitivity(triangle_query(), beta=0.1, parallelism=-1)
+
+
+class TestDistanceVectors:
+    @staticmethod
+    def _reference(total, parts):
+        if parts == 1:
+            yield (total,)
+            return
+        for first in range(total + 1):
+            for rest in TestDistanceVectors._reference(total - first, parts - 1):
+                yield (first,) + rest
+
+    def test_count_and_order_match_the_recursive_formulation(self):
+        for total in range(7):
+            for parts in range(1, 5):
+                got = list(ResidualSensitivity._distance_vectors(total, parts))
+                assert got == list(self._reference(total, parts))
+                assert len(got) == comb(total + parts - 1, parts - 1)
+                assert all(sum(v) == total and len(v) == parts for v in got)
+
+    def test_order_is_ascending_lexicographic(self):
+        got = list(ResidualSensitivity._distance_vectors(2, 3))
+        assert got == [
+            (0, 0, 2), (0, 1, 1), (0, 2, 0), (1, 0, 1), (1, 1, 0), (2, 0, 0),
+        ]
+
+    def test_no_recursion_limit_on_deep_grids(self):
+        # The recursive formulation it replaced recursed once per part and
+        # would overflow the interpreter stack around ~1000 parts.
+        vectors = ResidualSensitivity._distance_vectors(1, 5000)
+        assert sum(1 for _ in vectors) == comb(5000, 4999)
+        assert list(ResidualSensitivity._distance_vectors(10_000, 1)) == [(10_000,)]
+
+
+class TestVectorizedLsHat:
+    def _literal_ls_hat(self, engine, db, k, multiplicities):
+        """Equations (19)-(20) as the literal nested loops the code replaced."""
+        blocks = engine._private_blocks(db)
+        t_value = {kept: r.value for kept, r in multiplicities.items()}
+        private_atoms = [i for b in blocks for i in b.atom_indices]
+        atom_block = {
+            i: pos for pos, b in enumerate(blocks) for i in b.atom_indices
+        }
+        all_atoms = frozenset(range(engine.query.num_atoms))
+        best = 0.0
+        for vector in engine._distance_vectors(k, len(blocks)):
+            s_of_atom = {i: vector[atom_block[i]] for i in private_atoms}
+            for block in blocks:
+                total = 0.0
+                for removed in all_subsets_of_block(block.atom_indices):
+                    remaining = [a for a in private_atoms if a not in removed]
+                    for size in range(len(remaining) + 1):
+                        for extra in itertools.combinations(remaining, size):
+                            product = 1
+                            for j in extra:
+                                product *= s_of_atom[j]
+                            kept = all_atoms - removed - frozenset(extra)
+                            total += t_value[kept] * product
+                best = max(best, total)
+        return best
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "R(x, y), S(y, z)",
+            "Edge(x, y), Edge(y, z), Edge(x, z)",
+            "Edge(x, y), Edge(y, z)",
+        ],
+    )
+    def test_matches_the_literal_formula(self, text, graph_db):
+        query = parse_query(text)
+        if "R" in {atom.relation for atom in query.atoms}:
+            schema = DatabaseSchema.from_arities({"R": 2, "S": 2})
+            db = Database.from_rows(
+                schema, R=[(1, 2), (2, 2), (3, 2)], S=[(2, 5), (2, 7), (5, 5)]
+            )
+        else:
+            db = graph_db
+        engine = ResidualSensitivity(query, beta=0.1)
+        multiplicities = engine.multiplicities(db)
+        for k in range(5):
+            assert engine.ls_hat(db, k, multiplicities) == pytest.approx(
+                self._literal_ls_hat(engine, db, k, multiplicities)
+            )
+
+    def test_chunked_streaming_matches_one_shot(self, graph_db, monkeypatch):
+        """A tiny chunk size forces multiple batches; the max is unchanged."""
+        engine = ResidualSensitivity(triangle_query(), beta=0.1)
+        multiplicities = engine.multiplicities(graph_db)
+        expected = [engine.ls_hat(graph_db, k, multiplicities) for k in range(6)]
+        monkeypatch.setattr(ResidualSensitivity, "_LS_HAT_CHUNK", 2)
+        chunked = [engine.ls_hat(graph_db, k, multiplicities) for k in range(6)]
+        assert chunked == expected
+
+
+class TestFactorizationCache:
+    def test_populated_by_numpy_evaluation_and_counted(self, graph_db):
+        relation = graph_db.relation("Edge")
+        assert relation.cached_factorization(0) is None
+        before = factorization_cache_stats()
+        engine = ResidualSensitivity(triangle_query(), beta=0.1, backend="numpy")
+        engine.profile(graph_db)
+        assert isinstance(relation.cached_factorization(0), ColumnCodes)
+        assert isinstance(relation.cached_factorization(1), ColumnCodes)
+        after = factorization_cache_stats()
+        assert after["misses"] - before["misses"] == 2  # one per column
+        assert after["hits"] > before["hits"]
+
+    def test_invalidated_on_mutation(self, graph_db):
+        relation = graph_db.relation("Edge")
+        ResidualSensitivity(triangle_query(), beta=0.1, backend="numpy").profile(graph_db)
+        assert relation.cached_factorization(0) is not None
+        relation.add((100, 101))
+        assert relation.cached_factorization(0) is None
+
+    def test_codes_reconstruct_the_column(self, graph_db):
+        ResidualSensitivity(triangle_query(), beta=0.1, backend="numpy").profile(graph_db)
+        relation = graph_db.relation("Edge")
+        column = relation.to_columns()[0]
+        codes = relation.cached_factorization(0)
+        assert (codes.values[codes.codes] == column).all()
+
+    def test_released_on_registry_version_bump(self, graph_db):
+        service = PrivateQueryService(rng=0)
+        service.register_database("g", graph_db, backend="numpy")
+        service.count("g", "Edge(x, y), Edge(y, z)", epsilon=0.1)
+        assert graph_db.relation("Edge").cached_factorization(0) is not None
+        replacement = database_from_edges([(1, 2), (2, 3)])
+        service.register_database("g", replacement, replace=True, backend="numpy")
+        assert graph_db.relation("Edge").cached_factorization(0) is None
+
+    def test_released_on_unregister(self, graph_db):
+        service = PrivateQueryService(rng=0)
+        service.register_database("g", graph_db, backend="numpy")
+        service.count("g", "Edge(x, y)", epsilon=0.1)
+        service.registry.unregister("g")
+        assert graph_db.relation("Edge").cached_factorization(0) is None
+
+    def test_kept_while_another_registration_serves_the_same_object(self, graph_db):
+        service = PrivateQueryService(rng=0)
+        service.register_database("a", graph_db, backend="numpy")
+        service.register_database("b", graph_db, backend="numpy")
+        service.count("b", "Edge(x, y)", epsilon=0.1)
+        assert graph_db.relation("Edge").cached_factorization(0) is not None
+        # Replacing "a" must not evict the caches "b" is still serving from.
+        service.register_database(
+            "a", database_from_edges([(1, 2)]), replace=True, backend="numpy"
+        )
+        assert graph_db.relation("Edge").cached_factorization(0) is not None
+        service.registry.unregister("b")  # "a" no longer references graph_db
+        assert graph_db.relation("Edge").cached_factorization(0) is None
+
+
+class TestProfilerCounters:
+    def test_report_carries_the_counters(self, graph_db):
+        result = ResidualSensitivity(
+            k_star_query(3), beta=0.1, backend="numpy"
+        ).compute(graph_db)
+        report = result.detail("report")
+        assert report.subsets_total == 7
+        assert report.components_evaluated == 2
+        assert report.factorization_hits > 0
+        profiler = result.detail("profiler")
+        assert profiler["subsets_total"] == 7
+        assert profiler["component_hits"] == 4
+
+    def test_supplied_profile_leaves_counters_zero(self, graph_db):
+        engine = ResidualSensitivity(k_star_query(3), beta=0.1)
+        profile = engine.multiplicities(graph_db)
+        result = engine.compute(graph_db, multiplicities=profile)
+        report = result.detail("report")
+        assert (report.subsets_total, report.components_evaluated) == (0, 0)
+        assert result.detail("profiler") is None
+
+    def test_service_stats_accumulate(self, graph_db):
+        service = PrivateQueryService(rng=0)
+        service.register_database("g", graph_db)
+        stats = service.stats()["profiler"]
+        assert stats["profiles_computed"] == 0
+        service.count("g", "Edge(x, y), Edge(y, z)", epsilon=0.1)
+        service.count("g", "Edge(x, y), Edge(y, z)", epsilon=0.1)  # cache hit
+        stats = service.stats()["profiler"]
+        assert stats["profiles_computed"] == 1  # second request hit the cache
+        # Required subsets of the 2-atom self-join: {}, {0}, {1}; the two
+        # singles are connected and not positionally isomorphic (the shared
+        # variable sits at a different position), so both are evaluated.
+        assert stats["subsets_total"] == 3
+        assert stats["components_total"] == 2
+        assert stats["components_evaluated"] == 2
+        assert stats["component_hits"] == 0
