@@ -23,7 +23,15 @@ Installed as ``repro-dp`` (see ``pyproject.toml``).  Sub-commands:
 ``serve``
     Start the JSON-over-HTTP serving layer (:mod:`repro.service`): named
     databases, per-session budget ledgers, plan/sensitivity caching, and the
-    ``/register`` ``/count`` ``/batch`` ``/budget`` ``/stats`` endpoints.
+    ``/register`` ``/count`` ``/batch`` ``/budget`` ``/stats`` ``/metrics``
+    endpoints.  ``--log-json [PATH]`` emits one schema-pinned JSON line per
+    request; ``--slow-ms N`` marks slow requests (see
+    ``docs/observability.md``).
+
+``metrics``
+    Scrape a running server's ``GET /metrics``, validate the Prometheus
+    text format, and print a snapshot (``--raw`` for the exact exposition
+    text, ``--json`` for parsed families).
 
 ``batch``
     Answer a JSON file of ``(query, epsilon)`` requests in one shot through
@@ -231,8 +239,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="journal records between compacted snapshots (0 disables "
         "automatic compaction; only meaningful with --state-dir)",
     )
+    serve.add_argument(
+        "--log-json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="write one schema-pinned JSON log line per request to PATH "
+        "('-' or no value: stderr)",
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help="mark requests slower than this many milliseconds as slow "
+        "(logged at WARNING; counted in repro_slow_requests_total); "
+        "implies --log-json to stderr unless a path is given",
+    )
+    serve.add_argument(
+        "--no-observability",
+        action="store_true",
+        help="disable metrics and tracing (no /metrics endpoint, no timings)",
+    )
     _add_backend_argument(serve)
     _add_parallelism_argument(serve)
+
+    metrics = subparsers.add_parser(
+        "metrics", help="scrape, validate and print a running server's /metrics"
+    )
+    metrics.add_argument(
+        "--url", default="http://127.0.0.1:8080", help="base URL of a running repro-dp serve"
+    )
+    metrics.add_argument("--timeout", type=float, default=5.0, help="scrape timeout in seconds")
+    metrics.add_argument(
+        "--raw", action="store_true", help="print the raw Prometheus text after validating it"
+    )
+    metrics.add_argument(
+        "--json", action="store_true", help="print the parsed metric families as JSON"
+    )
 
     state = subparsers.add_parser(
         "state", help="inspect a durable serving-state directory"
@@ -379,6 +423,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "serve":
         return _run_serve(args)
 
+    if args.command == "metrics":
+        return _run_metrics(args)
+
     if args.command == "batch":
         return _run_batch(args)
 
@@ -460,7 +507,25 @@ def _build_service(args: argparse.Namespace, **service_kwargs) -> "PrivateQueryS
 
 
 def _run_serve(args: argparse.Namespace) -> int:
+    from repro.obs.logs import RequestLogger
     from repro.service.api import make_server
+
+    # --slow-ms without --log-json still needs a logger (it does the slow
+    # marking); default its output to stderr.
+    log_target = args.log_json
+    if log_target is None and args.slow_ms is not None:
+        log_target = "-"
+    log_handle = None
+    request_logger = None
+    if log_target is not None:
+        if log_target == "-":
+            stream = sys.stderr
+        else:
+            try:
+                log_handle = stream = open(log_target, "a", encoding="utf-8")
+            except OSError as exc:
+                raise ReproError(f"cannot open --log-json file: {exc}") from None
+        request_logger = RequestLogger(stream, slow_ms=args.slow_ms)
 
     service = _build_service(
         args,
@@ -472,6 +537,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         parallelism=args.parallelism,
         state_dir=args.state_dir,
         snapshot_interval=args.snapshot_interval,
+        observability=not args.no_observability,
+        request_logger=request_logger,
     )
     server = make_server(service, args.host, args.port, log_requests=args.log_requests)
     host, port = server.server_address[:2]
@@ -487,6 +554,9 @@ def _run_serve(args: argparse.Namespace) -> int:
         f"serving database {name!r} (backend {backend}) on http://{host}:{port}  "
         "(Ctrl-C to stop)"
     )
+    if not args.no_observability:
+        print(f"metrics on http://{host}:{port}/metrics")
+    sys.stdout.flush()
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive
@@ -494,6 +564,61 @@ def _run_serve(args: argparse.Namespace) -> int:
     finally:
         server.server_close()
         service.close()
+        if log_handle is not None:
+            log_handle.close()
+    return 0
+
+
+def _run_metrics(args: argparse.Namespace) -> int:
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    from repro.obs.metrics import parse_prometheus_text
+
+    url = args.url.rstrip("/") + "/metrics"
+    try:
+        with urlopen(url, timeout=args.timeout) as response:
+            text = response.read().decode("utf-8")
+    except (URLError, OSError) as exc:
+        raise ReproError(f"cannot scrape {url}: {exc}") from None
+    # Validates the exposition format; raises ServiceError (a ReproError)
+    # with a line-precise message on anything malformed.
+    families = parse_prometheus_text(text)
+    if args.raw:
+        print(text, end="")
+        return 0
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    name: {
+                        "type": family["type"],
+                        "help": family["help"],
+                        "samples": [
+                            [sample, labels, value]
+                            for sample, labels, value in family["samples"]
+                        ],
+                    }
+                    for name, family in sorted(families.items())
+                },
+                indent=2,
+            )
+        )
+        return 0
+    for name, family in sorted(families.items()):
+        samples = family["samples"]
+        print(f"{name} ({family['type']}, {len(samples)} sample(s))")
+        for sample, labels, value in samples:
+            # Histograms are summarised by their _count/_sum samples; the
+            # full bucket vectors are available with --raw / --json.
+            if family["type"] == "histogram" and sample == f"{name}_bucket":
+                continue
+            label_text = (
+                "{" + ", ".join(f"{k}={v!r}" for k, v in sorted(labels.items())) + "}"
+                if labels
+                else ""
+            )
+            print(f"  {sample}{label_text} {value:g}")
     return 0
 
 

@@ -37,9 +37,12 @@ propagated** instead of recomputed:
   ``np.unique`` it replaces is O(rows log rows)), so intermediate results
   never re-factorize a column they inherited.
 
-:func:`factorization_cache_stats` exposes process-wide hit/miss counters;
-the profile evaluator (:mod:`repro.engine.profile`) and the serving layer's
-``/stats`` endpoint surface them.
+:func:`factorization_cache_stats` exposes process-wide hit/miss counters,
+and :func:`factorization_counter_scope` opens a *context-local* view whose
+delta is immune to concurrent unrelated work — the profile evaluator
+(:mod:`repro.engine.profile`) computes its per-profile counters through a
+scope, so two serving-layer services in one process never cross-contaminate
+each other's ``/stats`` and ``/metrics``.
 
 The algorithm — elimination order, bucket grouping, the points where
 predicates become applicable and the dropped-predicate bookkeeping — is
@@ -55,9 +58,11 @@ Counts are ``int64``; workloads whose intermediate multiplicities exceed
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import threading
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -81,8 +86,12 @@ from repro.query.predicates import (
 __all__ = [
     "ArrayFactor",
     "ColumnCodes",
+    "adopt_factorization_scope",
+    "current_factorization_scope",
     "eliminate_group_counts_columnar",
     "factorization_cache_stats",
+    "factorization_counter_scope",
+    "reset_factorization_cache_stats",
 ]
 
 #: Re-factorize packed row codes once their key space exceeds this bound,
@@ -143,14 +152,25 @@ def _factorize_column(col: np.ndarray) -> ColumnCodes:
 
 
 class _FactorizationCounters:
-    """Process-wide hit/miss counters of the base-column factorization cache."""
+    """Thread-safe hit/miss counters of the base-column factorization cache.
 
-    def __init__(self) -> None:
+    One process-wide instance (:data:`_FACTORIZATION_COUNTERS`) accumulates
+    the global totals; additional *scoped* instances are installed
+    context-locally (:func:`factorization_counter_scope`) so one
+    computation's delta can be read without racing unrelated work — two
+    :class:`~repro.service.service.PrivateQueryService` instances evaluating
+    profiles concurrently in one process each see only their own events.
+    Scopes nest: a ``parent`` chain lets an outer scope keep counting while
+    an inner one is active.
+    """
+
+    def __init__(self, parent: "_FactorizationCounters | None" = None) -> None:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.parent = parent
 
-    def record(self, hit: bool) -> None:
+    def _record_one(self, hit: bool) -> None:
         with self._lock:
             if hit:
                 self.hits += 1
@@ -161,30 +181,98 @@ class _FactorizationCounters:
         with self._lock:
             return {"hits": self.hits, "misses": self.misses}
 
+    def reset(self) -> None:
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+
 
 _FACTORIZATION_COUNTERS = _FactorizationCounters()
 
+#: The innermost context-local counter scope (``None``: only globals count).
+_FACTORIZATION_SCOPE: "contextvars.ContextVar[_FactorizationCounters | None]" = (
+    contextvars.ContextVar("repro_factorization_scope", default=None)
+)
+
+
+def _record_factorization(hit: bool) -> None:
+    """Record one cache event on the global counters and every active scope."""
+    _FACTORIZATION_COUNTERS._record_one(hit)
+    scope = _FACTORIZATION_SCOPE.get()
+    while scope is not None:
+        scope._record_one(hit)
+        scope = scope.parent
+
 
 def factorization_cache_stats() -> dict[str, int]:
-    """Cumulative ``{"hits", "misses"}`` of the per-(relation, column) cache.
+    """Cumulative process-wide ``{"hits", "misses"}`` of the per-(relation,
+    column) cache (the cache itself lives on each
+    :class:`~repro.data.relation.Relation`).
 
-    Process-wide (the cache itself lives on each
-    :class:`~repro.data.relation.Relation`); callers wanting the delta of one
-    computation snapshot before and after — see
-    :mod:`repro.engine.profile`.
+    These totals are shared by everything in the process; callers that need
+    the delta of *one* computation must not diff before/after snapshots
+    (concurrent work pollutes the difference) — open a
+    :func:`factorization_counter_scope` instead, as
+    :func:`repro.engine.profile.evaluate_profile` does.
     """
     return _FACTORIZATION_COUNTERS.snapshot()
+
+
+def reset_factorization_cache_stats() -> None:
+    """Zero the process-wide counters (tests/benchmarks; scopes are unaffected)."""
+    _FACTORIZATION_COUNTERS.reset()
+
+
+@contextlib.contextmanager
+def factorization_counter_scope() -> "Iterator[_FactorizationCounters]":
+    """A context-local counter seeing only this context's cache events.
+
+    Nested scopes stack (both count); the global totals always count.  The
+    yielded object stays readable after the ``with`` block — its snapshot is
+    the computation's exact delta.  Worker threads spawned inside the scope
+    start with an empty context; re-establish the scope there with
+    :func:`adopt_factorization_scope`.
+    """
+    scope = _FactorizationCounters(parent=_FACTORIZATION_SCOPE.get())
+    token = _FACTORIZATION_SCOPE.set(scope)
+    try:
+        yield scope
+    finally:
+        _FACTORIZATION_SCOPE.reset(token)
+
+
+@contextlib.contextmanager
+def adopt_factorization_scope(scope: "_FactorizationCounters | None"):
+    """Re-establish ``scope`` (captured in another thread) in this context.
+
+    ``adopt_factorization_scope(None)`` is a no-op context, so callers can
+    pass through whatever they captured.  The counters are thread-safe, so
+    any number of workers may adopt one scope concurrently.
+    """
+    if scope is None:
+        yield None
+        return
+    token = _FACTORIZATION_SCOPE.set(scope)
+    try:
+        yield scope
+    finally:
+        _FACTORIZATION_SCOPE.reset(token)
+
+
+def current_factorization_scope() -> "_FactorizationCounters | None":
+    """The innermost active scope (capture before fanning out to a pool)."""
+    return _FACTORIZATION_SCOPE.get()
 
 
 def _relation_factorization(relation: Relation, position: int) -> ColumnCodes:
     """The cached factorization of a base-relation column (compute on miss)."""
     cached = relation.cached_factorization(position)
     if isinstance(cached, ColumnCodes):
-        _FACTORIZATION_COUNTERS.record(True)
+        _record_factorization(True)
         return cached
     factorized = _factorize_column(relation.to_columns()[position])
     relation.store_factorization(position, factorized)
-    _FACTORIZATION_COUNTERS.record(False)
+    _record_factorization(False)
     return factorized
 
 

@@ -48,7 +48,12 @@ from repro.engine.aggregates import (
 )
 from repro.engine.backend import ExecutionBackend, get_backend
 from repro.engine.canonical import _predicate_key, _term_key
-from repro.engine.columnar import factorization_cache_stats
+from repro.engine.columnar import (
+    adopt_factorization_scope,
+    current_factorization_scope,
+    factorization_counter_scope,
+)
+from repro.obs.tracing import span as obs_span
 from repro.query.atoms import Variable
 from repro.query.cq import ConjunctiveQuery
 from repro.query.hypergraph import QueryHypergraph
@@ -74,10 +79,10 @@ class ProfileStats:
         Reuses: ``components_total - components_evaluated`` (a component
         recurring in another subset, or an isomorphic twin).
     factorization_hits / factorization_misses:
-        Delta of the process-wide per-(relation, column) factorization-cache
-        counters (:func:`repro.engine.columnar.factorization_cache_stats`)
-        over this run — best-effort under concurrency, exact when the run
-        has the process to itself.
+        This run's per-(relation, column) factorization-cache events,
+        counted through a context-local scope
+        (:func:`repro.engine.columnar.factorization_counter_scope`) — exact
+        even when unrelated evaluations run concurrently in the process.
     """
 
     subsets_total: int
@@ -255,22 +260,52 @@ def evaluate_profile(
         values (in ``subsets`` order) plus sharing statistics.
     """
     exec_backend = get_backend(backend)
-    fact_before = factorization_cache_stats()
     subset_list = [frozenset(s) for s in subsets]
+    # The factorization counters are read through a context-local scope so
+    # the per-profile delta is exact even when other services/threads are
+    # evaluating concurrently in this process; the span is a no-op unless a
+    # request-scoped trace is active (see repro.obs.tracing).
+    with obs_span(
+        "profile.evaluate", subsets=len(subset_list), backend=exec_backend.name
+    ), factorization_counter_scope() as fact_counters:
+        return _evaluate_profile_scoped(
+            query,
+            database,
+            subset_list,
+            strategy=strategy,
+            max_enumeration=max_enumeration,
+            exec_backend=exec_backend,
+            parallelism=parallelism,
+            fact_counters=fact_counters,
+        )
+
+
+def _evaluate_profile_scoped(
+    query: ConjunctiveQuery,
+    database: Database,
+    subset_list: list[frozenset[int]],
+    *,
+    strategy: str,
+    max_enumeration: int | None,
+    exec_backend: ExecutionBackend,
+    parallelism: int | None,
+    fact_counters,
+) -> LatticeProfile:
+    """The evaluator body, run inside the counter scope (see above)."""
 
     def finish(
         results: dict[frozenset[int], MultiplicityResult],
         components_total: int,
         components_evaluated: int,
     ) -> LatticeProfile:
-        fact_after = factorization_cache_stats()
+        fact = fact_counters.snapshot()
         stats = ProfileStats(
             subsets_total=len(subset_list),
             components_total=components_total,
             components_evaluated=components_evaluated,
             component_hits=components_total - components_evaluated,
-            factorization_hits=fact_after["hits"] - fact_before["hits"],
-            factorization_misses=fact_after["misses"] - fact_before["misses"],
+            factorization_hits=fact["hits"],
+            factorization_misses=fact["misses"],
         )
         return LatticeProfile(results=results, stats=stats)
 
@@ -321,8 +356,18 @@ def evaluate_profile(
         set(representative.values()), key=lambda c: (len(c), tuple(sorted(c)))
     )
     if parallelism is not None and parallelism > 1 and len(to_evaluate) > 1:
+        # Pool workers start with an empty context: re-establish the
+        # factorization-counter scope there so parallel evaluation counts
+        # exactly like serial evaluation (spans are deliberately not
+        # propagated — concurrent child wall times would double-count).
+        scope = current_factorization_scope()
+
+        def evaluate_scoped(kept: frozenset[int]) -> MultiplicityResult:
+            with adopt_factorization_scope(scope):
+                return evaluate(kept)
+
         with ThreadPoolExecutor(max_workers=parallelism) as pool:
-            evaluated = dict(zip(to_evaluate, pool.map(evaluate, to_evaluate)))
+            evaluated = dict(zip(to_evaluate, pool.map(evaluate_scoped, to_evaluate)))
     else:
         evaluated = {component: evaluate(component) for component in to_evaluate}
 

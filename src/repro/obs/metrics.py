@@ -1,0 +1,596 @@
+"""A small metrics substrate: counters, gauges, histograms, Prometheus text.
+
+Deliberately dependency-free (the whole library is stdlib + numpy) and
+deliberately small: three instrument kinds, a registry, and a renderer/parser
+pair for the Prometheus text exposition format (version 0.0.4) so the
+``GET /metrics`` endpoint and its tests speak the same dialect.
+
+Design constraints, driven by the serving layer's hot path:
+
+* **Cheap recording.**  ``labels()`` resolves a label set once to a
+  :class:`_Series` handle; the serving layer resolves its hot handles at
+  construction time, so a request costs a handful of ``inc``/``observe``
+  calls — each one lock acquire + one float add (histograms additionally do
+  a ``bisect`` over ~10 boundaries).
+* **Bounded label sets.**  Every metric caps the number of distinct label
+  combinations (default 64).  Past the cap, new combinations collapse into
+  a single ``"_overflow"`` series instead of growing without bound — a
+  misbehaving client cannot turn query strings into a cardinality explosion.
+* **Fixed histogram buckets.**  Buckets are chosen at declaration time and
+  never change, so scrapes are always comparable across time.
+
+Gauges may be *callback-backed* (``set_function``), and individual counter
+series likewise (``Counter.set_callback``): the value is read at render
+time, which is how the serving layer exposes live facts (active sessions,
+remaining shared budget, journal seq) and monotonic totals it already
+maintains (cache hits, requests served, ε charged) without write-path
+hooks — the scrape pays, not the request.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import re
+import threading
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.exceptions import ServiceError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "parse_prometheus_text",
+    "DEFAULT_IO_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Request-latency bucket boundaries in **seconds** — sub-millisecond warm
+#: cache hits through multi-second cold profile evaluations.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0
+)
+
+#: Fast-path bucket boundaries in **seconds** — journal appends and budget
+#: ledger charges, which complete in microseconds uncontended and stretch
+#: into milliseconds under lock contention or fsync.
+DEFAULT_IO_BUCKETS = (
+    0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1
+)
+
+#: The label value absorbed by combinations past a metric's cardinality cap.
+OVERFLOW_LABEL = "_overflow"
+
+#: Buffered histogram handles self-drain past this many queued observations,
+#: bounding memory between scrapes (~150 KB of floats per series worst case).
+PENDING_DRAIN_THRESHOLD = 4096
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"' for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+class _Series:
+    """One (metric, label-set) time series: the object hot paths hold."""
+
+    __slots__ = (
+        "labels", "_lock", "value", "bucket_counts", "sum", "count", "callback", "pending"
+    )
+
+    def __init__(self, labels: tuple[str, ...], buckets: int = 0):
+        self.labels = labels
+        self._lock = threading.Lock()
+        self.value = 0.0
+        # Histogram-only state (per-bucket non-cumulative counts).
+        self.bucket_counts = [0] * buckets if buckets else None
+        self.sum = 0.0
+        self.count = 0
+        # Scrape-time callback (counters/gauges); see Counter.set_callback.
+        self.callback: Callable[[], float] | None = None
+        # Raw observations awaiting binning (histogram bound handles).  The
+        # hot path appends lock-free — list.append is a single atomic
+        # bytecode under the GIL — and drain() bins them under the lock.
+        self.pending: list[float] = []
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def observe_at(self, index: int, value: float) -> None:
+        with self._lock:
+            self.bucket_counts[index] += 1
+            self.sum += value
+            self.count += 1
+
+    def drain(self, buckets: Sequence[float]) -> None:
+        """Bin buffered observations (scrape time, or past the cap).
+
+        Appenders never take the lock, so the slice/del pair must run under
+        it to serialize concurrent drains; each list operation is atomic
+        under the GIL, and appends that land mid-drain simply stay queued
+        for the next one.
+        """
+        with self._lock:
+            queue = self.pending
+            n = len(queue)
+            if not n:
+                return
+            values = queue[:n]
+            del queue[:n]
+            counts = self.bucket_counts
+            for value in values:
+                counts[bisect.bisect_left(buckets, value)] += 1
+                self.sum += value
+            self.count += n
+
+
+class _Metric:
+    """Shared machinery: label resolution, the cardinality cap, help text."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,  # noqa: A002 - mirrors the exposition format field
+        labelnames: Sequence[str] = (),
+        *,
+        max_series: int = 64,
+        _buckets: int = 0,
+    ):
+        if not _NAME_RE.match(name):
+            raise ServiceError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label) or label.startswith("__"):
+                raise ServiceError(f"invalid label name {label!r} on metric {name!r}")
+        if max_series <= 0:
+            raise ServiceError(f"max_series must be positive, got {max_series}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._max_series = max_series
+        self._bucket_slots = _buckets
+        self._lock = threading.Lock()
+        self._series: dict[tuple[str, ...], _Series] = {}
+        if not self.labelnames:
+            self._default = self._series[()] = _Series((), _buckets)
+        else:
+            self._default = None
+
+    def labels(self, **labels: str) -> _Series:
+        """The series handle of one label combination (created on first use).
+
+        Unknown/missing label names raise; combinations beyond the
+        cardinality cap share the ``_overflow`` series.
+        """
+        if set(labels) != set(self.labelnames):
+            raise ServiceError(
+                f"metric {self.name!r} takes labels {list(self.labelnames)}, "
+                f"got {sorted(labels)}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        series = self._series.get(key)
+        if series is not None:
+            return series
+        with self._lock:
+            series = self._series.get(key)
+            if series is not None:
+                return series
+            if len(self._series) >= self._max_series:
+                key = tuple(OVERFLOW_LABEL for _ in self.labelnames)
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _Series(key, self._bucket_slots)
+            return series
+
+    def _snapshot(self) -> list[_Series]:
+        with self._lock:
+            return list(self._series.values())
+
+
+class Counter(_Metric):
+    """A monotonically increasing value (requests, hits, ε charged...).
+
+    A series may be *callback-backed* (:meth:`set_callback`): its value is
+    read at scrape time from a monotonic total the instrumented subsystem
+    already maintains (cache hit counters, requests served, ε charged).
+    This keeps the serving hot path free of per-request lock traffic — the
+    counter costs nothing until someone scrapes it.
+    """
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (must be ≥ 0) to the (labelled) counter."""
+        if amount < 0:
+            raise ServiceError(f"counter {self.name!r} cannot decrease (amount {amount})")
+        (self._default if not labels and self._default is not None else self.labels(**labels)).inc(
+            amount
+        )
+
+    def set_callback(self, callback: Callable[[], float], **labels: str) -> "Counter":
+        """Back one series with a scrape-time callback.
+
+        The callback must return a monotonically non-decreasing total (it is
+        the caller's counter, merely exposed); any ``inc`` on the same series
+        is ignored once a callback is installed.
+        """
+        series = self._default if not labels and self._default is not None else self.labels(**labels)
+        series.callback = callback
+        return self
+
+    def value(self, **labels: str) -> float:
+        """The current value of one series (0.0 if never touched)."""
+        series = self._default if not labels and self._default is not None else self.labels(**labels)
+        if series.callback is not None:
+            return float(series.callback())
+        return series.value
+
+    def render(self) -> Iterable[str]:
+        for series in self._snapshot():
+            labels = dict(zip(self.labelnames, series.labels))
+            if series.callback is not None:
+                try:
+                    value = float(series.callback())
+                except Exception:  # a broken callback must not kill the scrape
+                    value = float("nan")
+            else:
+                value = series.value
+            yield f"{self.name}{_render_labels(labels)} {_format_value(value)}"
+
+
+class Gauge(_Metric):
+    """A value that can go up and down — or be computed at scrape time."""
+
+    kind = "gauge"
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self._callback: Callable[[], float] | None = None
+
+    def set(self, value: float, **labels: str) -> None:
+        """Set the (labelled) gauge to ``value``."""
+        (self._default if not labels and self._default is not None else self.labels(**labels)).set(
+            value
+        )
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (may be negative) to the (labelled) gauge."""
+        (self._default if not labels and self._default is not None else self.labels(**labels)).inc(
+            amount
+        )
+
+    def set_function(self, callback: Callable[[], float]) -> "Gauge":
+        """Back the (label-less) gauge with a scrape-time callback."""
+        if self.labelnames:
+            raise ServiceError(
+                f"callback gauges cannot have labels (metric {self.name!r})"
+            )
+        self._callback = callback
+        return self
+
+    def value(self, **labels: str) -> float:
+        """The current value of one series."""
+        if self._callback is not None:
+            return float(self._callback())
+        series = self._default if not labels and self._default is not None else self.labels(**labels)
+        return series.value
+
+    def render(self) -> Iterable[str]:
+        if self._callback is not None:
+            try:
+                value = float(self._callback())
+            except Exception:  # a broken callback must not kill the scrape
+                value = float("nan")
+            yield f"{self.name} {_format_value(value)}"
+            return
+        for series in self._snapshot():
+            labels = dict(zip(self.labelnames, series.labels))
+            yield f"{self.name}{_render_labels(labels)} {_format_value(series.value)}"
+
+
+class Histogram(_Metric):
+    """A distribution over fixed bucket boundaries (latencies, sizes).
+
+    ``buckets`` are the *upper bounds* of the finite buckets, strictly
+    increasing; an implicit ``+Inf`` bucket is always appended.  Rendering
+    follows the Prometheus convention: cumulative ``_bucket{le=...}``
+    samples plus ``_sum`` and ``_count``.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,  # noqa: A002
+        labelnames: Sequence[str] = (),
+        *,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        max_series: int = 64,
+    ):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ServiceError(
+                f"histogram {name!r} buckets must be strictly increasing and non-empty"
+            )
+        if any(not math.isfinite(b) for b in bounds):
+            raise ServiceError(f"histogram {name!r} buckets must be finite (+Inf is implicit)")
+        self.buckets = bounds
+        super().__init__(
+            name, help, labelnames, max_series=max_series, _buckets=len(bounds) + 1
+        )
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one observation."""
+        series = self._default if not labels and self._default is not None else self.labels(**labels)
+        series.observe_at(bisect.bisect_left(self.buckets, value), value)
+
+    def bind(self, **labels: str) -> Callable[[float], None]:
+        """A pre-resolved *buffered* observe callable for one label set.
+
+        The handle hot paths hold: label resolution happens once, here, and
+        each call is one lock-free ``list.append`` (binning is deferred to
+        scrape time, or to every :data:`PENDING_DRAIN_THRESHOLD` values, so
+        the request path touches as few cache lines as possible).
+        """
+        series = self._default if not labels and self._default is not None else self.labels(**labels)
+        buckets = self.buckets
+        pending = series.pending
+
+        def observe(
+            value: float,
+            _append=pending.append,
+            _pending=pending,
+            _series=series,
+            _buckets=buckets,
+        ) -> None:
+            _append(value)
+            if len(_pending) >= PENDING_DRAIN_THRESHOLD:
+                _series.drain(_buckets)
+
+        return observe
+
+    def snapshot(self, **labels: str) -> dict[str, Any]:
+        """``{"count", "sum", "buckets": {le: cumulative}}`` of one series."""
+        series = self._default if not labels and self._default is not None else self.labels(**labels)
+        series.drain(self.buckets)
+        with series._lock:
+            counts = list(series.bucket_counts)
+            total, count = series.sum, series.count
+        cumulative: dict[str, int] = {}
+        running = 0
+        for bound, bucket_count in zip(self.buckets, counts):
+            running += bucket_count
+            cumulative[_format_value(bound)] = running
+        cumulative["+Inf"] = running + counts[-1]
+        return {"count": count, "sum": total, "buckets": cumulative}
+
+    def render(self) -> Iterable[str]:
+        for series in self._snapshot():
+            labels = dict(zip(self.labelnames, series.labels))
+            series.drain(self.buckets)
+            with series._lock:
+                counts = list(series.bucket_counts)
+                total, count = series.sum, series.count
+            running = 0
+            for bound, bucket_count in zip(self.buckets, counts):
+                running += bucket_count
+                bucket_labels = {**labels, "le": _format_value(bound)}
+                yield f"{self.name}_bucket{_render_labels(bucket_labels)} {running}"
+            running += counts[-1]
+            yield f"{self.name}_bucket{_render_labels({**labels, 'le': '+Inf'})} {running}"
+            yield f"{self.name}_sum{_render_labels(labels)} {_format_value(total)}"
+            yield f"{self.name}_count{_render_labels(labels)} {count}"
+
+
+class MetricsRegistry:
+    """A named collection of metrics with idempotent declaration.
+
+    ``counter``/``gauge``/``histogram`` return the existing metric when the
+    name was already declared (and raise if it was declared as a different
+    kind), so independent modules can share instruments by name.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _declare(self, cls, name: str, help: str, labelnames=(), **kwargs) -> Any:  # noqa: A002
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or tuple(labelnames) != existing.labelnames:
+                    raise ServiceError(
+                        f"metric {name!r} already declared as {existing.kind} "
+                        f"with labels {list(existing.labelnames)}"
+                    )
+                return existing
+            metric = cls(name, help, labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", labelnames=(), **kwargs) -> Counter:  # noqa: A002
+        """Declare (or fetch) a counter."""
+        return self._declare(Counter, name, help, labelnames, **kwargs)
+
+    def gauge(self, name: str, help: str = "", labelnames=(), **kwargs) -> Gauge:  # noqa: A002
+        """Declare (or fetch) a gauge."""
+        return self._declare(Gauge, name, help, labelnames, **kwargs)
+
+    def histogram(self, name: str, help: str = "", labelnames=(), **kwargs) -> Histogram:  # noqa: A002
+        """Declare (or fetch) a histogram."""
+        return self._declare(Histogram, name, help, labelnames, **kwargs)
+
+    def get(self, name: str) -> _Metric | None:
+        """The metric registered under ``name``, if any."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        """Registered metric names, sorted."""
+        with self._lock:
+            return sorted(self._metrics)
+
+    def render(self) -> str:
+        """The registry in Prometheus text exposition format (0.0.4)."""
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        lines: list[str] = []
+        for metric in metrics:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------- #
+# Scrape parsing (shared by tests and scripts/check_metrics.py)
+# --------------------------------------------------------------------- #
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus_text(text: str) -> dict[str, dict[str, Any]]:
+    """Parse Prometheus text format into ``{metric: {type, help, samples}}``.
+
+    ``samples`` is a list of ``(sample_name, labels_dict, value)``.  Raises
+    :class:`~repro.exceptions.ServiceError` on any malformed line — the
+    validation the ``/metrics`` tests and ``scripts/check_metrics.py`` run
+    against a live scrape.
+    """
+    families: dict[str, dict[str, Any]] = {}
+
+    def family_of(sample_name: str) -> dict[str, Any]:
+        base = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = sample_name.removesuffix(suffix)
+            if trimmed != sample_name and trimmed in families:
+                base = trimmed
+                break
+        return families.setdefault(
+            base, {"type": "untyped", "help": "", "samples": []}
+        )
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                name = parts[2]
+                family = families.setdefault(
+                    name, {"type": "untyped", "help": "", "samples": []}
+                )
+                if parts[1] == "TYPE":
+                    kind = parts[3] if len(parts) > 3 else ""
+                    if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                        raise ServiceError(
+                            f"metrics line {lineno}: unknown TYPE {kind!r}"
+                        )
+                    family["type"] = kind
+                else:
+                    family["help"] = parts[3] if len(parts) > 3 else ""
+            continue  # other comments are legal and ignored
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ServiceError(f"metrics line {lineno}: unparseable sample {line!r}")
+        labels_raw = match.group("labels") or ""
+        labels: dict[str, str] = {}
+        if labels_raw.strip():
+            consumed = 0
+            for pair in _LABEL_PAIR_RE.finditer(labels_raw):
+                labels[pair.group(1)] = (
+                    pair.group(2)
+                    .replace("\\\\", "\x00")
+                    .replace('\\"', '"')
+                    .replace("\\n", "\n")
+                    .replace("\x00", "\\")
+                )
+                consumed += len(pair.group(0))
+            stripped = re.sub(r"[,\s]", "", labels_raw)
+            matched = re.sub(
+                r"[,\s]", "", "".join(p.group(0) for p in _LABEL_PAIR_RE.finditer(labels_raw))
+            )
+            if stripped != matched:
+                raise ServiceError(
+                    f"metrics line {lineno}: malformed label block {{{labels_raw}}}"
+                )
+        value_raw = match.group("value")
+        try:
+            value = float(value_raw)
+        except ValueError:
+            if value_raw == "+Inf":
+                value = math.inf
+            elif value_raw == "-Inf":
+                value = -math.inf
+            elif value_raw == "NaN":
+                value = math.nan
+            else:
+                raise ServiceError(
+                    f"metrics line {lineno}: bad sample value {value_raw!r}"
+                ) from None
+        family_of(match.group("name"))["samples"].append(
+            (match.group("name"), labels, value)
+        )
+    # Structural validation: histograms must have consistent buckets.
+    for name, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        by_labels: dict[tuple, dict[str, float]] = {}
+        for sample_name, labels, value in family["samples"]:
+            if sample_name == f"{name}_bucket":
+                key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+                by_labels.setdefault(key, {})[labels.get("le", "")] = value
+        for key, buckets in by_labels.items():
+            if "+Inf" not in buckets:
+                raise ServiceError(
+                    f"histogram {name!r} series {dict(key)} is missing the +Inf bucket"
+                )
+            ordered = sorted(
+                ((float(le), v) for le, v in buckets.items() if le != "+Inf")
+            )
+            running = -1.0
+            for _, cumulative in ordered + [(math.inf, buckets["+Inf"])]:
+                if cumulative < running:
+                    raise ServiceError(
+                        f"histogram {name!r} has non-cumulative bucket counts"
+                    )
+                running = cumulative
+    return families

@@ -17,7 +17,16 @@ Endpoints (all bodies and responses are ``application/json``):
 ``POST /budget`` / ``GET /budget?session=ID``
     Create a session (``{"budget"?: 2.0}``) / inspect a session's ledger.
 ``GET /stats``
-    Registry, session, cache and audit statistics.
+    Registry, session, cache, audit and observability statistics.
+``GET /metrics``
+    The service's metrics registry in Prometheus text exposition format
+    (``text/plain; version=0.0.4``) — request counters/latency histograms,
+    cache hit ratios, budget-ledger and WAL journal timings, profiler
+    counters.  404 when the service was built with ``observability=False``.
+
+``/count`` and ``/batch`` accept ``"timings": true`` to run the request
+under a trace and return a ``trace_id`` plus a per-stage wall-time
+breakdown alongside the normal response fields.
 
 Errors map onto status codes: malformed requests → 400, exhausted budgets →
 403, unknown databases/sessions → 404.  The server is a
@@ -223,6 +232,32 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         else:
             self._send_json(status, payload)
 
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        encoded = body.encode("utf-8")
+        self._drain_unread_body()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def _get_metrics(self) -> None:
+        registry = self.service.metrics
+        if registry is None:
+            self._send_error_json(
+                404, "metrics are disabled (service built with observability=False)"
+            )
+            return
+        try:
+            body = registry.render()
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error_json(500, f"internal error: {exc}")
+            return
+        # The Prometheus text exposition content type (format version 0.0.4).
+        self._send_text(200, body, "text/plain; version=0.0.4; charset=utf-8")
+
     # ------------------------------------------------------------------ #
     # Routes
     # ------------------------------------------------------------------ #
@@ -231,6 +266,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         parsed = urlparse(self.path)
         if parsed.path == "/stats":
             self._dispatch(lambda: (200, self.service.stats()))
+        elif parsed.path == "/metrics":
+            self._get_metrics()
         elif parsed.path == "/budget":
             query = parse_qs(parsed.query)
             session = (query.get("session") or [None])[0]
@@ -284,6 +321,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             _as_float(payload["epsilon"], "epsilon"),
             session=payload.get("session"),
             method=payload.get("method", "residual"),
+            timings=bool(payload.get("timings", False)),
         )
         return 200, response.to_dict()
 
@@ -305,6 +343,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 if epsilon_total is not None
                 else None
             ),
+            timings=bool(payload.get("timings", False)),
         )
         return 200, result.to_dict()
 

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from repro.exceptions import ServiceError
+from repro.obs.tracing import activate, current_span, span as obs_span
 from repro.query.cq import ConjunctiveQuery
 from repro.service.service import CountResponse, PrivateQueryService
 
@@ -108,7 +109,7 @@ class BatchResult:
 
     def to_dict(self) -> dict[str, Any]:
         """A JSON-serialisable view."""
-        return {
+        payload = {
             "ok": self.ok,
             "groups": self.groups,
             "deduplicated": self.deduplicated,
@@ -116,6 +117,11 @@ class BatchResult:
             "epsilon_charged": self.epsilon_charged,
             "items": [item.to_dict() for item in self.items],
         }
+        # The opt-in trace block (``timings: true`` on the batch request).
+        for field_name in ("trace_id", "timings"):
+            if field_name in self.details:
+                payload[field_name] = self.details[field_name]
+        return payload
 
 
 class BatchExecutor:
@@ -150,9 +156,10 @@ class BatchExecutor:
 
         # Canonicalize every request up front so duplicates can be grouped.
         plans: list[tuple[ConjunctiveQuery, str | None]] = []
-        for req in normalized:
-            parsed, key, _ = self._service.plan(req.query)
-            plans.append((parsed, key))
+        with obs_span("plan", requests=len(normalized)):
+            for req in normalized:
+                parsed, key, _ = self._service.plan(req.query)
+                plans.append((parsed, key))
 
         if epsilon_total is not None:
             if any(req.epsilon is not None for req in normalized):
@@ -186,18 +193,26 @@ class BatchExecutor:
             epsilon_total / len(members) if epsilon_total is not None else None
         )
 
+        # Pool workers start with an empty context, severing the ambient span
+        # chain; capture it here and re-establish it per group so group spans
+        # nest under the batch trace (Span.children appends are lock-guarded).
+        parent_span = current_span()
+
         def run_group(group_members: list[int]) -> CountResponse | Exception:
             leader = group_members[0]
             req = normalized[leader]
             epsilon = req.epsilon if req.epsilon is not None else epsilon_per_group
             try:
-                return self._service.count(
-                    database,
-                    plans[leader][0],
-                    epsilon,
-                    session=session,
-                    method=req.method,
-                )
+                with activate(parent_span), obs_span(
+                    "group", members=len(group_members), method=req.method
+                ):
+                    return self._service.count(
+                        database,
+                        plans[leader][0],
+                        epsilon,
+                        session=session,
+                        method=req.method,
+                    )
             except Exception as exc:
                 # The per-item failure contract covers *any* exception — a
                 # poisoned query object raising something outside ReproError

@@ -114,6 +114,11 @@ class LedgerJournal:
         """The journal file path."""
         return self._path
 
+    @property
+    def fsync_enabled(self) -> bool:
+        """Whether every append is fsynced."""
+        return self._fsync
+
     def append(self, record: Mapping[str, Any]) -> None:
         """Write one record as a single JSON line and flush it."""
         if self._handle is None:
@@ -466,6 +471,43 @@ class StateStore:
         #: Set by the service: returns the snapshot document body (without
         #: ``format``/``seq``, which the store adds).
         self.snapshot_provider: Callable[[], dict[str, Any]] | None = None
+        # Optional observability binding (see bind_metrics).
+        self._m_append = None
+        self._m_records = None
+        self._m_fsyncs = None
+        self._m_snapshots = None
+
+    def bind_metrics(self, registry) -> None:
+        """Attach WAL instruments to a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Called by the owning service after construction; records per-append
+        wall time (including flush and, when enabled, fsync), journal record
+        and fsync counts, compacted-snapshot counts, and a scrape-time gauge
+        of the current journal seq.
+        """
+        from repro.obs.metrics import DEFAULT_IO_BUCKETS
+
+        self._m_append = registry.histogram(
+            "repro_journal_append_seconds",
+            "Wall time of one WAL journal append (write + flush [+ fsync]).",
+            buckets=DEFAULT_IO_BUCKETS,
+        )
+        self._m_records = registry.counter(
+            "repro_journal_records_total", "Records appended to the WAL journal."
+        )
+        self._m_fsyncs = registry.counter(
+            "repro_journal_fsyncs_total", "Fsyncs issued by WAL journal appends."
+        )
+        self._m_snapshots = registry.counter(
+            "repro_snapshots_total", "Compacted snapshots written."
+        )
+        registry.gauge(
+            "repro_journal_seq", "Current (recovered + live) journal sequence number."
+        ).set_function(lambda: float(self._seq))
+        registry.gauge(
+            "repro_journal_records_since_snapshot",
+            "Journal records accumulated since the last compacted snapshot.",
+        ).set_function(lambda: float(self._records_since_snapshot))
 
     @property
     def state_dir(self) -> Path:
@@ -544,7 +586,15 @@ class StateStore:
         with self._lock:
             self._seq += 1
             record = {"seq": self._seq, "ts": time.time(), "event": event, **fields}
-            self._journal.append(record)
+            if self._m_append is not None:
+                append_start = time.perf_counter()
+                self._journal.append(record)
+                self._m_append.observe(time.perf_counter() - append_start)
+                self._m_records.inc()
+                if self._journal.fsync_enabled:
+                    self._m_fsyncs.inc()
+            else:
+                self._journal.append(record)
             if apply is not None:
                 apply()
             self._records_since_snapshot += 1
@@ -591,6 +641,8 @@ class StateStore:
         self._journal.truncate()
         self._records_since_snapshot = 0
         self._snapshots_written += 1
+        if self._m_snapshots is not None:
+            self._m_snapshots.inc()
 
     def close(self) -> None:
         """Flush and close the journal and release the directory lock."""

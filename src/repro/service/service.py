@@ -40,7 +40,8 @@ from __future__ import annotations
 
 import math
 import threading
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
 import numpy as np
@@ -49,10 +50,13 @@ from repro.data.database import Database
 from repro.engine.backend import available_backends, default_backend_name
 from repro.engine.canonical import canonical_query_key
 from repro.engine.evaluation import count_query
-from repro.exceptions import ServiceError
+from repro.exceptions import PrivacyError, ServiceError
 from repro.mechanisms.accountant import PrivacyAccountant
 from repro.mechanisms.mechanism import PrivateCountingQuery
 from repro.mechanisms.smooth_mechanism import BETA_FRACTION
+from repro.obs.logs import RequestLogger
+from repro.obs.metrics import DEFAULT_IO_BUCKETS, MetricsRegistry
+from repro.obs.tracing import Tracer, current_span, span as obs_span
 from repro.query.cq import ConjunctiveQuery
 from repro.query.parser import parse_query
 from repro.sensitivity.base import SensitivityResult
@@ -87,10 +91,12 @@ class CountResponse:
     remaining_budget: float | None = None
     backend: str = "python"
     details: Mapping[str, Any] = field(default_factory=dict)
+    trace_id: str | None = None
+    timings: Mapping[str, float] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """A JSON-serialisable view (publishable fields only)."""
-        return {
+        payload = {
             "database": self.database,
             "version": self.version,
             "query_key": self.query_key,
@@ -109,6 +115,12 @@ class CountResponse:
             "deduplicated": self.deduplicated,
             "remaining_budget": self.remaining_budget,
         }
+        # The opt-in trace block (``timings: true`` on the request).
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
+        if self.timings is not None:
+            payload["timings"] = dict(self.timings)
+        return payload
 
 
 class PrivateQueryService:
@@ -146,6 +158,17 @@ class PrivateQueryService:
     snapshot_interval:
         Journal records between automatic compacted snapshots (``0``
         disables automatic compaction).  Only meaningful with ``state_dir``.
+    observability:
+        ``True`` (the default) wires up the telemetry layer: a
+        :class:`~repro.obs.metrics.MetricsRegistry` (exposed as
+        :attr:`metrics`, rendered by ``GET /metrics``) and a
+        :class:`~repro.obs.tracing.Tracer` powering opt-in per-request
+        ``timings`` breakdowns.  ``False`` disables both — the baseline the
+        instrumentation-overhead benchmark compares against.
+    request_logger:
+        Optional :class:`~repro.obs.logs.RequestLogger` emitting one
+        schema-pinned JSON line per request (``repro-dp serve --log-json``);
+        its ``slow_ms`` threshold drives slow-request marking.
 
     Examples
     --------
@@ -172,6 +195,8 @@ class PrivateQueryService:
         parallelism: int | None = None,
         state_dir: str | None = None,
         snapshot_interval: int = 1000,
+        observability: bool = True,
+        request_logger: RequestLogger | None = None,
     ):
         self._store = (
             StateStore(state_dir, snapshot_interval=snapshot_interval)
@@ -200,6 +225,9 @@ class PrivateQueryService:
         # every noise draw through this lock.
         self._rng_lock = threading.Lock()
         self._requests_served = 0
+        # Cumulative ε actually charged (committed) by this service; the
+        # repro_epsilon_charged_total counter reads it at scrape time.
+        self._epsilon_charged_total = 0.0
         self._stats_lock = threading.Lock()
         # Cumulative shared-lattice profiler counters (see repro.engine.profile);
         # updated under _stats_lock whenever a profile is actually computed
@@ -213,6 +241,171 @@ class PrivateQueryService:
             "factorization_hits": 0,
             "factorization_misses": 0,
         }
+        # -- observability ------------------------------------------------ #
+        self._obs = bool(observability)
+        self._tracer = Tracer(enabled=self._obs)
+        #: The service's metrics registry (``None`` with observability off);
+        #: rendered in Prometheus text format by ``GET /metrics``.
+        self.metrics: MetricsRegistry | None = MetricsRegistry() if self._obs else None
+        self._request_logger = request_logger
+        self._slow_requests = 0
+        self._requests_errored = 0
+        if self._obs:
+            self._init_metrics()
+            if self._store is not None:
+                self._store.bind_metrics(self.metrics)
+
+    def _init_metrics(self) -> None:
+        """Declare every instrument and pre-resolve the hot series handles.
+
+        Two techniques keep the warm serving path nearly free of
+        instrumentation cost (the ≤5 % overhead gate in
+        ``benchmarks/bench_service.py``):
+
+        * **pre-resolved handles** — label sets resolve once, here, so the
+          per-request work is at most one latency ``observe``;
+        * **scrape-time counters** — totals the service maintains anyway
+          (cache hit/miss counters, requests served, ε charged) back counter
+          series via callbacks instead of per-request ``inc`` calls; the
+          scrape pays for the read, the request pays nothing.
+
+        Metric names, labels and bucket choices are catalogued in
+        ``docs/observability.md``.
+        """
+        m = self.metrics
+        requests = m.counter(
+            "repro_requests_total", "Requests served, by endpoint and outcome.",
+            ("endpoint", "status"),
+        )
+        latency = m.histogram(
+            "repro_request_seconds", "End-to-end request latency in seconds.",
+            ("endpoint",),
+        )
+        cache = m.counter(
+            "repro_cache_requests_total", "Cache lookups, by cache and outcome.",
+            ("cache", "outcome"),
+        )
+        # (count, ok) is scrape-time: _count_core already counts successful
+        # releases under _stats_lock.  The cold combinations (errors, batch
+        # wrappers) stay inc-based.
+        requests.set_callback(
+            lambda: float(self._requests_served), endpoint="count", status="ok"
+        )
+        self._m_requests = {
+            (endpoint, status): requests.labels(endpoint=endpoint, status=status)
+            for endpoint in ("count", "batch")
+            for status in ("ok", "error")
+        }
+        self._m_latency = {
+            endpoint: latency.bind(endpoint=endpoint) for endpoint in ("count", "batch")
+        }
+        self._m_latency_count = self._m_latency["count"]
+        # Cache traffic is read straight off each LRU's own hit/miss
+        # counters at scrape time — no per-request increments.
+        for name, lru in (
+            ("plan", self._plan_cache),
+            ("profile", self._profile_cache),
+            ("sensitivity", self._sensitivity_cache),
+            ("count", self._count_cache),
+        ):
+            cache.set_callback(
+                lambda c=lru: float(c.stats().hits), cache=name, outcome="hit"
+            )
+            cache.set_callback(
+                lambda c=lru: float(c.stats().misses), cache=name, outcome="miss"
+            )
+        m.counter(
+            "repro_epsilon_charged_total", "Total privacy budget charged (epsilon)."
+        ).set_callback(lambda: self._epsilon_charged_total)
+        self._m_denials = m.counter(
+            "repro_budget_denials_total",
+            "Requests refused because a budget could not afford them.",
+            ("endpoint",),
+        )
+        self._m_slow = m.counter(
+            "repro_slow_requests_total",
+            "Requests slower than the configured slow-query threshold.",
+            ("endpoint",),
+        )
+        self._m_charge = m.histogram(
+            "repro_budget_charge_seconds",
+            "Time to reserve and journal one budget charge (includes ledger lock wait).",
+            buckets=DEFAULT_IO_BUCKETS,
+        ).bind()
+        batch_items = m.counter(
+            "repro_batch_items_total", "Batch items answered, by outcome.", ("outcome",)
+        )
+        self._m_batch_items = {
+            outcome: batch_items.labels(outcome=outcome)
+            for outcome in ("ok", "deduplicated", "error")
+        }
+        self._m_profiles = m.counter(
+            "repro_profiler_profiles_total",
+            "Shared-lattice profiles computed (profile-cache misses).",
+        )
+        components = m.counter(
+            "repro_profiler_components_total",
+            "Residual-query components seen by the profiler, by outcome.",
+            ("outcome",),
+        )
+        self._m_components_eval = components.labels(outcome="evaluated")
+        self._m_components_dedup = components.labels(outcome="deduplicated")
+        factorization = m.counter(
+            "repro_profiler_factorization_total",
+            "Columnar factorization-cache lookups during profiling, by outcome.",
+            ("outcome",),
+        )
+        self._m_fact_hit = factorization.labels(outcome="hit")
+        self._m_fact_miss = factorization.labels(outcome="miss")
+        # Callback gauges: read live (possibly crash-recovered) state at
+        # scrape time instead of hooking every write path.
+        m.gauge("repro_sessions_active", "Sessions currently open.").set_function(
+            lambda: float(len(self._sessions.active_ids()))
+        )
+        m.gauge(
+            "repro_audit_records_total", "Charge attempts recorded by the audit log."
+        ).set_function(lambda: float(self._sessions.audit.total_recorded))
+        shared = self._sessions.shared
+        if shared is not None:
+            m.gauge(
+                "repro_shared_budget_remaining_epsilon",
+                "Remaining deployment-wide epsilon budget.",
+            ).set_function(lambda: float(shared.remaining))
+            m.gauge(
+                "repro_shared_budget_spent_epsilon",
+                "Epsilon consumed from the deployment-wide budget.",
+            ).set_function(lambda: float(shared.spent))
+        if self._store is not None:
+            m.gauge(
+                "repro_recovered_journal_seq",
+                "Journal seq recovered at startup (0: fresh start).",
+            ).set_function(lambda: float(self._recovered_seq))
+
+    def set_observability(self, enabled: bool) -> None:
+        """Toggle instrumentation at runtime (an operational kill-switch).
+
+        Disabling stops per-request recording (latency observations, span
+        roots) without tearing anything down: the registry keeps rendering,
+        and its callback-backed series — cache traffic, requests served,
+        ε charged, session/budget gauges — stay live because they read
+        service state at scrape time.  Re-enabling (or enabling on a service
+        constructed with ``observability=False``) declares the instruments
+        on first use.  The overhead benchmark drives this toggle so both
+        sides of the comparison run on one service object.
+        """
+        enabled = bool(enabled)
+        if enabled and self.metrics is None:
+            self.metrics = MetricsRegistry()
+            self._init_metrics()
+            if self._store is not None:
+                self._store.bind_metrics(self.metrics)
+        self._obs = enabled
+        self._tracer.enabled = enabled
+
+    @property
+    def observability_enabled(self) -> bool:
+        """Whether per-request instrumentation is currently recording."""
+        return self._obs
 
     # ------------------------------------------------------------------ #
     # Persistence
@@ -389,6 +582,12 @@ class PrivateQueryService:
             totals["component_hits"] += stats.component_hits
             totals["factorization_hits"] += stats.factorization_hits
             totals["factorization_misses"] += stats.factorization_misses
+        if self._obs:
+            self._m_profiles.inc()
+            self._m_components_eval.inc(stats.components_evaluated)
+            self._m_components_dedup.inc(stats.component_hits)
+            self._m_fact_hit.inc(stats.factorization_hits)
+            self._m_fact_miss.inc(stats.factorization_misses)
         return profile.results
 
     # ------------------------------------------------------------------ #
@@ -402,6 +601,7 @@ class PrivateQueryService:
         *,
         session: str | None = None,
         method: str = "residual",
+        timings: bool = False,
     ) -> CountResponse:
         """One ε-DP release of the query's count on a registered database.
 
@@ -412,7 +612,101 @@ class PrivateQueryService:
         The charge is transactional: if drawing the release fails, the
         reservation is rolled back (and the refusal journaled) instead of
         silently consuming ε without an answer.
+
+        With ``timings=True`` (and observability on) the request runs under
+        a root span and the response carries ``trace_id`` plus a ``timings``
+        breakdown over the serving stages (plan / sensitivity / true_count /
+        charge / release + ``other``) whose values sum exactly to ``total``.
         """
+        if not self._obs and self._request_logger is None:
+            return self._count_core(database, query, epsilon, session=session, method=method)
+        if self._obs and not timings and self._request_logger is None:
+            # Metrics-only fast path: every counter is derived at scrape
+            # time (or error-path only), so a warm request pays two clock
+            # reads and one histogram observation.
+            start = time.perf_counter()
+            try:
+                response = self._count_core(
+                    database, query, epsilon, session=session, method=method
+                )
+            except Exception as exc:
+                self._record_request(
+                    "count",
+                    time.perf_counter() - start,
+                    status="error",
+                    exc=exc,
+                    session=session,
+                    database=database,
+                    method=method,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                raise
+            self._m_latency_count(time.perf_counter() - start)
+            return response
+        start = time.perf_counter()
+        root = (
+            self._tracer.trace("request.count", database=database, method=method)
+            if (timings and self._obs)
+            else None
+        )
+        trace_id = root.trace_id if root is not None else None
+        try:
+            if root is not None:
+                with root:
+                    response = self._count_core(
+                        database, query, epsilon, session=session, method=method
+                    )
+            else:
+                response = self._count_core(
+                    database, query, epsilon, session=session, method=method
+                )
+        except Exception as exc:
+            self._record_request(
+                "count",
+                time.perf_counter() - start,
+                status="error",
+                exc=exc,
+                trace_id=trace_id,
+                session=session,
+                database=database,
+                method=method,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            raise
+        duration = time.perf_counter() - start
+        if root is not None:
+            response = replace(
+                response, trace_id=root.trace_id, timings=root.stage_timings()
+            )
+        self._record_request(
+            "count",
+            duration,
+            status="ok",
+            trace_id=trace_id,
+            session=session,
+            database=database,
+            query_key=response.query_key,
+            method=method,
+            epsilon=response.epsilon,
+            backend=response.backend,
+            cache={
+                "plan": response.plan_cache_hit,
+                "sensitivity": response.sensitivity_cache_hit,
+                "count": response.count_cache_hit,
+            },
+        )
+        return response
+
+    def _count_core(
+        self,
+        database: str,
+        query: ConjunctiveQuery | str,
+        epsilon: float,
+        *,
+        session: str | None,
+        method: str,
+    ) -> CountResponse:
+        """The uninstrumented serving path (see :meth:`count` for the contract)."""
         if method not in _METHODS:
             raise ServiceError(f"unknown calibration method {method!r}")
         if not isinstance(epsilon, (int, float)) or not math.isfinite(epsilon) or epsilon <= 0:
@@ -422,33 +716,69 @@ class PrivateQueryService:
         # a request that can't possibly be charged (the authoritative,
         # atomic check is the charge below).
         self._sessions.precheck(session, epsilon)
-        parsed, key, plan_hit = self.plan(query)
+        # One ContextVar read decides whether stage spans exist at all: the
+        # untraced warm path (no ``timings``, not under a batch trace) must
+        # not pay even for no-op context managers.
+        traced = current_span() is not None
+        if traced:
+            with obs_span("plan"):
+                parsed, key, plan_hit = self.plan(query)
+        else:
+            parsed, key, plan_hit = self.plan(query)
         beta = None if method == "global" else epsilon / BETA_FRACTION
 
-        sensitivity, sens_hit = self._sensitivity(reg, parsed, key, method, beta)
-        true_count, count_hit = self._true_count(reg, parsed, key)
+        if traced:
+            with obs_span("sensitivity", method=method, backend=reg.backend):
+                sensitivity, sens_hit = self._sensitivity(reg, parsed, key, method, beta)
+            with obs_span("true_count"):
+                true_count, count_hit = self._true_count(reg, parsed, key)
+        else:
+            sensitivity, sens_hit = self._sensitivity(reg, parsed, key, method, beta)
+            true_count, count_hit = self._true_count(reg, parsed, key)
 
         label = key if key is not None else parsed.name
-        txn = self._sessions.begin_charge(session, epsilon, label=f"{database}:{label}")
+        # The charge histogram targets ledger contention and journal cost,
+        # which only exist for session-scoped or durable charges; timing the
+        # in-memory sessionless no-op would tax the warm path for nothing.
+        charge_timed = self._obs and (session is not None or self._store is not None)
+        charge_start = time.perf_counter() if charge_timed else 0.0
+        if traced:
+            with obs_span("charge"):
+                txn = self._sessions.begin_charge(
+                    session, epsilon, label=f"{database}:{label}"
+                )
+        else:
+            txn = self._sessions.begin_charge(session, epsilon, label=f"{database}:{label}")
+        if charge_timed:
+            self._m_charge(time.perf_counter() - charge_start)
+
+        def draw():
+            releaser = PrivateCountingQuery(
+                parsed,
+                epsilon=epsilon,
+                method=method,  # type: ignore[arg-type]
+                rng=self._rng,
+                strategy=self._strategy,
+                backend=reg.backend,
+            )
+            return releaser.release(
+                reg.database, true_count=true_count, sensitivity=sensitivity
+            )
+
         try:
-            with self._rng_lock:
-                releaser = PrivateCountingQuery(
-                    parsed,
-                    epsilon=epsilon,
-                    method=method,  # type: ignore[arg-type]
-                    rng=self._rng,
-                    strategy=self._strategy,
-                    backend=reg.backend,
-                )
-                release = releaser.release(
-                    reg.database, true_count=true_count, sensitivity=sensitivity
-                )
+            if traced:
+                with obs_span("release", method=method), self._rng_lock:
+                    release = draw()
+            else:
+                with self._rng_lock:
+                    release = draw()
         except Exception as exc:
             txn.rollback(reason=f"release failed: {exc}")
             raise
         txn.commit()
         with self._stats_lock:
             self._requests_served += 1
+            self._epsilon_charged_total += epsilon
 
         # The transaction captured the post-charge remaining budget under the
         # session lock: re-fetching the session here could race TTL expiry
@@ -479,14 +809,132 @@ class PrivateQueryService:
         session: str | None = None,
         epsilon_total: float | None = None,
         max_workers: int = 4,
+        timings: bool = False,
     ):
-        """Answer a batch of requests (see :class:`~repro.service.executor.BatchExecutor`)."""
+        """Answer a batch of requests (see :class:`~repro.service.executor.BatchExecutor`).
+
+        With ``timings=True`` the whole batch runs under a ``request.batch``
+        root span (group spans fan out beneath it — their wall times overlap
+        under concurrency) and the result's ``trace_id``/``timings`` are
+        surfaced through :meth:`BatchResult.to_dict`.
+        """
         from repro.service.executor import BatchExecutor
 
         executor = BatchExecutor(self, max_workers=max_workers)
-        return executor.run(
-            database, requests, session=session, epsilon_total=epsilon_total
+        if not self._obs and self._request_logger is None:
+            return executor.run(
+                database, requests, session=session, epsilon_total=epsilon_total
+            )
+        start = time.perf_counter()
+        root = (
+            self._tracer.trace("request.batch", database=database)
+            if (timings and self._obs)
+            else None
         )
+        trace_id = root.trace_id if root is not None else None
+        try:
+            if root is not None:
+                with root:
+                    result = executor.run(
+                        database, requests, session=session, epsilon_total=epsilon_total
+                    )
+            else:
+                result = executor.run(
+                    database, requests, session=session, epsilon_total=epsilon_total
+                )
+        except Exception as exc:
+            self._record_request(
+                "batch",
+                time.perf_counter() - start,
+                status="error",
+                exc=exc,
+                trace_id=trace_id,
+                session=session,
+                database=database,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            raise
+        duration = time.perf_counter() - start
+        if self._obs:
+            for item in result.items:
+                outcome = (
+                    "error" if not item.ok
+                    else ("deduplicated" if item.deduplicated else "ok")
+                )
+                self._m_batch_items[outcome].inc()
+        self._record_request(
+            "batch",
+            duration,
+            status="ok",
+            trace_id=trace_id,
+            session=session,
+            database=database,
+            epsilon=result.epsilon_charged,
+        )
+        if root is not None:
+            result = replace(
+                result,
+                details={
+                    **dict(result.details),
+                    "trace_id": root.trace_id,
+                    "timings": root.stage_timings(),
+                },
+            )
+        return result
+
+    def _record_request(
+        self,
+        endpoint: str,
+        duration_s: float,
+        *,
+        status: str,
+        exc: BaseException | None = None,
+        trace_id: str | None = None,
+        session: str | None = None,
+        database: str | None = None,
+        query_key: str | None = None,
+        method: str | None = None,
+        error: str | None = None,
+        epsilon: float | None = None,
+        backend: str | None = None,
+        cache: Mapping[str, bool] | None = None,
+    ) -> None:
+        """Record one finished request into metrics and the structured log.
+
+        Only the cold combinations increment counters here: ``(count, ok)``
+        requests, ε charged and cache traffic are all callback-backed series
+        read at scrape time (see :meth:`_init_metrics`).
+        """
+        if self._obs:
+            self._m_latency[endpoint](duration_s)
+            if endpoint != "count" or status != "ok":
+                self._m_requests[(endpoint, status)].inc()
+            if isinstance(exc, PrivacyError):
+                self._m_denials.inc(endpoint=endpoint)
+            if status == "error":
+                with self._stats_lock:
+                    self._requests_errored += 1
+        logger = self._request_logger
+        if logger is not None:
+            record = logger.log_request(
+                endpoint=endpoint,
+                duration_ms=duration_s * 1e3,
+                status=status,
+                trace_id=trace_id,
+                session=session,
+                database=database,
+                query_key=query_key,
+                method=method,
+                error=error,
+                epsilon=epsilon,
+                backend=backend,
+                cache=cache,
+            )
+            if record["slow"]:
+                with self._stats_lock:
+                    self._slow_requests += 1
+                if self._obs:
+                    self._m_slow.inc(endpoint=endpoint)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -496,9 +944,23 @@ class PrivateQueryService:
         shared = self._sessions.shared
         with self._stats_lock:
             served = self._requests_served
+            epsilon_charged = self._epsilon_charged_total
             profiler = dict(self._profiler_totals)
+            errored = self._requests_errored
+            slow = self._slow_requests
+        logger = self._request_logger
         return {
             "requests_served": served,
+            "epsilon_charged": epsilon_charged,
+            "observability": {
+                "enabled": self._obs,
+                "traces_started": self._tracer.traces_started,
+                "requests_errored": errored,
+                "slow_requests": slow,
+                "slow_ms": logger.slow_ms if logger is not None else None,
+                "log_lines_written": logger.lines_written if logger is not None else 0,
+                "metrics": self.metrics.names() if self.metrics is not None else [],
+            },
             "backends": {
                 "available": available_backends(),
                 "default": default_backend_name(),
