@@ -31,7 +31,7 @@ from repro.engine.backend import get_backend
 from repro.query.parser import parse_query
 from repro.sensitivity.residual import ResidualSensitivity
 
-from bench_utils import bench_rng
+from bench_utils import bench_rng, trend_gate
 
 #: Tuples per relation in the large-join workload (the ISSUE floor is 10^5).
 TUPLES = 120_000
@@ -82,10 +82,9 @@ def test_backend_speedup_large_join(join_db):
         f"backend=python {python_time * 1e3:.0f} ms, "
         f"backend=numpy {numpy_time * 1e3:.0f} ms, speedup {speedup:.1f}x"
     )
-    assert speedup >= 3.0, (
-        f"numpy backend was only {speedup:.2f}x faster than python "
-        f"({numpy_time:.3f}s vs {python_time:.3f}s)"
-    )
+    # Gate against the committed trajectory (fail on a >25 % regression
+    # from BENCH_backend.json), never below the 3× acceptance floor.
+    trend_gate("backend", "speedup_cold", speedup, floor=3.0)
 
 
 def test_backend_profile_speedup(join_db):
@@ -107,10 +106,9 @@ def test_backend_profile_speedup(join_db):
         f"backend=python {timings['python'] * 1e3:.0f} ms, "
         f"backend=numpy {timings['numpy'] * 1e3:.0f} ms, speedup {speedup:.1f}x"
     )
-    assert speedup >= 3.0, (
-        f"numpy profile evaluation was only {speedup:.2f}x faster "
-        f"({timings['numpy']:.3f}s vs {timings['python']:.3f}s)"
-    )
+    # No committed baseline records this metric yet, so the gate is the
+    # fixed 3× floor until a snapshot adds ``profile_speedup``.
+    trend_gate("backend", "profile_speedup", speedup, floor=3.0)
 
 
 def test_warm_numpy_count_benchmark(benchmark, join_db):

@@ -35,7 +35,7 @@ from repro.graphs.loader import database_from_networkx
 from repro.graphs.patterns import k_path_query, k_star_query, triangle_query
 from repro.sensitivity.residual import ResidualSensitivity
 
-from bench_utils import derive_seed
+from bench_utils import derive_seed, trend_gate
 
 #: Vertices in the collaboration-graph workload (the ISSUE pins 300).
 NUM_NODES = 300
@@ -114,10 +114,9 @@ def test_profile_speedup_star4(graph_db):
     # Singles, pairs and triples are one isomorphism class each.
     assert stats.components_evaluated == 3
     speedup = baseline_time / shared_time
-    assert speedup >= 3.0, (
-        f"shared-lattice evaluator was only {speedup:.2f}x faster than the "
-        f"per-subset baseline ({shared_time:.3f}s vs {baseline_time:.3f}s)"
-    )
+    # Trend gate: fail on a >25 % regression from BENCH_profile.json,
+    # never below the 3× acceptance floor.
+    trend_gate("profile", "speedup", speedup, floor=3.0)
 
 
 def test_profile_report_queries(graph_db):

@@ -23,10 +23,21 @@ sources for literal ``seed=``/``rng=`` arguments.
 
 from __future__ import annotations
 
+import json
 import os
 import zlib
+from pathlib import Path
 
-__all__ = ["bench_scale", "bench_seed", "bench_rng", "derive_seed", "full_run", "seed_record"]
+__all__ = [
+    "bench_scale",
+    "bench_seed",
+    "bench_rng",
+    "derive_seed",
+    "full_run",
+    "seed_record",
+    "trend_baseline",
+    "trend_gate",
+]
 
 #: Environment variable holding the master benchmark seed.
 BENCH_SEED_ENV = "REPRO_BENCH_SEED"
@@ -62,6 +73,71 @@ def bench_rng(stream: str):
     import numpy as np
 
     return np.random.default_rng(derive_seed(stream))
+
+
+#: Repo root — the committed ``BENCH_<area>.json`` snapshots live here.
+_ROOT = Path(__file__).resolve().parent.parent
+
+#: Default tolerated regression against the committed baseline (25 %).
+TREND_TOLERANCE = 0.25
+
+
+def trend_baseline(area: str, metric: str):
+    """The committed baseline value of ``metric``, or ``None`` if unrecorded.
+
+    Baselines come from the ``results`` block of the ``BENCH_<area>.json``
+    snapshot at the repo root (written by ``scripts/bench_snapshot.py``).
+    A missing file, malformed document or absent metric all mean "no
+    baseline" — gates then fall back to their fixed floor.
+    """
+    path = _ROOT / f"BENCH_{area}.json"
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    value = document.get("results", {}).get(metric)
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def trend_gate(
+    area: str,
+    metric: str,
+    measured: float,
+    *,
+    floor: float,
+    tolerance: float = TREND_TOLERANCE,
+    higher_is_better: bool = True,
+) -> float:
+    """Assert ``measured`` has not regressed >``tolerance`` vs the baseline.
+
+    The acceptance limit tracks the committed perf trajectory instead of a
+    fixed ratio: with a recorded baseline the gate is the *stricter* of the
+    fixed ``floor`` and ``baseline * (1 - tolerance)`` (for lower-is-better
+    metrics the *looser* of the fixed cap and ``baseline * (1 + tolerance)``
+    — wall-clock-sensitive metrics need the headroom on shared machines);
+    without one, the fixed floor alone.  Returns the limit that was applied
+    so callers can include it in their failure messages or reports.
+    """
+    baseline = trend_baseline(area, metric)
+    if higher_is_better:
+        limit = floor if baseline is None else max(floor, baseline * (1.0 - tolerance))
+        label = f"≥{limit:.2f}"
+        ok = measured >= limit
+    else:
+        limit = floor if baseline is None else max(floor, baseline * (1.0 + tolerance))
+        label = f"≤{limit:.2f}"
+        ok = measured <= limit
+    source = (
+        f"fixed floor {floor}"
+        if baseline is None
+        else f"baseline {baseline} ±{tolerance * 100:.0f}% from BENCH_{area}.json"
+    )
+    print(f"trend gate {area}.{metric}: measured {measured:.2f}, require {label} ({source})")
+    assert ok, (
+        f"{area}.{metric} regressed: measured {measured:.2f}, "
+        f"required {label} ({source})"
+    )
+    return limit
 
 
 def seed_record() -> dict:

@@ -26,8 +26,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -38,7 +40,7 @@ for entry in (ROOT / "src", ROOT / "benchmarks"):
 
 from bench_utils import derive_seed, seed_record  # noqa: E402
 
-AREAS = ("backend", "service", "profile")
+AREAS = ("backend", "service", "profile", "concurrency")
 
 
 def _environment() -> dict:
@@ -46,6 +48,7 @@ def _environment() -> dict:
         "python": platform.python_version(),
         "platform": platform.platform(),
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
     }
 
@@ -162,10 +165,61 @@ def snapshot_profile() -> dict:
     }
 
 
+def snapshot_concurrency() -> dict:
+    """Charge pipeline under load: journal overhead + prefork HTTP scaling."""
+    import bench_concurrency as bc
+    from repro.graphs.generators import collaboration_graph
+    from repro.graphs.loader import database_from_networkx
+
+    graph_db = database_from_networkx(
+        collaboration_graph(150, 6.0, seed=derive_seed("concurrency.graph"))
+    )
+
+    def run(**kwargs):
+        service = bc._warm_service(graph_db, **kwargs)
+        session = service.create_session(budget=1e6).session_id
+        start = time.perf_counter()
+        for _ in range(2 * bc.THREADS * bc.ROUNDS):
+            service.count("g", bc.PATH2, epsilon=0.5, session=session)
+        return time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-conc-") as tmp:
+        in_memory = run()
+        journaled = run(state_dir=str(Path(tmp) / "journal"), snapshot_interval=100)
+
+        edge_file = Path(tmp) / "edges.txt"
+        edge_file.write_text(bc._EDGES)
+        single = bc.measure_cluster_throughput(
+            1, str(Path(tmp) / "st1"), str(edge_file)
+        )
+        quad = bc.measure_cluster_throughput(
+            4, str(Path(tmp) / "st4"), str(edge_file)
+        )
+    return {
+        "workload": {
+            "query": bc.PATH2,
+            "graph_nodes": 150,
+            "graph_average_degree": 6.0,
+            "journaled_releases": 2 * bc.THREADS * bc.ROUNDS,
+            "http_clients": 4,
+            "http_requests_per_client": 60,
+        },
+        "results": {
+            "in_memory_seconds": round(in_memory, 6),
+            "journaled_seconds": round(journaled, 6),
+            "journal_overhead_ratio": round(journaled / in_memory, 2),
+            "http_rps_1_worker": round(single, 1),
+            "http_rps_4_workers": round(quad, 1),
+            "cluster_scaling_x": round(quad / single, 2),
+        },
+    }
+
+
 SNAPSHOTTERS = {
     "backend": snapshot_backend,
     "service": snapshot_service,
     "profile": snapshot_profile,
+    "concurrency": snapshot_concurrency,
 }
 
 

@@ -26,7 +26,10 @@ Installed as ``repro-dp`` (see ``pyproject.toml``).  Sub-commands:
     ``/register`` ``/count`` ``/batch`` ``/budget`` ``/stats`` ``/metrics``
     endpoints.  ``--log-json [PATH]`` emits one schema-pinned JSON line per
     request; ``--slow-ms N`` marks slow requests (see
-    ``docs/observability.md``).
+    ``docs/observability.md``).  ``--workers N`` scales out to a prefork
+    cluster sharing one budget ledger through the journal (requires
+    ``--state-dir``; see ``docs/scaling.md``), with per-worker admission
+    control (``--max-inflight``) and a ``GET /capacity`` board.
 
 ``metrics``
     Scrape a running server's ``GET /metrics``, validate the Prometheus
@@ -226,6 +229,29 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=None, help="noise seed (tests only)")
     serve.add_argument("--log-requests", action="store_true", help="log HTTP requests to stderr")
     serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="prefork worker processes sharing the listening socket and the "
+        "budget ledger (> 1 requires --state-dir; see docs/scaling.md)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=32,
+        help="per-worker admission-control cap: /count and /batch beyond "
+        "this many concurrent requests are shed with 503 + Retry-After",
+    )
+    serve.add_argument(
+        "--noise-mode",
+        choices=("stream", "charge-seq"),
+        default="stream",
+        help="'stream' draws noise from the worker's own rng stream; "
+        "'charge-seq' derives each draw from (seed, global charge ordinal) "
+        "so a seeded multi-worker cluster is bitwise reproducible "
+        "(requires --seed)",
+    )
+    serve.add_argument(
         "--state-dir",
         default=None,
         help="directory for durable state (write-ahead ledger journal + "
@@ -304,6 +330,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="noise draws per calibration level (0 disables the statistical verifier)",
     )
     fuzz.add_argument("--json", action="store_true", help="emit a JSON report instead of text")
+    fuzz.add_argument(
+        "--cluster-cases",
+        type=int,
+        default=0,
+        help="also replay this many fuzz workloads through a live 2-worker "
+        "prefork server and require releases bitwise-identical to the "
+        "in-process service (0 disables)",
+    )
     _add_backend_argument(fuzz)
 
     batch = subparsers.add_parser(
@@ -506,27 +540,38 @@ def _build_service(args: argparse.Namespace, **service_kwargs) -> "PrivateQueryS
     return service
 
 
-def _run_serve(args: argparse.Namespace) -> int:
+def _serve_request_logger(args: argparse.Namespace):
+    """Build the optional request logger: ``(logger, handle_to_close)``."""
     from repro.obs.logs import RequestLogger
-    from repro.service.api import make_server
 
     # --slow-ms without --log-json still needs a logger (it does the slow
     # marking); default its output to stderr.
     log_target = args.log_json
     if log_target is None and args.slow_ms is not None:
         log_target = "-"
-    log_handle = None
-    request_logger = None
-    if log_target is not None:
-        if log_target == "-":
-            stream = sys.stderr
-        else:
-            try:
-                log_handle = stream = open(log_target, "a", encoding="utf-8")
-            except OSError as exc:
-                raise ReproError(f"cannot open --log-json file: {exc}") from None
-        request_logger = RequestLogger(stream, slow_ms=args.slow_ms)
+    if log_target is None:
+        return None, None
+    if log_target == "-":
+        return RequestLogger(sys.stderr, slow_ms=args.slow_ms), None
+    try:
+        handle = open(log_target, "a", encoding="utf-8")
+    except OSError as exc:
+        raise ReproError(f"cannot open --log-json file: {exc}") from None
+    return RequestLogger(handle, slow_ms=args.slow_ms), handle
 
+
+def _run_serve(args: argparse.Namespace) -> int:
+    import os
+    import signal
+    import threading
+
+    from repro.service.api import make_server
+    from repro.service.cluster import CapacityBoard
+
+    if args.workers > 1:
+        return _run_serve_cluster(args)
+
+    request_logger, log_handle = _serve_request_logger(args)
     service = _build_service(
         args,
         session_budget=args.session_budget,
@@ -539,8 +584,14 @@ def _run_serve(args: argparse.Namespace) -> int:
         snapshot_interval=args.snapshot_interval,
         observability=not args.no_observability,
         request_logger=request_logger,
+        noise_mode=args.noise_mode,
     )
-    server = make_server(service, args.host, args.port, log_requests=args.log_requests)
+    board = CapacityBoard(1, args.max_inflight)
+    board.attach(0, os.getpid())
+    board.bind_metrics(service.metrics)
+    server = make_server(
+        service, args.host, args.port, log_requests=args.log_requests, capacity=board
+    )
     host, port = server.server_address[:2]
     name = service.registry.names()[0]
     backend = service.registry.get(name).backend
@@ -557,15 +608,103 @@ def _run_serve(args: argparse.Namespace) -> int:
     if not args.no_observability:
         print(f"metrics on http://{host}:{port}/metrics")
     sys.stdout.flush()
+
+    def drain(signum, frame):
+        # Graceful shutdown: stop accepting, let in-flight requests finish.
+        # shutdown() blocks until serve_forever returns, so it must not run
+        # on the serving thread the signal interrupted.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous_term = signal.signal(signal.SIGTERM, drain)
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive
         pass
     finally:
+        signal.signal(signal.SIGTERM, previous_term)
+        # server_close() joins in-flight request threads (they are
+        # non-daemonic), then close() flushes and compacts the journal —
+        # the drain finishes everything it accepted before exiting 0.
         server.server_close()
         service.close()
+        board.close()
         if log_handle is not None:
             log_handle.close()
+    return 0
+
+
+def _run_serve_cluster(args: argparse.Namespace) -> int:
+    from repro.service.cluster import ClusterDispatcher
+
+    if args.state_dir is None:
+        raise ReproError(
+            "--workers > 1 requires --state-dir: the shared journal is what "
+            "keeps the budget ledgers consistent across worker processes"
+        )
+    if args.noise_mode == "charge-seq" and args.seed is None:
+        raise ReproError("--noise-mode charge-seq requires --seed")
+
+    def service_factory(worker_label: str):
+        # Runs in the forked child: each worker owns its own caches, rng,
+        # journal handles and log stream (only the listening socket and the
+        # capacity board are inherited from the dispatcher).
+        request_logger, _ = _serve_request_logger(args)
+        return _build_service(
+            args,
+            session_budget=args.session_budget,
+            total_budget=args.total_budget,
+            cache_capacity=args.cache_capacity,
+            session_ttl=args.session_ttl,
+            rng=args.seed,
+            parallelism=args.parallelism,
+            state_dir=args.state_dir,
+            snapshot_interval=args.snapshot_interval,
+            observability=not args.no_observability,
+            request_logger=request_logger,
+            shared_state=True,
+            noise_mode=args.noise_mode,
+            worker_label=worker_label,
+        )
+
+    def finalize():
+        # Workers never compact (truncating the shared journal would
+        # invalidate their siblings' read offsets); after the last worker
+        # exited, one throwaway exclusive-mode service replays the journal
+        # and folds it into a snapshot.  Budgets must match the cluster's
+        # or the snapshot would misreport the recovered ledgers.
+        from repro.service import PrivateQueryService
+
+        service = PrivateQueryService(
+            session_budget=args.session_budget,
+            total_budget=args.total_budget,
+            state_dir=args.state_dir,
+            snapshot_interval=args.snapshot_interval,
+            observability=False,
+        )
+        service.close(snapshot=True)
+
+    dispatcher = ClusterDispatcher(
+        args.host,
+        args.port,
+        args.workers,
+        service_factory=service_factory,
+        max_inflight=args.max_inflight,
+        log_requests=args.log_requests,
+        finalize=finalize,
+    )
+    host, port = dispatcher.bind()
+    name = getattr(args, "name", None) or getattr(args, "dataset", None) or "default"
+    print(
+        f"serving database {name!r} with {args.workers} workers "
+        f"on http://{host}:{port}  (Ctrl-C to stop)"
+    )
+    if not args.no_observability:
+        print(f"metrics on http://{host}:{port}/metrics (per-worker labels)")
+    print(f"capacity board on http://{host}:{port}/capacity")
+    # Flush before forking: children inherit the stdout buffer, and an
+    # unflushed banner would be printed once per worker.
+    sys.stdout.flush()
+    dispatcher.serve()
     return 0
 
 
@@ -680,7 +819,19 @@ def _run_fuzz(args: argparse.Namespace) -> int:
                 state_dir=state_dir,
             )
 
-    ok = report.ok and (calibration is None or calibration.ok)
+    cluster = None
+    if args.cluster_cases > 0:
+        from repro.qa.cluster import verify_cluster_serve
+
+        cluster = verify_cluster_serve(
+            seed=args.seed, cases=args.cluster_cases, backend=backend
+        )
+
+    ok = (
+        report.ok
+        and (calibration is None or calibration.ok)
+        and (cluster is None or cluster.ok)
+    )
     if args.json:
         print(
             json.dumps(
@@ -688,6 +839,7 @@ def _run_fuzz(args: argparse.Namespace) -> int:
                     "ok": ok,
                     "fuzz": report.to_dict(),
                     "calibration": None if calibration is None else calibration.to_dict(),
+                    "cluster": None if cluster is None else cluster.to_dict(),
                 }
             )
         )
@@ -716,6 +868,14 @@ def _run_fuzz(args: argparse.Namespace) -> int:
                 f"calibration [{status}] {check.level}: n={check.samples} "
                 f"KS={check.statistic:.4f} p={check.p_value:.3g} ({check.detail})"
             )
+    if cluster is not None:
+        for failure in cluster.failures:
+            print(f"cluster FAIL case {failure['case']}: {failure['message']}")
+        status = "ok" if cluster.ok else "FAIL"
+        print(
+            f"cluster [{status}]: {cluster.cases} cases through "
+            f"{cluster.workers} workers, {len(cluster.failures)} failure(s)"
+        )
     return 0 if ok else 1
 
 

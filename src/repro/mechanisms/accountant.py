@@ -118,6 +118,23 @@ class PrivacyAccountant:
                     return
         raise PrivacyError(f"cannot refund a charge that is not in the ledger: {record}")
 
+    def remove_charge(self, epsilon: float, label: str = "") -> bool:
+        """Remove the most recent charge matching ``(epsilon, label)`` by value.
+
+        The cross-process absorption path uses this to mirror a *rollback*
+        journaled by a sibling worker: the local ledger holds an equal-value
+        copy of the remote charge (installed via :meth:`restore_charge`), not
+        the remote object, so identity-based :meth:`refund` cannot find it.
+        Returns whether a matching charge was found.
+        """
+        with self._lock:
+            for idx in range(len(self.charges) - 1, -1, -1):
+                charge = self.charges[idx]
+                if charge.epsilon == epsilon and charge.label == label:
+                    del self.charges[idx]
+                    return True
+        return False
+
     def restore_charge(self, epsilon: float, label: str = "") -> None:
         """Re-apply a historically granted charge during journal replay.
 

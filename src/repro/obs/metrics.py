@@ -178,6 +178,10 @@ class _Metric:
         self.name = name
         self.help = help
         self.labelnames = tuple(labelnames)
+        # Constant labels stamped on every rendered series (e.g. the cluster
+        # worker id); set by the registry at declaration time.  Empty for a
+        # plain registry, so default rendering is byte-identical.
+        self.const_labels: dict[str, str] = {}
         self._max_series = max_series
         self._bucket_slots = _buckets
         self._lock = threading.Lock()
@@ -258,7 +262,7 @@ class Counter(_Metric):
 
     def render(self) -> Iterable[str]:
         for series in self._snapshot():
-            labels = dict(zip(self.labelnames, series.labels))
+            labels = {**self.const_labels, **dict(zip(self.labelnames, series.labels))}
             if series.callback is not None:
                 try:
                     value = float(series.callback())
@@ -312,10 +316,10 @@ class Gauge(_Metric):
                 value = float(self._callback())
             except Exception:  # a broken callback must not kill the scrape
                 value = float("nan")
-            yield f"{self.name} {_format_value(value)}"
+            yield f"{self.name}{_render_labels(self.const_labels)} {_format_value(value)}"
             return
         for series in self._snapshot():
-            labels = dict(zip(self.labelnames, series.labels))
+            labels = {**self.const_labels, **dict(zip(self.labelnames, series.labels))}
             yield f"{self.name}{_render_labels(labels)} {_format_value(series.value)}"
 
 
@@ -398,7 +402,7 @@ class Histogram(_Metric):
 
     def render(self) -> Iterable[str]:
         for series in self._snapshot():
-            labels = dict(zip(self.labelnames, series.labels))
+            labels = {**self.const_labels, **dict(zip(self.labelnames, series.labels))}
             series.drain(self.buckets)
             with series._lock:
                 counts = list(series.bucket_counts)
@@ -420,11 +424,27 @@ class MetricsRegistry:
     ``counter``/``gauge``/``histogram`` return the existing metric when the
     name was already declared (and raise if it was declared as a different
     kind), so independent modules can share instruments by name.
+
+    ``const_labels`` are stamped on every series the registry renders — the
+    cluster dispatcher gives each worker a ``{"worker": "wN"}`` registry so
+    a merged scrape can tell the processes apart.  A registry without const
+    labels renders byte-identically to earlier versions.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, const_labels: Mapping[str, str] | None = None) -> None:
         self._lock = threading.Lock()
         self._metrics: dict[str, _Metric] = {}
+        self._const_labels: dict[str, str] = {}
+        if const_labels:
+            for label, value in const_labels.items():
+                if not _LABEL_RE.match(label) or label.startswith("__"):
+                    raise ServiceError(f"invalid constant label name {label!r}")
+                self._const_labels[label] = str(value)
+
+    @property
+    def const_labels(self) -> dict[str, str]:
+        """The labels stamped on every rendered series (a copy)."""
+        return dict(self._const_labels)
 
     def _declare(self, cls, name: str, help: str, labelnames=(), **kwargs) -> Any:  # noqa: A002
         with self._lock:
@@ -437,6 +457,8 @@ class MetricsRegistry:
                     )
                 return existing
             metric = cls(name, help, labelnames, **kwargs)
+            if self._const_labels:
+                metric.const_labels = dict(self._const_labels)
             self._metrics[name] = metric
             return metric
 

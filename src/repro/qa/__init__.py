@@ -27,6 +27,11 @@ Four cooperating pieces:
   the exact noise law (Laplace with scale ``GS/ε`` for the global method,
   the exponent-4 general Cauchy distribution with scale ``S(I)/β``
   otherwise).
+* :mod:`repro.qa.cluster` — the cluster verifier: fuzz workloads are
+  replayed through a live multi-worker prefork server (``serve
+  --workers``) in ``charge-seq`` noise mode and every release must be
+  bitwise identical to an in-process service with the same seed — any
+  cross-process ledger or ordinal bug shows up as a diverging float.
 
 The ``repro-dp fuzz`` CLI subcommand and ``tests/test_qa_fuzz.py`` drive
 these; :func:`repro.qa.replay.replay_case` re-runs any failed check from
@@ -34,6 +39,7 @@ its ``(seed, case, check)`` coordinates.
 """
 
 from repro.qa.calibration import CalibrationReport, verify_calibration
+from repro.qa.cluster import ClusterReport, verify_cluster_serve
 from repro.qa.generator import FuzzCase, RelationSpec, WorkloadGenerator
 from repro.qa.oracle import oracle_count, oracle_local_sensitivity
 from repro.qa.replay import replay_case
@@ -42,6 +48,7 @@ from repro.qa.runner import CHECKS, DifferentialRunner, FuzzFailure, FuzzReport
 __all__ = [
     "CHECKS",
     "CalibrationReport",
+    "ClusterReport",
     "DifferentialRunner",
     "FuzzCase",
     "FuzzFailure",
@@ -52,4 +59,5 @@ __all__ = [
     "oracle_local_sensitivity",
     "replay_case",
     "verify_calibration",
+    "verify_cluster_serve",
 ]

@@ -18,6 +18,10 @@ Endpoints (all bodies and responses are ``application/json``):
     Create a session (``{"budget"?: 2.0}``) / inspect a session's ledger.
 ``GET /stats``
     Registry, session, cache, audit and observability statistics.
+``GET /capacity``
+    The cluster capacity board: total/used/available request slots,
+    queue depth and per-worker inflight counts (404 when the server was
+    started without one, i.e. not via ``repro-dp serve``).
 ``GET /metrics``
     The service's metrics registry in Prometheus text exposition format
     (``text/plain; version=0.0.4``) — request counters/latency histograms,
@@ -103,7 +107,68 @@ def _database_from_payload(payload: Mapping[str, Any]):
         from repro.datasets.snap_surrogates import surrogate_database
 
         return surrogate_database(payload["dataset"], scale=payload.get("scale"))
-    raise ServiceError("register payload needs either 'edges' or 'dataset'")
+    if "relations" in payload:
+        return _database_from_relations(payload)
+    raise ServiceError(
+        "register payload needs one of 'edges', 'dataset' or 'relations'"
+    )
+
+
+def _database_from_relations(payload: Mapping[str, Any]):
+    """Materialise an explicit-schema database (the fuzz harness's shape).
+
+    ``relations`` is a list of ``{"name", "arity", "domain_size",
+    "private"?}`` specs and ``rows`` maps each name to its tuples — the
+    JSON :meth:`repro.qa.generator.FuzzCase.describe` emits, so a fuzz
+    workload can be replayed byte-for-byte through a live server.
+    """
+    from repro.data.database import Database
+    from repro.data.domain import IntegerDomain
+    from repro.data.schema import Attribute, DatabaseSchema, RelationSchema
+
+    specs = payload["relations"]
+    if not isinstance(specs, list) or not specs:
+        raise ServiceError("'relations' must be a non-empty list of relation specs")
+    schemas, private = [], []
+    for spec in specs:
+        if not isinstance(spec, dict) or not spec.get("name"):
+            raise ServiceError(f"malformed relation spec: {spec!r}")
+        try:
+            arity = int(spec["arity"])
+            domain_size = int(spec["domain_size"])
+        except (KeyError, TypeError, ValueError):
+            raise ServiceError(
+                f"relation spec {spec.get('name')!r} needs integer "
+                "'arity' and 'domain_size'"
+            ) from None
+        if arity <= 0 or domain_size <= 0:
+            raise ServiceError(
+                f"relation spec {spec.get('name')!r}: 'arity' and "
+                "'domain_size' must be positive"
+            )
+        domain = IntegerDomain(0, domain_size - 1)
+        schemas.append(
+            RelationSchema(
+                spec["name"], [Attribute(f"a{i}", domain) for i in range(arity)]
+            )
+        )
+        if spec.get("private", True):
+            private.append(spec["name"])
+    rows = payload.get("rows", {})
+    if not isinstance(rows, Mapping):
+        raise ServiceError("'rows' must map relation names to lists of rows")
+    try:
+        relations = {
+            name: [tuple(row) for row in rel_rows] for name, rel_rows in rows.items()
+        }
+    except TypeError:
+        raise ServiceError("'rows' must map relation names to lists of rows") from None
+    try:
+        return Database(DatabaseSchema(schemas, private=private), relations=relations)
+    except ReproError:
+        raise
+    except Exception as exc:
+        raise ServiceError(f"cannot build database from 'relations': {exc}") from None
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -112,6 +177,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     service: PrivateQueryService  # bound by make_server()
     log_requests = False
     protocol_version = "HTTP/1.1"
+    #: Optional :class:`~repro.service.cluster.CapacityBoard` slot; when
+    #: bound, ``/count`` and ``/batch`` pass admission control before any
+    #: service work (and shed with 503 + ``Retry-After`` when full).
+    capacity = None
 
     # ------------------------------------------------------------------ #
     # Plumbing
@@ -175,7 +244,12 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 return
             remaining -= len(chunk)
 
-    def _send_json(self, status: int, payload: Mapping[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Mapping[str, Any],
+        headers: Mapping[str, str] | None = None,
+    ) -> None:
         try:
             body = json.dumps(payload, allow_nan=False).encode("utf-8")
         except ValueError:
@@ -189,13 +263,17 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message})
+    def _send_error_json(
+        self, status: int, message: str, headers: Mapping[str, str] | None = None
+    ) -> None:
+        self._send_json(status, {"error": message}, headers=headers)
 
     def _read_body(self) -> dict[str, Any]:
         unreadable = getattr(self, "_body_unreadable", None)
@@ -266,6 +344,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         parsed = urlparse(self.path)
         if parsed.path == "/stats":
             self._dispatch(lambda: (200, self.service.stats()))
+        elif parsed.path == "/capacity":
+            board = self.capacity
+            if board is None:
+                self._send_error_json(
+                    404, "no capacity board (server started without one)"
+                )
+            else:
+                self._dispatch(lambda: (200, board.describe()))
         elif parsed.path == "/metrics":
             self._get_metrics()
         elif parsed.path == "/budget":
@@ -294,7 +380,25 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if handler is None:
             self._send_error_json(404, f"no such endpoint: {path}")
             return
-        self._dispatch(handler)
+        board = self.capacity
+        if board is not None and path in ("/count", "/batch"):
+            # Admission control runs before any service work: a worker at
+            # its inflight cap sheds immediately with 503 + Retry-After
+            # instead of queueing the request behind the budget-ledger
+            # lock (which would convoy every sibling worker).
+            if not board.admit():
+                self._send_error_json(
+                    503,
+                    "server at capacity, retry shortly",
+                    headers={"Retry-After": "1"},
+                )
+                return
+            try:
+                self._dispatch(handler)
+            finally:
+                board.release()
+        else:
+            self._dispatch(handler)
 
     def _post_register(self):
         payload = self._read_body()
@@ -363,16 +467,48 @@ def make_server(
     port: int = 8080,
     *,
     log_requests: bool = False,
+    sock=None,
+    capacity=None,
 ) -> ThreadingHTTPServer:
     """A ready-to-run threading HTTP server bound to ``service``.
 
     The caller owns the lifecycle: ``server.serve_forever()`` to run,
     ``server.shutdown()``/``server.server_close()`` to stop.  Pass ``port=0``
     to bind an ephemeral port (``server.server_address`` has the real one).
+
+    ``sock`` is an already-bound, already-listening socket to adopt instead
+    of binding a fresh one — the prefork dispatcher
+    (:class:`~repro.service.cluster.ClusterDispatcher`) binds once and every
+    forked worker adopts the inherited descriptor, so the kernel's accept
+    queue load-balances connections across workers.  ``capacity`` is an
+    optional :class:`~repro.service.cluster.CapacityBoard` enabling
+    admission control on ``/count``/``/batch``.
+
+    Request threads are non-daemonic: ``server_close()`` joins every
+    in-flight handler, which is what makes SIGTERM a *graceful* drain
+    rather than mid-response connection resets.
     """
     handler = type(
         "BoundServiceRequestHandler",
         (ServiceRequestHandler,),
-        {"service": service, "log_requests": log_requests},
+        {"service": service, "log_requests": log_requests, "capacity": capacity},
     )
-    return ThreadingHTTPServer((host, port), handler)
+    if sock is None:
+        server = ThreadingHTTPServer((host, port), handler, bind_and_activate=False)
+        server.daemon_threads = False
+        try:
+            server.server_bind()
+            server.server_activate()
+        except BaseException:
+            server.server_close()
+            raise
+        return server
+    server = ThreadingHTTPServer(sock.getsockname()[:2], handler, bind_and_activate=False)
+    server.daemon_threads = False
+    server.socket.close()  # discard the fresh unbound socket
+    server.socket = sock
+    host_name, port_number = sock.getsockname()[:2]
+    server.server_address = (host_name, port_number)
+    server.server_name = host_name
+    server.server_port = port_number
+    return server

@@ -41,6 +41,27 @@ Not persisted: database *contents* (re-register them after a restart),
 caches (they rebuild), and the noise generator state (a restarted seeded
 service starts a fresh stream; budgets, not noise, are the durable
 contract).
+
+Shared (multi-process) mode
+---------------------------
+``StateStore(..., shared=True)`` lets several worker processes of one
+cluster (see :mod:`repro.service.cluster`) append to the *same* journal
+without interleaving seqs or double-spending budgets:
+
+* the directory lock is taken **shared** (``LOCK_SH``) so sibling workers
+  can coexist while a plain single-process server (``LOCK_EX``) is still
+  locked out, and vice versa;
+* every mutation additionally holds an exclusive fcntl lock on
+  ``<dir>/journal.lock`` for the whole reserve → journal → commit window,
+  making the journal the single serialization point of the cluster;
+* on each process-lock acquisition the store first *absorbs* journal
+  records appended by sibling workers since its last read offset (handing
+  them to the ``absorb_records`` callback installed by the service), so
+  the local seq resumes past the global maximum and every worker's ledger
+  reflects every charge before it decides whether a new one is affordable;
+* shared stores never compact (a snapshot+truncate would pull the journal
+  out from under the other workers' read offsets); the cluster dispatcher
+  compacts once, with an exclusive store, after the workers have exited.
 """
 
 from __future__ import annotations
@@ -135,6 +156,20 @@ class LedgerJournal:
             self._handle.close()
         self._handle = open(self._path, "w", encoding="utf-8")
         self._handle.flush()
+
+    def tell(self) -> int:
+        """Current end-of-journal byte offset (0 when the file is absent).
+
+        Appends open the file in append mode, so after a write the handle
+        position *is* the file size; shared stores use this to advance their
+        absorbed-bytes offset past their own records.
+        """
+        if self._handle is not None:
+            return self._handle.tell()
+        try:
+            return self._path.stat().st_size
+        except OSError:
+            return 0
 
     def repair_torn_tail(self) -> int:
         """Physically drop a half-written final line; returns bytes removed.
@@ -244,6 +279,10 @@ class RecoveredState:
     audit_tail: list[dict[str, Any]] = field(default_factory=list)
     databases: dict[str, dict[str, Any]] = field(default_factory=dict)
     versions: dict[str, int] = field(default_factory=dict)
+    #: Total committed charge events ever journaled (never decremented by
+    #: rollbacks) — the deterministic per-charge noise ordinal used by the
+    #: cluster's ``noise_mode="charge-seq"`` (see ``PrivateQueryService``).
+    charge_events: int = 0
 
     @property
     def shared_spent(self) -> float:
@@ -351,6 +390,7 @@ def replay_records(
                 state.shared_charge_list.append(
                     (epsilon, label if session_id is None else f"{session_id}:{label}")
                 )
+            state.charge_events += 1
             _audit_entry(state, record, "charge")
         elif event == "rollback":
             epsilon = float(record["epsilon"])
@@ -412,6 +452,7 @@ def _state_from_snapshot(snapshot: Mapping[str, Any]) -> RecoveredState:
     state.audit_tail = list(audit.get("tail", []))
     state.databases = dict(snapshot.get("databases", {}))
     state.versions = {name: int(v) for name, v in snapshot.get("versions", {}).items()}
+    state.charge_events = int(snapshot.get("charge_events", 0))
     return state
 
 
@@ -437,6 +478,13 @@ class StateStore:
         read-only for offline inspection (``repro-dp state replay``): no
         lock, no repair, no mutation of any kind — safe against a live
         server.
+    shared:
+        Open the directory for *co-writing* by sibling worker processes of
+        one cluster: the directory lock degrades to shared, every mutation
+        takes an exclusive fcntl lock on ``<dir>/journal.lock``, sibling
+        records are absorbed on each lock acquisition, and compaction is
+        forbidden (see the module docstring).  Requires ``create=True``
+        and a POSIX platform.
     """
 
     def __init__(
@@ -446,17 +494,26 @@ class StateStore:
         snapshot_interval: int = 1000,
         fsync: bool = False,
         create: bool = True,
+        shared: bool = False,
     ):
         if snapshot_interval < 0:
             raise ServiceError(
                 f"snapshot_interval must be non-negative, got {snapshot_interval}"
             )
+        if shared and not create:
+            raise ServiceError("shared=True requires a writable store (create=True)")
+        if shared and fcntl is None:  # pragma: no cover - non-POSIX platforms
+            raise ServiceError("shared state stores require fcntl (POSIX)")
         self._dir = Path(state_dir)
         self._writable = create
+        self._shared = shared
         self._lock_handle = None
+        self._proc_handle = None
         if create:
             self._dir.mkdir(parents=True, exist_ok=True)
             self._acquire_dir_lock()
+            if shared:
+                self._proc_handle = open(self._dir / "journal.lock", "a+")
         elif not self._dir.is_dir():
             raise ServiceError(f"state directory {self._dir} does not exist")
         self._journal = LedgerJournal(self._dir / "journal.jsonl", fsync=fsync)
@@ -468,14 +525,27 @@ class StateStore:
         self._seq = 0
         self._records_since_snapshot = 0
         self._snapshots_written = 0
+        # Shared-mode bookkeeping, all guarded by self._lock: re-entrancy
+        # depth of the inter-process journal lock and the byte offset up to
+        # which this process has read (own appends + absorbed records).
+        self._proc_depth = 0
+        self._journal_offset = 0
         #: Set by the service: returns the snapshot document body (without
         #: ``format``/``seq``, which the store adds).
         self.snapshot_provider: Callable[[], dict[str, Any]] | None = None
+        #: Set by the service in shared mode: receives records journaled by
+        #: sibling worker processes, in seq order, under the process lock.
+        self.absorb_records: Callable[[list[dict[str, Any]]], None] | None = None
         # Optional observability binding (see bind_metrics).
         self._m_append = None
         self._m_records = None
         self._m_fsyncs = None
         self._m_snapshots = None
+
+    @property
+    def shared(self) -> bool:
+        """Whether this store co-writes the journal with sibling processes."""
+        return self._shared
 
     def bind_metrics(self, registry) -> None:
         """Attach WAL instruments to a :class:`~repro.obs.metrics.MetricsRegistry`.
@@ -526,8 +596,16 @@ class StateStore:
 
     def exclusive(self):
         """The store lock, for callers that must mutate state atomically
-        with their journal records (the transactional charge pipeline)."""
-        return self._lock
+        with their journal records (the transactional charge pipeline).
+
+        In shared mode this is a context manager that *also* holds the
+        inter-process journal lock (absorbing sibling records on entry), so
+        the whole reserve → journal → commit window of a charge is atomic
+        across every worker of the cluster, not just across threads.
+        """
+        if not self._shared:
+            return self._lock
+        return _SharedExclusive(self)
 
     def _acquire_dir_lock(self) -> None:
         """Take the inter-process writer lock on the state directory.
@@ -537,12 +615,18 @@ class StateStore:
         silently drop one process's charges.  The kernel releases the lock
         when the owning process dies (including ``kill -9``), so crash
         recovery is never blocked by a stale lock.
+
+        Shared stores take the lock in *shared* mode instead: cluster
+        workers coexist with each other (they serialize on the journal
+        lock per mutation), while an exclusive single-process server and a
+        worker cluster still mutually exclude each other.
         """
         if fcntl is None:  # pragma: no cover - non-POSIX platforms
             return
         handle = open(self._dir / "lock", "a+")
+        mode = fcntl.LOCK_SH if self._shared else fcntl.LOCK_EX
         try:
-            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            fcntl.flock(handle.fileno(), mode | fcntl.LOCK_NB)
         except OSError:
             handle.close()
             raise ServiceError(
@@ -550,27 +634,111 @@ class StateStore:
             ) from None
         self._lock_handle = handle
 
-    def recover(self) -> RecoveredState:
-        """Rebuild the state from snapshot + journal and resume the seq."""
-        state = RecoveredState()
-        if self._snapshot_path.exists():
+    def _enter_process_lock(self) -> None:
+        """Acquire (or re-enter) the inter-process journal lock.
+
+        Must be called with ``self._lock`` held.  On the outermost entry the
+        fcntl lock is taken and sibling records are absorbed, so by the time
+        the caller reserves budget or allocates a seq its view of the ledger
+        is current across the whole cluster.
+        """
+        if self._proc_depth == 0:
+            fcntl.flock(self._proc_handle.fileno(), fcntl.LOCK_EX)
             try:
-                snapshot = json.loads(self._snapshot_path.read_text(encoding="utf-8"))
-            except json.JSONDecodeError as exc:
+                self._absorb_remote_locked()
+            except BaseException:
+                fcntl.flock(self._proc_handle.fileno(), fcntl.LOCK_UN)
+                raise
+        self._proc_depth += 1
+
+    def _exit_process_lock(self) -> None:
+        """Release one level of the inter-process journal lock."""
+        self._proc_depth -= 1
+        if self._proc_depth == 0:
+            fcntl.flock(self._proc_handle.fileno(), fcntl.LOCK_UN)
+
+    def _absorb_remote_locked(self) -> None:
+        """Read and absorb records journaled by siblings since our offset.
+
+        Runs under both ``self._lock`` and the fcntl journal lock.  A
+        trailing partial line can only be the torn write of a *crashed*
+        sibling (live writers flush whole lines while holding the lock we
+        now hold), so it is truncated away exactly like recovery does.
+        """
+        try:
+            with open(self._journal.path, "rb") as handle:
+                handle.seek(self._journal_offset)
+                data = handle.read()
+        except FileNotFoundError:
+            return
+        if not data:
+            return
+        fresh: list[dict[str, Any]] = []
+        consumed = 0
+        for raw in data.splitlines(keepends=True):
+            if not raw.endswith(b"\n"):
+                # Torn tail from a crashed sibling: cut it off so the next
+                # append (ours or anyone's) starts on a clean line.
+                with open(self._journal.path, "r+b") as handle:
+                    handle.truncate(self._journal_offset + consumed)
+                break
+            consumed += len(raw)
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
                 raise ServiceError(
-                    f"corrupt snapshot {self._snapshot_path}: {exc}"
+                    f"corrupt journal {self._journal.path}: unparseable record "
+                    f"at byte offset {self._journal_offset + consumed - len(raw)}"
                 ) from None
-            state = _state_from_snapshot(snapshot)
-        state = replay_records(LedgerJournal.read_records(self._journal.path), state)
+            seq = int(record.get("seq", 0))
+            if seq > self._seq:
+                self._seq = seq
+                fresh.append(record)
+        self._journal_offset += consumed
+        if fresh and self.absorb_records is not None:
+            self.absorb_records(fresh)
+
+    def recover(self) -> RecoveredState:
+        """Rebuild the state from snapshot + journal and resume the seq.
+
+        Shared stores recover under the inter-process journal lock so the
+        snapshot read, journal replay, torn-tail repair and read-offset
+        initialization see a frozen journal even while sibling workers are
+        already serving.
+        """
         with self._lock:
-            if self._writable:
-                # A torn final line was skipped by replay; cut it off
-                # physically so the next append starts on a clean line
-                # instead of merging with the partial record.  Read-only
-                # stores must never do this: against a *live* server the
-                # "torn" tail may simply be a record still being flushed.
-                self._journal.repair_torn_tail()
-            self._seq = max(self._seq, state.seq)
+            if self._shared:
+                fcntl.flock(self._proc_handle.fileno(), fcntl.LOCK_EX)
+            try:
+                state = RecoveredState()
+                if self._snapshot_path.exists():
+                    try:
+                        snapshot = json.loads(
+                            self._snapshot_path.read_text(encoding="utf-8")
+                        )
+                    except json.JSONDecodeError as exc:
+                        raise ServiceError(
+                            f"corrupt snapshot {self._snapshot_path}: {exc}"
+                        ) from None
+                    state = _state_from_snapshot(snapshot)
+                state = replay_records(
+                    LedgerJournal.read_records(self._journal.path), state
+                )
+                if self._writable:
+                    # A torn final line was skipped by replay; cut it off
+                    # physically so the next append starts on a clean line
+                    # instead of merging with the partial record.  Read-only
+                    # stores must never do this: against a *live* server the
+                    # "torn" tail may simply be a record still being flushed.
+                    self._journal.repair_torn_tail()
+                self._seq = max(self._seq, state.seq)
+                self._journal_offset = self._journal.tell()
+            finally:
+                if self._shared:
+                    fcntl.flock(self._proc_handle.fileno(), fcntl.LOCK_UN)
         return state
 
     def append(self, event: str, *, apply: Callable[[], None] | None = None, **fields) -> int:
@@ -584,30 +752,47 @@ class StateStore:
         if event not in EVENTS:
             raise ServiceError(f"unknown journal event {event!r}")
         with self._lock:
-            self._seq += 1
-            record = {"seq": self._seq, "ts": time.time(), "event": event, **fields}
-            if self._m_append is not None:
-                append_start = time.perf_counter()
-                self._journal.append(record)
-                self._m_append.observe(time.perf_counter() - append_start)
-                self._m_records.inc()
-                if self._journal.fsync_enabled:
-                    self._m_fsyncs.inc()
-            else:
-                self._journal.append(record)
-            if apply is not None:
-                apply()
-            self._records_since_snapshot += 1
-            if (
-                self._snapshot_interval
-                and self.snapshot_provider is not None
-                and self._records_since_snapshot >= self._snapshot_interval
-            ):
-                self._compact_locked()
-            return record["seq"]
+            # Shared mode: self-acquire the inter-process lock so records
+            # journaled outside an exclusive() window (precheck denials,
+            # rollbacks) still serialize — and absorb — across workers.
+            if self._shared:
+                self._enter_process_lock()
+            try:
+                self._seq += 1
+                record = {"seq": self._seq, "ts": time.time(), "event": event, **fields}
+                if self._m_append is not None:
+                    append_start = time.perf_counter()
+                    self._journal.append(record)
+                    self._m_append.observe(time.perf_counter() - append_start)
+                    self._m_records.inc()
+                    if self._journal.fsync_enabled:
+                        self._m_fsyncs.inc()
+                else:
+                    self._journal.append(record)
+                if self._shared:
+                    self._journal_offset = self._journal.tell()
+                if apply is not None:
+                    apply()
+                self._records_since_snapshot += 1
+                if (
+                    not self._shared
+                    and self._snapshot_interval
+                    and self.snapshot_provider is not None
+                    and self._records_since_snapshot >= self._snapshot_interval
+                ):
+                    self._compact_locked()
+                return record["seq"]
+            finally:
+                if self._shared:
+                    self._exit_process_lock()
 
     def compact(self) -> Path:
         """Write a snapshot now and truncate the journal."""
+        if self._shared:
+            # A snapshot+truncate would pull the journal out from under the
+            # sibling workers' read offsets; the cluster dispatcher compacts
+            # once, exclusively, after the workers have exited.
+            raise ServiceError("shared state stores cannot compact")
         if self.snapshot_provider is None:
             raise ServiceError("no snapshot provider is registered")
         with self._lock:
@@ -648,6 +833,9 @@ class StateStore:
         """Flush and close the journal and release the directory lock."""
         with self._lock:
             self._journal.close()
+            if self._proc_handle is not None:
+                self._proc_handle.close()
+                self._proc_handle = None
             if self._lock_handle is not None:
                 if fcntl is not None:  # pragma: no branch
                     fcntl.flock(self._lock_handle.fileno(), fcntl.LOCK_UN)
@@ -663,4 +851,31 @@ class StateStore:
                 "records_since_snapshot": self._records_since_snapshot,
                 "snapshot_interval": self._snapshot_interval,
                 "snapshots_written": self._snapshots_written,
+                "shared": self._shared,
             }
+
+
+class _SharedExclusive:
+    """Context manager pairing the store's thread lock with the fcntl
+    journal lock (what ``StateStore.exclusive()`` hands out in shared mode)."""
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: StateStore):
+        self._store = store
+
+    def __enter__(self):
+        self._store._lock.acquire()
+        try:
+            self._store._enter_process_lock()
+        except BaseException:
+            self._store._lock.release()
+            raise
+        return self
+
+    def __exit__(self, *exc):
+        try:
+            self._store._exit_process_lock()
+        finally:
+            self._store._lock.release()
+        return False

@@ -189,6 +189,33 @@ class DatabaseRegistry:
                 if name not in self._entries:
                     self._recovered[name] = dict(meta)
 
+    def absorb(self, record: dict[str, Any]) -> None:
+        """Mirror one (un)registration journaled by a sibling worker process.
+
+        Contents never cross the journal, so a remote registration only
+        advances the local version counter (keeping cluster-wide cache keys
+        unique) and, when the name is not locally loaded, records recovered
+        metadata — exactly what journal replay would reconstruct.  Local
+        registrations are never displaced: each worker serves the contents
+        it loaded itself.
+        """
+        name = record.get("name")
+        if record["event"] == "register":
+            version = int(record.get("version", 0))
+            with self._lock:
+                self._versions[name] = max(self._versions.get(name, 0), version)
+                if name not in self._entries:
+                    self._recovered[name] = {
+                        key: record[key]
+                        for key in (
+                            "name", "version", "backend", "relations", "private_tuples"
+                        )
+                        if key in record
+                    }
+        elif record["event"] == "unregister":
+            with self._lock:
+                self._recovered.pop(name, None)
+
     def recovered_metadata(self) -> dict[str, dict[str, Any]]:
         """Metadata of recovered-but-not-reloaded databases (by name)."""
         with self._lock:

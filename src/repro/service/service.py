@@ -50,7 +50,7 @@ from repro.data.database import Database
 from repro.engine.backend import available_backends, default_backend_name
 from repro.engine.canonical import canonical_query_key
 from repro.engine.evaluation import count_query
-from repro.exceptions import PrivacyError, ServiceError
+from repro.exceptions import PrivacyError, ServiceError, UnknownResourceError
 from repro.mechanisms.accountant import PrivacyAccountant
 from repro.mechanisms.mechanism import PrivateCountingQuery
 from repro.mechanisms.smooth_mechanism import BETA_FRACTION
@@ -169,6 +169,23 @@ class PrivateQueryService:
         Optional :class:`~repro.obs.logs.RequestLogger` emitting one
         schema-pinned JSON line per request (``repro-dp serve --log-json``);
         its ``slow_ms`` threshold drives slow-request marking.
+    shared_state:
+        Open the state store in shared (multi-process) mode so sibling
+        cluster workers can co-write the journal (requires ``state_dir``;
+        see :mod:`repro.service.cluster`).  Records journaled by siblings
+        are absorbed into the local ledgers on every charge.
+    noise_mode:
+        ``"stream"`` (the default): all noise comes from the single service
+        generator, giving one reproducible stream per process.
+        ``"charge-seq"``: each release draws from a fresh generator seeded
+        by ``(seed, charge_seq)``, where ``charge_seq`` is the charge's
+        global ordinal in the journal — so a seeded *cluster* produces
+        bitwise-identical releases no matter which worker serves which
+        request.  Requires an integer ``rng`` seed.
+    worker_label:
+        Optional worker name stamped as a constant ``worker=...`` label on
+        every metric series (cluster workers only; a plain service renders
+        unlabeled series).
 
     Examples
     --------
@@ -197,9 +214,26 @@ class PrivateQueryService:
         snapshot_interval: int = 1000,
         observability: bool = True,
         request_logger: RequestLogger | None = None,
+        shared_state: bool = False,
+        noise_mode: str = "stream",
+        worker_label: str | None = None,
     ):
+        if noise_mode not in ("stream", "charge-seq"):
+            raise ServiceError(f"unknown noise_mode {noise_mode!r}")
+        if noise_mode == "charge-seq" and not isinstance(rng, int):
+            raise ServiceError(
+                "noise_mode='charge-seq' requires an integer seed (rng=<int>) "
+                "so every worker derives the same per-charge streams"
+            )
+        if shared_state and state_dir is None:
+            raise ServiceError("shared_state=True requires state_dir")
+        self._noise_mode = noise_mode
+        self._noise_seed = int(rng) if isinstance(rng, int) else None
+        self._worker_label = worker_label
         self._store = (
-            StateStore(state_dir, snapshot_interval=snapshot_interval)
+            StateStore(
+                state_dir, snapshot_interval=snapshot_interval, shared=shared_state
+            )
             if state_dir is not None
             else None
         )
@@ -214,6 +248,8 @@ class PrivateQueryService:
             self._restore(recovered)
         if self._store is not None:
             self._store.snapshot_provider = self._snapshot_state
+            if self._store.shared:
+                self._store.absorb_records = self._absorb_records
         self._plan_cache = LRUCache(cache_capacity)
         self._profile_cache = LRUCache(cache_capacity)
         self._sensitivity_cache = LRUCache(cache_capacity)
@@ -246,7 +282,10 @@ class PrivateQueryService:
         self._tracer = Tracer(enabled=self._obs)
         #: The service's metrics registry (``None`` with observability off);
         #: rendered in Prometheus text format by ``GET /metrics``.
-        self.metrics: MetricsRegistry | None = MetricsRegistry() if self._obs else None
+        const_labels = {"worker": worker_label} if worker_label else None
+        self.metrics: MetricsRegistry | None = (
+            MetricsRegistry(const_labels=const_labels) if self._obs else None
+        )
         self._request_logger = request_logger
         self._slow_requests = 0
         self._requests_errored = 0
@@ -395,7 +434,10 @@ class PrivateQueryService:
         """
         enabled = bool(enabled)
         if enabled and self.metrics is None:
-            self.metrics = MetricsRegistry()
+            const_labels = (
+                {"worker": self._worker_label} if self._worker_label else None
+            )
+            self.metrics = MetricsRegistry(const_labels=const_labels)
             self._init_metrics()
             if self._store is not None:
                 self._store.bind_metrics(self.metrics)
@@ -426,7 +468,22 @@ class PrivateQueryService:
         if recovered.audit_total:
             self._sessions.audit.restore(recovered.audit_tail, recovered.audit_total)
         self._registry.restore(recovered.versions, recovered.databases)
+        self._sessions.restore_charge_events(recovered.charge_events)
         self._recovered_seq = recovered.seq
+
+    def _absorb_records(self, records: list[dict[str, Any]]) -> None:
+        """Mirror journal records appended by sibling cluster workers.
+
+        Installed as the shared store's absorption callback; runs under the
+        store lock and the inter-process journal lock, in seq order, before
+        any local budget decision that triggered the synchronization.
+        """
+        for record in records:
+            event = record["event"]
+            if event in ("register", "unregister"):
+                self._registry.absorb(record)
+            else:
+                self._sessions.absorb(record)
 
     def _snapshot_state(self) -> dict[str, Any]:
         """The compacted-snapshot body (called under the store lock, which
@@ -485,8 +542,20 @@ class PrivateQueryService:
         return self._sessions.create(budget=budget, session_id=session_id)
 
     def budget(self, session_id: str) -> dict[str, Any]:
-        """The budget view of a session (plus the shared budget, if any)."""
+        """The budget view of a session (plus the shared budget, if any).
+
+        In shared-state mode the view first absorbs sibling journal records:
+        a session created through one worker is visible from every worker,
+        and the reported spend is the cluster-wide ledger.
+        """
+        self._sync_shared()
         return self._sessions.describe(session_id)
+
+    def _sync_shared(self) -> None:
+        """Absorb sibling journal records (no-op outside shared mode)."""
+        if self._store is not None and self._store.shared:
+            with self._store.exclusive():
+                pass  # entering the lock syncs the mirrored ledgers
 
     # ------------------------------------------------------------------ #
     # Planning and cached computation
@@ -714,8 +783,17 @@ class PrivateQueryService:
         reg = self._registry.get(database)
         # Advisory early rejection: don't pay for sensitivity computation on
         # a request that can't possibly be charged (the authoritative,
-        # atomic check is the charge below).
-        self._sessions.precheck(session, epsilon)
+        # atomic check is the charge below).  In shared-state mode a miss may
+        # just mean the session was created through a sibling worker whose
+        # journal records we haven't absorbed yet — sync once and retry
+        # before declaring it unknown (the warm path stays at one flock).
+        try:
+            self._sessions.precheck(session, epsilon)
+        except UnknownResourceError:
+            if self._store is None or not self._store.shared:
+                raise
+            self._sync_shared()
+            self._sessions.precheck(session, epsilon)
         # One ContextVar read decides whether stage spans exist at all: the
         # untraced warm path (no ``timings``, not under a batch trace) must
         # not pay even for no-op context managers.
@@ -753,11 +831,19 @@ class PrivateQueryService:
             self._m_charge(time.perf_counter() - charge_start)
 
         def draw():
+            # charge-seq mode derives a fresh generator from the charge's
+            # global journal ordinal, so a seeded cluster releases the same
+            # noise regardless of which worker serves the request (or how
+            # the per-process stream has advanced).
+            if self._noise_mode == "charge-seq":
+                rng = np.random.default_rng((self._noise_seed, txn.charge_seq))
+            else:
+                rng = self._rng
             releaser = PrivateCountingQuery(
                 parsed,
                 epsilon=epsilon,
                 method=method,  # type: ignore[arg-type]
-                rng=self._rng,
+                rng=rng,
                 strategy=self._strategy,
                 backend=reg.backend,
             )
@@ -940,7 +1026,13 @@ class PrivateQueryService:
     # Introspection
     # ------------------------------------------------------------------ #
     def stats(self) -> dict[str, Any]:
-        """A JSON-serialisable snapshot of the whole service."""
+        """A JSON-serialisable snapshot of the whole service.
+
+        In shared-state mode the snapshot first absorbs any journal records
+        appended by sibling workers, so ``/stats`` on any worker reports the
+        cluster-wide ledger, not a stale local mirror.
+        """
+        self._sync_shared()
         shared = self._sessions.shared
         with self._stats_lock:
             served = self._requests_served
@@ -952,6 +1044,9 @@ class PrivateQueryService:
         return {
             "requests_served": served,
             "epsilon_charged": epsilon_charged,
+            "noise_mode": self._noise_mode,
+            "worker": self._worker_label,
+            "charge_events": self._sessions.charge_events,
             "observability": {
                 "enabled": self._obs,
                 "traces_started": self._tracer.traces_started,

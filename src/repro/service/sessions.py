@@ -240,6 +240,7 @@ class ChargeTransaction:
         label: str,
         remaining: float | None,
         reservations: list[tuple[PrivacyAccountant, BudgetCharge]],
+        charge_seq: int | None = None,
     ):
         self._manager = manager
         self.session_id = session_id
@@ -248,6 +249,10 @@ class ChargeTransaction:
         self.remaining = remaining
         self._reservations = reservations
         self._state = "reserved"
+        #: Global ordinal of this charge among every committed charge event
+        #: of the deployment (cluster-wide when journaled).  Drives the
+        #: deterministic per-charge noise stream of ``noise_mode="charge-seq"``.
+        self.charge_seq = charge_seq
 
     @property
     def state(self) -> str:
@@ -316,6 +321,9 @@ class SessionManager:
         self._clock = clock
         self._lock = threading.RLock()
         self._sessions: dict[str, Session] = {}
+        # Count of committed charge events (local + absorbed + recovered);
+        # never decremented — see ChargeTransaction.charge_seq.
+        self._charge_events = 0
 
     # ------------------------------------------------------------------ #
     # Journal plumbing
@@ -460,6 +468,94 @@ class SessionManager:
             self._sessions[recovered.session_id] = session
         return session
 
+    @property
+    def charge_events(self) -> int:
+        """Committed charge events ever seen (local + absorbed + recovered)."""
+        with self._lock:
+            return self._charge_events
+
+    def restore_charge_events(self, count: int) -> None:
+        """Resume the charge-event ordinal from recovered state (start-up only)."""
+        with self._lock:
+            self._charge_events = max(self._charge_events, int(count))
+
+    def absorb(self, record: dict[str, Any]) -> None:
+        """Mirror one journal record appended by a sibling worker process.
+
+        Called (via the service) from the store's absorption path, under the
+        store lock and the inter-process journal lock, so the local ledgers
+        reflect every cluster-wide charge before this worker's next
+        affordability decision.  Mirrors :func:`~repro.service.persistence.replay_records`
+        and the live mutation paths exactly — audit entries included — so a
+        worker's ``/stats`` always matches an offline journal replay.
+        """
+        event = record["event"]
+        session_id = record.get("session")
+        if event == "session_create":
+            budget = float(record["budget"])
+            with self._lock:
+                if session_id not in self._sessions:
+                    self._sessions[session_id] = Session(
+                        session_id, budget, created_at=self._clock()
+                    )
+            self.audit.append(
+                session_id, "create", epsilon=budget, detail="session created"
+            )
+        elif event in ("session_close", "session_expire"):
+            with self._lock:
+                session = self._sessions.pop(session_id, None)
+            if session is not None:
+                session.closed = True
+            action = event.removeprefix("session_")
+            detail = "session closed" if event == "session_close" else "idle past ttl"
+            self.audit.append(session_id or "-", action, detail=detail)
+        elif event == "charge":
+            epsilon = float(record["epsilon"])
+            label = record.get("label", "")
+            if session_id is not None:
+                with self._lock:
+                    session = self._sessions.get(session_id)
+                if session is not None:
+                    with session.lock:
+                        session.ledger.restore_charge(epsilon, label=label)
+            if self.shared is not None and record.get("shared", True):
+                shared_label = label if session_id is None else f"{session_id}:{label}"
+                self.shared.restore_charge(epsilon, label=shared_label)
+            self.audit.append(
+                session_id or "-", "charge", epsilon=epsilon, label=label
+            )
+            with self._lock:
+                self._charge_events += 1
+        elif event == "rollback":
+            epsilon = float(record["epsilon"])
+            label = record.get("label", "")
+            if session_id is not None:
+                with self._lock:
+                    session = self._sessions.get(session_id)
+                if session is not None:
+                    with session.lock:
+                        session.ledger.remove_charge(epsilon, label=label)
+            if self.shared is not None and record.get("shared", True):
+                shared_label = label if session_id is None else f"{session_id}:{label}"
+                self.shared.remove_charge(epsilon, label=shared_label)
+            self.audit.append(
+                session_id or "-",
+                "rollback",
+                epsilon=epsilon,
+                label=label,
+                ok=False,
+                detail=record.get("detail", ""),
+            )
+        elif event == "deny":
+            self.audit.append(
+                session_id or "-",
+                "deny",
+                epsilon=float(record.get("epsilon", 0.0)),
+                label=record.get("label", ""),
+                ok=False,
+                detail=record.get("detail", ""),
+            )
+
     # ------------------------------------------------------------------ #
     # Charging
     # ------------------------------------------------------------------ #
@@ -525,7 +621,9 @@ class SessionManager:
             _validate_epsilon(epsilon)
             if session_id is None:
                 with self._exclusive():
-                    reservations = self._reserve_and_journal(None, epsilon, label)
+                    reservations, charge_seq = self._reserve_and_journal(
+                        None, epsilon, label
+                    )
                 remaining: float | None = None
             else:
                 session = self.get(session_id)
@@ -542,7 +640,9 @@ class SessionManager:
                                 f"session budget exhausted: requested {epsilon}, "
                                 f"remaining {session.ledger.remaining}"
                             )
-                        reservations = self._reserve_and_journal(session, epsilon, label)
+                        reservations, charge_seq = self._reserve_and_journal(
+                            session, epsilon, label
+                        )
                         session.last_active = self._clock()
                         remaining = session.ledger.remaining
         except PrivacyError as exc:
@@ -559,21 +659,28 @@ class SessionManager:
                 detail=str(exc),
             )
             raise
-        return ChargeTransaction(self, session_id, epsilon, label, remaining, reservations)
+        return ChargeTransaction(
+            self, session_id, epsilon, label, remaining, reservations, charge_seq
+        )
 
     def _reserve_and_journal(
         self, session: Session | None, epsilon: float, label: str
-    ) -> list[tuple[PrivacyAccountant, BudgetCharge]]:
+    ) -> tuple[list[tuple[PrivacyAccountant, BudgetCharge]], int]:
         """Reserve ε on the shared (and session) ledgers, then journal it.
 
         The single definition both ``begin_charge`` branches share: any
         failure — including the journal append itself — refunds every
         reservation in reverse order and re-raises.  Caller holds the store
-        lock (and the session lock, when there is a session).
+        lock (and the session lock, when there is a session).  Returns the
+        reservations and the charge's global ordinal (see
+        :attr:`ChargeTransaction.charge_seq`).
         """
         session_id = session.session_id if session is not None else None
         audit_id = session_id if session_id is not None else "-"
         reservations: list[tuple[PrivacyAccountant, BudgetCharge]] = []
+        # Mutable box: the ordinal is allocated inside the *applied* effect,
+        # so a failed journal append never consumes a noise ordinal.
+        seq_box: list[int] = []
         try:
             if self.shared is not None:
                 shared_label = label if session is None else f"{session_id}:{label}"
@@ -584,11 +691,15 @@ class SessionManager:
                 reservations.append(
                     (session.ledger, session.ledger.charge(epsilon, label=label))
                 )
+
+            def applied() -> None:
+                self.audit.append(audit_id, "charge", epsilon=epsilon, label=label)
+                self._charge_events += 1
+                seq_box.append(self._charge_events)
+
             self._record(
                 "charge",
-                apply=lambda: self.audit.append(
-                    audit_id, "charge", epsilon=epsilon, label=label
-                ),
+                apply=applied,
                 session=session_id,
                 epsilon=epsilon,
                 label=label,
@@ -597,7 +708,7 @@ class SessionManager:
         except BaseException:
             _refund_all(reservations)
             raise
-        return reservations
+        return reservations, seq_box[0]
 
     def charge(self, session_id: str | None, epsilon: float, label: str = "") -> None:
         """Charge ``epsilon`` and commit immediately (no release to await)."""
@@ -671,4 +782,5 @@ class SessionManager:
                     record.to_dict() for record in self.audit.tail(AUDIT_TAIL_LIMIT)
                 ],
             },
+            "charge_events": self._charge_events,
         }
