@@ -40,7 +40,7 @@ for entry in (ROOT / "src", ROOT / "benchmarks"):
 
 from bench_utils import derive_seed, seed_record  # noqa: E402
 
-AREAS = ("backend", "service", "profile", "concurrency")
+AREAS = ("backend", "service", "profile", "concurrency", "mutation")
 
 
 def _environment() -> dict:
@@ -215,11 +215,36 @@ def snapshot_concurrency() -> dict:
     }
 
 
+def snapshot_mutation() -> dict:
+    """Delta mutation (one-tuple update + re-query) vs full re-registration."""
+    import bench_mutation as bm
+
+    measured = bm.measure_mutation_speedup(bm.mutation_db())
+    assert measured["delta_release"].noisy_count == measured["reregister_release"].noisy_count
+    return {
+        "workload": {
+            "query": bm.QUERY,
+            "graph_nodes": bm.NUM_NODES,
+            "graph_average_degree": bm.AVERAGE_DEGREE,
+            "update": "one Member tuple replaced",
+        },
+        "results": {
+            "delta_seconds": round(measured["delta_seconds"], 6),
+            "reregister_seconds": round(measured["reregister_seconds"], 6),
+            "delta_speedup": round(measured["speedup"], 2),
+            "component_cache_hits": measured["component_cache_hits"],
+            "factorization_hits": measured["factorization"]["hits"],
+            "factorization_misses": measured["factorization"]["misses"],
+        },
+    }
+
+
 SNAPSHOTTERS = {
     "backend": snapshot_backend,
     "service": snapshot_service,
     "profile": snapshot_profile,
     "concurrency": snapshot_concurrency,
+    "mutation": snapshot_mutation,
 }
 
 

@@ -41,6 +41,12 @@ Installed as ``repro-dp`` (see ``pyproject.toml``).  Sub-commands:
     the serving layer: identical query shapes are deduplicated (answered
     once, charged once) and sensitivities are computed concurrently.
 
+``mutate``
+    Apply a tuple-level delta batch to a database registered on a running
+    server (``POST /mutate``): inserts/deletes/replaces advance only the
+    touched relations' epochs, keeping untouched cache entries warm — the
+    streaming alternative to a full re-register (see ``docs/mutation.md``).
+
 ``state``
     Inspect a serving-state directory (``serve --state-dir``): ``state
     replay`` replays the snapshot + write-ahead journal and prints the
@@ -304,6 +310,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the parsed metric families as JSON"
     )
 
+    mutate = subparsers.add_parser(
+        "mutate",
+        help="apply tuple-level delta operations to a database on a running server",
+    )
+    mutate.add_argument(
+        "--url", default="http://127.0.0.1:8080", help="base URL of a running repro-dp serve"
+    )
+    mutate.add_argument("--database", required=True, help="registered database name")
+    mutate.add_argument(
+        "--operations",
+        default=None,
+        help="JSON file of operation objects (a list, or {operations: [...]}; "
+        "'-' reads stdin); see docs/mutation.md for the shapes",
+    )
+    mutate.add_argument(
+        "--insert",
+        nargs=2,
+        action="append",
+        metavar=("RELATION", "ROWS"),
+        default=[],
+        help="insert rows, e.g. --insert edge '[[1,2],[2,3]]' (a single row "
+        "like '[1,2]' is also accepted); repeatable, applied in order",
+    )
+    mutate.add_argument(
+        "--delete",
+        nargs=2,
+        action="append",
+        metavar=("RELATION", "ROWS"),
+        default=[],
+        help="delete rows (same row syntax as --insert); repeatable",
+    )
+    mutate.add_argument("--timeout", type=float, default=30.0, help="request timeout in seconds")
+    mutate.add_argument("--json", action="store_true", help="emit the raw JSON response")
+
     state = subparsers.add_parser(
         "state", help="inspect a durable serving-state directory"
     )
@@ -456,6 +496,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "mutate":
+        return _run_mutate(args)
 
     if args.command == "metrics":
         return _run_metrics(args)
@@ -758,6 +801,84 @@ def _run_metrics(args: argparse.Namespace) -> int:
                 else ""
             )
             print(f"  {sample}{label_text} {value:g}")
+    return 0
+
+
+def _run_mutate(args: argparse.Namespace) -> int:
+    """POST a delta-mutation batch to a running server (see docs/mutation.md)."""
+    from pathlib import Path
+    from urllib.error import HTTPError, URLError
+    from urllib.request import Request, urlopen
+
+    def parse_rows(raw: str, flag: str) -> list:
+        try:
+            rows = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"{flag}: rows are not valid JSON: {exc}") from None
+        if not isinstance(rows, list):
+            raise ReproError(f"{flag}: rows must be a JSON array")
+        if rows and not isinstance(rows[0], list):
+            rows = [rows]  # single-row shorthand: '[1,2]' -> '[[1,2]]'
+        return rows
+
+    operations: list = []
+    if args.operations is not None:
+        raw = (
+            sys.stdin.read()
+            if args.operations == "-"
+            else Path(args.operations).read_text(encoding="utf-8")
+        )
+        try:
+            document = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"--operations is not valid JSON: {exc}") from None
+        if isinstance(document, dict):
+            document = document.get("operations")
+        if not isinstance(document, list):
+            raise ReproError(
+                "--operations must be a JSON list of operation objects "
+                "(or {operations: [...]})"
+            )
+        operations.extend(document)
+    for relation, rows in args.insert:
+        operations.append(
+            {"relation": relation, "op": "insert", "rows": parse_rows(rows, "--insert")}
+        )
+    for relation, rows in args.delete:
+        operations.append(
+            {"relation": relation, "op": "delete", "rows": parse_rows(rows, "--delete")}
+        )
+    if not operations:
+        raise ReproError("nothing to do: pass --operations and/or --insert/--delete")
+
+    url = args.url.rstrip("/") + "/mutate"
+    body = json.dumps({"database": args.database, "operations": operations})
+    request = Request(
+        url, data=body.encode("utf-8"), headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urlopen(request, timeout=args.timeout) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+    except HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace")
+        try:
+            detail = json.loads(detail).get("error", detail)
+        except json.JSONDecodeError:
+            pass
+        raise ReproError(f"server rejected the mutation ({exc.code}): {detail}") from None
+    except (URLError, OSError) as exc:
+        raise ReproError(f"cannot reach {url}: {exc}") from None
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"database : {payload.get('name')} (version {payload.get('version')})")
+    print(f"applied  : {payload.get('operations')} operation(s)")
+    print(f"inserted : {payload.get('inserted')} row(s)")
+    print(f"deleted  : {payload.get('deleted')} row(s)")
+    epochs = payload.get("epochs") or {}
+    sizes = payload.get("relations") or {}
+    for name in sorted(epochs):
+        print(f"  {name}: {sizes.get(name, '?')} tuple(s), epoch {epochs[name]}")
     return 0
 
 

@@ -122,6 +122,16 @@ class Database:
             clone._relations[name] = rel.copy()
         return clone
 
+    def epochs(self) -> dict[str, int]:
+        """Per-relation mutation epochs ``{name: epoch}``.
+
+        Every effective mutation of a relation advances its epoch, so the
+        vector (or any sub-vector restricted to the relations a computation
+        actually reads) is a sound cache key: two equal epoch vectors imply
+        the underlying tuples are unchanged.  See ``docs/mutation.md``.
+        """
+        return {name: rel.epoch for name, rel in self._relations.items()}
+
     def release_caches(self) -> None:
         """Drop every relation's derived caches (indexes, columns, factorizations).
 

@@ -18,10 +18,20 @@ needs directly:
   query and service request against the same instance), and
 * projection / selection helpers used by tests and data loading.
 
-All derived caches (indexes, columns, factorizations) are invalidated
-together on mutation; :meth:`Relation.release_caches` drops them eagerly
-(the serving-layer registry calls it when a database version is replaced,
-so superseded snapshots free their memory immediately).
+Every mutation advances the relation's **epoch** (:attr:`Relation.epoch`),
+the per-relation invalidation counter the serving layer embeds into its
+cache keys (see :mod:`repro.service.service`): cached values derived from
+this instance's contents are keyed by the epoch at which they were
+computed, so a mutation invalidates exactly the entries that read this
+relation.  Single-tuple mutators (:meth:`add` / :meth:`remove` /
+:meth:`clear`) drop the derived caches wholesale; the bulk delta mutators
+(:meth:`Relation.add_rows` / :meth:`Relation.remove_rows`) instead update
+the columnar snapshot and any cached column factorizations *in place*
+(appending or compacting codes for the touched columns only), so a small
+edit against a large hot instance keeps its expensively-built columnar
+state warm.  :meth:`Relation.release_caches` still drops everything
+eagerly (the serving-layer registry calls it when a database version is
+replaced, so superseded snapshots free their memory immediately).
 
 Set semantics matches the paper: duplicate insertions are no-ops and the
 tuple-DP distance between two instances is the number of insertions,
@@ -47,6 +57,9 @@ class Relation:
         self._rows: set[tuple] = set()
         self._indexes: dict[tuple[int, ...], dict[tuple, list[tuple]]] = {}
         self._columns: tuple | None = None
+        # Row order of the cached columnar snapshot; the delta mutators need
+        # it to append/compact columns (and factorization codes) in place.
+        self._column_rows: list[tuple] | None = None
         self._factorizations: dict[int, object] = {}
         self._version = 0
         if rows is not None:
@@ -94,6 +107,16 @@ class Relation:
     # ------------------------------------------------------------------ #
     # Mutation
     # ------------------------------------------------------------------ #
+    @property
+    def epoch(self) -> int:
+        """The mutation counter of this instance.
+
+        Advanced by every effective mutation (no-op edits — inserting a
+        present tuple, deleting an absent one — leave it unchanged).  Cache
+        keys derived from this instance's contents embed the epoch, so a
+        mutation invalidates exactly the entries that read this relation.
+        """
+        return self._version
     def add(self, row: Sequence) -> bool:
         """Insert ``row`` (validated against the schema); return ``True`` if new."""
         validated = self._schema.validate_tuple(tuple(row))
@@ -113,13 +136,85 @@ class Relation:
         return False
 
     def replace(self, old_row: Sequence, new_row: Sequence) -> None:
-        """Substitute ``old_row`` by ``new_row`` (a single DP "change")."""
+        """Substitute ``old_row`` by ``new_row`` (a single DP "change").
+
+        The new tuple is validated *before* the old one is touched, so a
+        :class:`~repro.exceptions.SchemaError` on ``new_row`` leaves the
+        instance exactly as it was (no lost tuple, no epoch advance).
+        """
         old_key = tuple(old_row)
         if old_key not in self._rows:
             raise SchemaError(f"cannot replace missing tuple {old_key!r} in {self.name!r}")
-        self._rows.remove(old_key)
-        self._rows.add(self._schema.validate_tuple(tuple(new_row)))
-        self._bump()
+        new_key = self._schema.validate_tuple(tuple(new_row))
+        if new_key == old_key:
+            return
+        self.remove_rows((old_key,))
+        self.add_rows((new_key,))
+
+    def add_rows(self, rows: Iterable[Sequence]) -> int:
+        """Bulk-insert ``rows`` via the delta path; return how many were new.
+
+        All rows are validated first (a :class:`SchemaError` applies
+        nothing).  Unlike :meth:`add`, an existing columnar snapshot and its
+        cached column factorizations are *extended in place* — new values
+        are appended to the touched columns and coded against the existing
+        value dictionaries — instead of being discarded.  The epoch advances
+        once for the whole batch (not at all if every row was present).
+        """
+        validated: list[tuple] = []
+        seen: set[tuple] = set()
+        for row in rows:
+            candidate = self._schema.validate_tuple(tuple(row))
+            if candidate in self._rows or candidate in seen:
+                continue
+            seen.add(candidate)
+            validated.append(candidate)
+        if not validated:
+            return 0
+        if self._columns is not None and self._column_rows is not None:
+            self._extend_snapshot(validated)
+        else:
+            self._drop_snapshot()
+        self._rows.update(validated)
+        self._indexes.clear()
+        self._version += 1
+        return len(validated)
+
+    def remove_rows(self, rows: Iterable[Sequence]) -> int:
+        """Bulk-delete ``rows`` via the delta path; return how many existed.
+
+        An existing columnar snapshot (and every cached column
+        factorization) is *compacted in place* with one keep-mask instead of
+        being discarded, so untouched columns keep their dense codes.  The
+        epoch advances once for the whole batch (not at all if no row was
+        present).
+        """
+        keys = {key for key in (tuple(row) for row in rows) if key in self._rows}
+        if not keys:
+            return 0
+        if self._columns is not None and self._column_rows is not None:
+            import numpy as np
+
+            mask = np.fromiter(
+                (row not in keys for row in self._column_rows),
+                dtype=bool,
+                count=len(self._column_rows),
+            )
+            # New array objects throughout: a reader holding the previous
+            # snapshot tuple keeps seeing a consistent (pre-edit) view.
+            self._columns = tuple(column[mask] for column in self._columns)
+            self._factorizations = {
+                position: cached.take(mask)
+                for position, cached in self._factorizations.items()
+                if hasattr(cached, "take")
+            }
+            self._column_rows = [row for row in self._column_rows if row not in keys]
+        else:
+            self._drop_snapshot()
+        self._rows.difference_update(keys)
+        self._indexes.clear()
+        self._version += 1
+        return len(keys)
 
     def clear(self) -> None:
         """Remove all tuples."""
@@ -129,8 +224,100 @@ class Relation:
     def _bump(self) -> None:
         self._version += 1
         self._indexes.clear()
+        self._drop_snapshot()
+
+    def _drop_snapshot(self) -> None:
+        # The factorization codes are positionally aligned with the columnar
+        # snapshot's row order, so the two must always be dropped together:
+        # a rebuilt snapshot enumerates the row set in a fresh order.
         self._columns = None
+        self._column_rows = None
         self._factorizations.clear()
+
+    def _extend_snapshot(self, new_rows: list[tuple]) -> None:
+        """Append ``new_rows`` to the cached columnar snapshot in place.
+
+        Falls back to dropping the snapshot (and the factorizations aligned
+        with it) when a new value cannot join an existing column dtype —
+        correctness never depends on the fast path.
+        """
+        import numpy as np
+
+        try:
+            columns = []
+            for position, column in enumerate(self._columns):
+                values = [row[position] for row in new_rows]
+                if column.dtype == object:
+                    tail = np.empty(len(values), dtype=object)
+                    tail[:] = values
+                else:
+                    if not all(type(v) is int for v in values):
+                        raise TypeError("non-int value for an integer column")
+                    tail = np.array(values, dtype=column.dtype)
+                columns.append(np.concatenate([column, tail]))
+        except (OverflowError, TypeError, ValueError):
+            self._drop_snapshot()
+            return
+        factorizations = {}
+        for position, cached in self._factorizations.items():
+            extended = self._extend_factorization(
+                cached, [row[position] for row in new_rows]
+            )
+            if extended is not None:
+                factorizations[position] = extended
+        self._columns = tuple(columns)
+        self._factorizations = factorizations
+        self._column_rows = self._column_rows + new_rows
+
+    @staticmethod
+    def _extend_factorization(cached: object, new_values: list) -> object | None:
+        """Append codes for ``new_values`` to a cached column factorization.
+
+        The stored object is opaque here but duck-typed against the columnar
+        engine's ``ColumnCodes`` contract: ``codes`` index positionally into
+        ``values``, and ``sorted_values`` certifies ascending value order.
+        Unseen values get fresh codes appended to the dictionary; if the
+        append breaks the sort order the flag is conservatively cleared.
+        Returns ``None`` (drop the entry) when the object does not match or
+        a value cannot join the dictionary dtype.
+        """
+        import numpy as np
+
+        codes = getattr(cached, "codes", None)
+        values = getattr(cached, "values", None)
+        sorted_values = getattr(cached, "sorted_values", None)
+        if codes is None or values is None or sorted_values is None:
+            return None
+        try:
+            mapping = {value: code for code, value in enumerate(values.tolist())}
+            appended: list = []
+            new_codes: list[int] = []
+            for value in new_values:
+                code = mapping.get(value)
+                if code is None:
+                    code = len(mapping)
+                    mapping[value] = code
+                    appended.append(value)
+                new_codes.append(code)
+            sorted_flag = bool(sorted_values)
+            if appended:
+                if values.dtype == object:
+                    tail = np.empty(len(appended), dtype=object)
+                    tail[:] = appended
+                else:
+                    tail = np.array(appended, dtype=values.dtype)
+                if sorted_flag:
+                    ascending = all(
+                        appended[i] < appended[i + 1] for i in range(len(appended) - 1)
+                    )
+                    sorted_flag = ascending and (
+                        len(values) == 0 or appended[0] > values[-1]
+                    )
+                values = np.concatenate([values, tail])
+            codes = np.concatenate([codes, np.asarray(new_codes, dtype=codes.dtype)])
+            return type(cached)(codes, values, sorted_flag)
+        except (OverflowError, TypeError, ValueError):
+            return None
 
     def release_caches(self) -> None:
         """Drop every derived cache (indexes, columnar snapshot, factorizations).
@@ -141,8 +328,7 @@ class Relation:
         cache state tied to an old database version cannot linger.
         """
         self._indexes.clear()
-        self._columns = None
-        self._factorizations.clear()
+        self._drop_snapshot()
 
     # ------------------------------------------------------------------ #
     # Copying and comparison
@@ -243,6 +429,7 @@ class Relation:
             column[:] = values
             columns.append(column)
         self._columns = tuple(columns)
+        self._column_rows = rows
         return self._columns
 
     def cached_factorization(self, position: int) -> object | None:

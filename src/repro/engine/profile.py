@@ -31,6 +31,16 @@ whose evaluation depends on more than their own shape — residuals with
 boundary-crossing comparison predicates (the Section 5.2 augmented-domain
 path) or generic predicates — are never shared structurally, only by
 identical atom sets.
+
+Sharing can additionally persist *across* runs through an optional
+``component_cache``: entries are keyed by the component's exact atoms plus
+the **epochs** of the relations the component actually reads
+(:meth:`repro.data.database.Database.epochs`), so a delta mutation of
+relation ``R`` (see ``docs/mutation.md``) invalidates exactly the entries
+touching ``R`` — untouched components come back as cache hits and only the
+changed ones are re-evaluated.  Components on the augmented-domain path
+read the whole database's active domain, so their entries are keyed on the
+full epoch vector.
 """
 
 from __future__ import annotations
@@ -76,8 +86,13 @@ class ProfileStats:
     components_evaluated:
         Distinct component evaluations actually run.
     component_hits:
-        Reuses: ``components_total - components_evaluated`` (a component
-        recurring in another subset, or an isomorphic twin).
+        Within-run reuses (a component recurring in another subset, or an
+        isomorphic twin folded onto its representative).
+    component_cache_hits:
+        Representatives answered from the cross-run ``component_cache``
+        (epoch-keyed; zero when no cache is supplied).  Together:
+        ``components_total == components_evaluated + component_hits +
+        component_cache_hits``.
     factorization_hits / factorization_misses:
         This run's per-(relation, column) factorization-cache events,
         counted through a context-local scope
@@ -91,6 +106,7 @@ class ProfileStats:
     component_hits: int
     factorization_hits: int
     factorization_misses: int
+    component_cache_hits: int = 0
 
     def to_dict(self) -> dict[str, int]:
         """A JSON-serialisable view (for reports, ``--json`` and ``/stats``)."""
@@ -99,6 +115,7 @@ class ProfileStats:
             "components_total": self.components_total,
             "components_evaluated": self.components_evaluated,
             "component_hits": self.component_hits,
+            "component_cache_hits": self.component_cache_hits,
             "factorization_hits": self.factorization_hits,
             "factorization_misses": self.factorization_misses,
         }
@@ -222,6 +239,50 @@ def _translate_result(
 
 
 # --------------------------------------------------------------------- #
+# Cross-run component caching
+# --------------------------------------------------------------------- #
+_MISS = object()
+
+
+def _component_cache_key(
+    query: ConjunctiveQuery,
+    database: Database,
+    info: _ComponentInfo,
+    scope: tuple,
+    strategy: str,
+    max_enumeration: int | None,
+    backend_name: str,
+) -> tuple:
+    """Cache key pinning everything a component's result depends on.
+
+    The atoms are recorded with their literal terms (not the canonical
+    signature) so a hit is guaranteed to come from a textually identical
+    component of a query under the same ``scope`` — the stored result's
+    variable and predicate objects then compare equal to this run's rebuilt
+    residual, and :func:`_translate_result` / assembly work unchanged.
+    Residual and dropped predicates are keyed by ``repr`` so generic
+    predicates (whose canonical key is ``None``) still disambiguate.
+    """
+    atoms_key = tuple(
+        (query.atoms[idx].relation, tuple(repr(t) for t in query.atoms[idx].terms))
+        for idx in info.atoms
+    )
+    preds_key = (
+        tuple(repr(p) for p in info.residual.predicates),
+        tuple(repr(p) for p in info.residual.dropped_predicates),
+    )
+    if any(not p.is_inequality for p in info.residual.dropped_predicates):
+        # Section 5.2 augmented-domain path: the boundary value ranges over
+        # the *whole* database's active domain, so any relation's mutation
+        # can change the result — key on the full epoch vector.
+        epochs = tuple(sorted(database.epochs().items()))
+    else:
+        names = {query.atoms[idx].relation for idx in info.atoms}
+        epochs = tuple(sorted((n, database.relation(n).epoch) for n in names))
+    return (scope, strategy, max_enumeration, backend_name, atoms_key, preds_key, epochs)
+
+
+# --------------------------------------------------------------------- #
 # The evaluator
 # --------------------------------------------------------------------- #
 def evaluate_profile(
@@ -233,6 +294,8 @@ def evaluate_profile(
     max_enumeration: int | None = DEFAULT_MAX_ENUMERATION,
     backend: str | ExecutionBackend | None = None,
     parallelism: int | None = None,
+    component_cache=None,
+    cache_scope: tuple = (),
 ) -> LatticeProfile:
     """Evaluate ``T_F(I)`` for every subset ``F`` in one shared pass.
 
@@ -252,6 +315,15 @@ def evaluate_profile(
         Fan independent component evaluations out over a thread pool of this
         size; ``None``/``0``/``1`` evaluates serially (the default).
         Results are identical either way.
+    component_cache / cache_scope:
+        Optional cross-run memo table for representative components —
+        anything with the :class:`repro.service.cache.LRUCache` ``get(key,
+        default)`` / ``put(key, value)`` shape.  Entries embed the epochs of
+        the relations each component reads (see the module docstring), so
+        after a delta mutation only the components touching mutated
+        relations re-evaluate.  ``cache_scope`` namespaces entries (the
+        serving layer passes ``(name, version, plan_key)``) so distinct
+        registrations never collide even if their relation epochs do.
 
     Returns
     -------
@@ -277,6 +349,8 @@ def evaluate_profile(
             exec_backend=exec_backend,
             parallelism=parallelism,
             fact_counters=fact_counters,
+            component_cache=component_cache,
+            cache_scope=cache_scope,
         )
 
 
@@ -290,6 +364,8 @@ def _evaluate_profile_scoped(
     exec_backend: ExecutionBackend,
     parallelism: int | None,
     fact_counters,
+    component_cache=None,
+    cache_scope: tuple = (),
 ) -> LatticeProfile:
     """The evaluator body, run inside the counter scope (see above)."""
 
@@ -297,15 +373,17 @@ def _evaluate_profile_scoped(
         results: dict[frozenset[int], MultiplicityResult],
         components_total: int,
         components_evaluated: int,
+        cache_hits: int = 0,
     ) -> LatticeProfile:
         fact = fact_counters.snapshot()
         stats = ProfileStats(
             subsets_total=len(subset_list),
             components_total=components_total,
             components_evaluated=components_evaluated,
-            component_hits=components_total - components_evaluated,
+            component_hits=components_total - components_evaluated - cache_hits,
             factorization_hits=fact["hits"],
             factorization_misses=fact["misses"],
+            component_cache_hits=cache_hits,
         )
         return LatticeProfile(results=results, stats=stats)
 
@@ -352,10 +430,31 @@ def _evaluate_profile_scoped(
             representative[component] = by_signature.setdefault(signature, component)
 
     # Phase 3 — evaluate each representative once (optionally in parallel).
+    # Representatives already answered by the epoch-keyed component cache
+    # (same scope, same atoms, same relation epochs) skip evaluation
+    # entirely; only the remainder runs.
     to_evaluate = sorted(
         set(representative.values()), key=lambda c: (len(c), tuple(sorted(c)))
     )
-    if parallelism is not None and parallelism > 1 and len(to_evaluate) > 1:
+    cache_keys: dict[frozenset[int], tuple] = {}
+    cached: dict[frozenset[int], MultiplicityResult] = {}
+    if component_cache is not None:
+        for component in to_evaluate:
+            key = _component_cache_key(
+                query,
+                database,
+                infos[component],
+                cache_scope,
+                strategy,
+                max_enumeration,
+                exec_backend.name,
+            )
+            cache_keys[component] = key
+            hit = component_cache.get(key, _MISS)
+            if hit is not _MISS:
+                cached[component] = hit
+    pending = [c for c in to_evaluate if c not in cached]
+    if parallelism is not None and parallelism > 1 and len(pending) > 1:
         # Pool workers start with an empty context: re-establish the
         # factorization-counter scope there so parallel evaluation counts
         # exactly like serial evaluation (spans are deliberately not
@@ -367,9 +466,13 @@ def _evaluate_profile_scoped(
                 return evaluate(kept)
 
         with ThreadPoolExecutor(max_workers=parallelism) as pool:
-            evaluated = dict(zip(to_evaluate, pool.map(evaluate_scoped, to_evaluate)))
+            fresh = dict(zip(pending, pool.map(evaluate_scoped, pending)))
     else:
-        evaluated = {component: evaluate(component) for component in to_evaluate}
+        fresh = {component: evaluate(component) for component in pending}
+    if component_cache is not None:
+        for component, result in fresh.items():
+            component_cache.put(cache_keys[component], result)
+    evaluated = {**cached, **fresh}
 
     component_results: dict[frozenset[int], MultiplicityResult] = {}
     for component, rep in representative.items():
@@ -401,4 +504,4 @@ def _evaluate_profile_scoped(
             )
 
     components_total = sum(len(c) for c in plans.values())
-    return finish(results, components_total, len(to_evaluate))
+    return finish(results, components_total, len(pending), len(cached))

@@ -35,6 +35,14 @@ executes a fixed battery of checks:
 ``release``
     With the same seed, a full private release (count + sensitivity +
     noise) must be bitwise identical on both backends.
+``incremental``
+    A seed-addressable random edit script applied through the delta path
+    (:meth:`Relation.add_rows` / :meth:`Relation.remove_rows` /
+    :meth:`Relation.replace`, with warm columnar snapshots and
+    factorization caches maintained in place) must leave the database
+    indistinguishable from a from-scratch rebuild with the same final
+    rows: tuple sets, counts, full lattice profiles and bitwise seeded
+    releases must agree on both backends.
 
 Every failure is wrapped in a :class:`FuzzFailure` that carries a
 self-contained replay snippet — paste it into a Python prompt (or pipe to
@@ -51,6 +59,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.data.database import Database
 from repro.engine.aggregates import boundary_multiplicity
 from repro.engine.backend import get_backend
 from repro.engine.profile import evaluate_profile
@@ -79,6 +88,7 @@ CHECKS = (
     "local-sensitivity",
     "smoothness",
     "release",
+    "incremental",
 )
 
 #: Numerical slack for float comparisons of analytically-ordered quantities.
@@ -482,3 +492,116 @@ class DifferentialRunner:
                 f"calibrated scale S/β = {scale}"
             )
         return None
+
+    def _check_incremental(self, case: FuzzCase, report) -> str | None:
+        import random
+
+        query, db = case.query(), case.database()
+        # Warm the columnar snapshots and factorization caches on both
+        # backends first so the edit script exercises the *in-place*
+        # maintenance path rather than a cold rebuild.
+        for name in ("python", "numpy"):
+            count_query(query, db, backend=name)
+
+        # Seed-addressable edit script over the delta path.
+        rng = random.Random(f"{case.seed}:{case.index}:incremental")
+        script = []
+        for _ in range(rng.randrange(3, 8)):
+            spec = rng.choice(case.relations)
+            rel = db.relation(spec.name)
+
+            def random_row():
+                return tuple(
+                    rng.randrange(spec.domain_size) for _ in range(spec.arity)
+                )
+
+            op = rng.choice(("insert", "insert", "delete", "replace"))
+            if op == "insert":
+                row = random_row()
+                rel.add_rows([row])
+                script.append(("insert", spec.name, row))
+            elif op == "delete":
+                pool = sorted(rel.tuples())
+                row = rng.choice(pool) if pool else random_row()
+                rel.remove_rows([row])  # tolerated no-op when absent
+                script.append(("delete", spec.name, row))
+            else:
+                pool = sorted(rel.tuples())
+                if not pool:
+                    continue
+                old, new = rng.choice(pool), random_row()
+                rel.replace(old, new)
+                script.append(("replace", spec.name, old, new))
+        if not script:
+            return None
+
+        # From-scratch rebuild with the same final rows.
+        fresh = Database(
+            case.schema(),
+            relations={
+                spec.name: sorted(db.relation(spec.name).tuples())
+                for spec in case.relations
+            },
+        )
+        problems = []
+        for spec in case.relations:
+            mutated = db.relation(spec.name).tuples()
+            rebuilt = fresh.relation(spec.name).tuples()
+            if mutated != rebuilt:
+                problems.append(
+                    f"{spec.name}: mutated tuple set {sorted(mutated)} != "
+                    f"rebuilt {sorted(rebuilt)}"
+                )
+        if problems:
+            return "; ".join(problems)  # no point comparing query results
+
+        engine = ResidualSensitivity(query, beta=case.beta)
+        subsets = engine.required_subsets(db)
+        for name in ("python", "numpy"):
+            delta_count = count_query(query, db, backend=name)
+            fresh_count = count_query(query, fresh, backend=name)
+            if delta_count != fresh_count:
+                problems.append(
+                    f"[{name}] count after edit script {script}: "
+                    f"delta path {delta_count} != rebuild {fresh_count}"
+                )
+            delta_profile = evaluate_profile(query, db, subsets, backend=name)
+            fresh_profile = evaluate_profile(query, fresh, subsets, backend=name)
+            for kept in subsets:
+                got, want = delta_profile.results[kept], fresh_profile.results[kept]
+                if (got.value, got.exact) != (want.value, want.exact):
+                    problems.append(
+                        f"[{name}] T_{tuple(sorted(kept))}: delta path "
+                        f"({got.value}, exact={got.exact}) != rebuild "
+                        f"({want.value}, exact={want.exact})"
+                    )
+                elif sorted(map(repr, got.dropped_predicates)) != sorted(
+                    map(repr, want.dropped_predicates)
+                ):
+                    problems.append(
+                        f"[{name}] T_{tuple(sorted(kept))}: dropped predicates "
+                        f"differ: delta path {got.dropped_predicates!r} != "
+                        f"rebuild {want.dropped_predicates!r}"
+                    )
+            releases = {}
+            for label, instance in (("delta", db), ("rebuild", fresh)):
+                releaser = PrivateCountingQuery(
+                    query,
+                    epsilon=case.epsilon,
+                    rng=np.random.default_rng((case.seed, case.index)),
+                    backend=name,
+                )
+                releases[label] = releaser.release(instance, keep_true_count=True)
+            dl, rb = releases["delta"], releases["rebuild"]
+            if (dl.noisy_count, dl.sensitivity, dl.true_count) != (
+                rb.noisy_count,
+                rb.sensitivity,
+                rb.true_count,
+            ):
+                problems.append(
+                    f"[{name}] seeded release differs after edit script: "
+                    f"delta=(noisy={dl.noisy_count!r}, S={dl.sensitivity!r}, "
+                    f"count={dl.true_count!r}) rebuild=(noisy={rb.noisy_count!r}, "
+                    f"S={rb.sensitivity!r}, count={rb.true_count!r})"
+                )
+        return "; ".join(problems) or None

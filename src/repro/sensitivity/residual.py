@@ -232,7 +232,13 @@ class ResidualSensitivity:
     # ------------------------------------------------------------------ #
     # Core computation
     # ------------------------------------------------------------------ #
-    def profile(self, database: Database) -> LatticeProfile:
+    def profile(
+        self,
+        database: Database,
+        *,
+        component_cache=None,
+        cache_scope: tuple = (),
+    ) -> LatticeProfile:
         """The full ``{F → T_F}`` profile, evaluated by the shared-lattice pass.
 
         One pass over the residual lattice: subsets are decomposed into
@@ -241,6 +247,11 @@ class ResidualSensitivity:
         memoized components (see :func:`repro.engine.profile.evaluate_profile`).
         The returned :class:`~repro.engine.profile.LatticeProfile` carries
         work-sharing statistics alongside the results.
+
+        ``component_cache`` / ``cache_scope`` optionally persist
+        representative-component results across calls under epoch-sensitive
+        keys, so re-profiling after a delta mutation re-evaluates only the
+        components whose relations changed (see ``docs/mutation.md``).
         """
         return evaluate_profile(
             self._query,
@@ -249,6 +260,8 @@ class ResidualSensitivity:
             strategy=self._strategy,
             backend=self._backend,
             parallelism=self._parallelism,
+            component_cache=component_cache,
+            cache_scope=cache_scope,
         )
 
     def multiplicities(self, database: Database) -> dict[frozenset[int], MultiplicityResult]:

@@ -8,6 +8,14 @@ Endpoints (all bodies and responses are ``application/json``):
     database (``"replace": true`` to update an existing name;
     ``"backend": "numpy"`` to serve it from the vectorized columnar
     execution backend instead of the dict-based default).
+``POST /mutate``
+    ``{"database": ..., "operations": [{"relation": "edge", "op": "insert",
+    "rows": [[1, 2]]}, ...]}`` — apply a batch of tuple-level delta
+    operations (``insert``/``delete`` with ``rows``, ``replace`` with
+    ``old``/``new``) to a registered database.  The batch is validated
+    atomically, advances only the touched relations' epochs (the version is
+    unchanged), and is journaled for sibling workers and recovery.  See
+    ``docs/mutation.md``.
 ``POST /count``
     ``{"database": ..., "query": "...", "epsilon": 0.5, "method"?,
     "session"?}`` — one private release.
@@ -372,6 +380,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         path = urlparse(self.path).path
         routes = {
             "/register": self._post_register,
+            "/mutate": self._post_mutate,
             "/count": self._post_count,
             "/batch": self._post_batch,
             "/budget": self._post_budget,
@@ -413,6 +422,18 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             backend=payload.get("backend"),
         )
         return 200, entry.describe()
+
+    def _post_mutate(self):
+        # Like /register, mutation bypasses capacity admission: it is
+        # control-plane traffic and must not be shed behind query load.
+        payload = self._read_body()
+        name = payload.get("database") or payload.get("name")
+        if not name:
+            raise ServiceError("mutate payload needs a 'database'")
+        operations = payload.get("operations")
+        if not isinstance(operations, list) or not operations:
+            raise ServiceError("mutate payload needs a non-empty 'operations' list")
+        return 200, self.service.mutate(name, operations)
 
     def _post_count(self):
         payload = self._read_body()

@@ -7,7 +7,7 @@ of a **write-ahead journal** and **periodic compacted snapshots**:
 
 * :class:`LedgerJournal` — an append-only JSON-lines file recording every
   state transition (session create/close/expire, charge, deny, rollback,
-  database register/unregister).  Each record carries a monotonically
+  database register/unregister/mutate).  Each record carries a monotonically
   increasing ``seq`` so replay can be resumed from a snapshot cut.  A
   truncated final line (the signature of a crash mid-write) is tolerated
   and discarded on replay.
@@ -35,12 +35,14 @@ What is (and is not) persisted
 ------------------------------
 Persisted: session ledgers (budgets, every charge), the shared deployment
 budget's spent total, audit-log totals and a bounded tail, and versioned
-metadata of registered databases (so re-registering after a restart resumes
-the version sequence and stale cache keys can never be resurrected).
-Not persisted: database *contents* (re-register them after a restart),
-caches (they rebuild), and the noise generator state (a restarted seeded
-service starts a fresh stream; budgets, not noise, are the durable
-contract).
+metadata of registered databases — including per-relation sizes and
+mutation **epochs**, kept current by ``mutate`` records (see
+``docs/mutation.md``) — so re-registering after a restart resumes the
+version sequence and stale cache keys can never be resurrected.
+Not persisted: database *contents* (re-register them after a restart,
+then replay any mutations from your own feed), caches (they rebuild), and
+the noise generator state (a restarted seeded service starts a fresh
+stream; budgets, not noise, are the durable contract).
 
 Shared (multi-process) mode
 ---------------------------
@@ -113,6 +115,7 @@ EVENTS = (
     "deny",
     "register",
     "unregister",
+    "mutate",
 )
 
 
@@ -415,7 +418,14 @@ def replay_records(
             name = record["name"]
             meta = {
                 key: record[key]
-                for key in ("name", "version", "backend", "relations", "private_tuples")
+                for key in (
+                    "name",
+                    "version",
+                    "backend",
+                    "relations",
+                    "private_tuples",
+                    "epochs",
+                )
                 if key in record
             }
             state.databases[name] = meta
@@ -424,6 +434,17 @@ def replay_records(
             )
         elif event == "unregister":
             state.databases.pop(record["name"], None)
+        elif event == "mutate":
+            # Delta mutation of a registered database: refresh the metadata
+            # (sizes, tuple counts, epochs) without touching the version —
+            # mutations are not re-registrations.  A mutate record for a
+            # database whose register record was dropped by a later
+            # unregister is stale and skipped (journal-authority rule).
+            meta = state.databases.get(record["name"])
+            if meta is not None:
+                for key in ("relations", "private_tuples", "epochs"):
+                    if key in record:
+                        meta[key] = record[key]
         else:
             raise ServiceError(f"unknown journal event {event!r} (seq {seq})")
     return state

@@ -2,22 +2,35 @@
 
 Production deployments register each database once and answer many queries
 against it.  The registry hands out immutable :class:`RegisteredDatabase`
-records whose ``(name, version)`` pair the caches use as part of their keys:
-re-registering a name bumps the version, so every cached plan, profile or
-sensitivity derived from the old contents silently becomes unreachable (and
-ages out of the LRU) instead of being served stale.  The version bump also
-releases the superseded instance's *data-level* caches — columnar snapshots
-and per-(relation, column) factorizations (see
-:meth:`repro.data.database.Database.release_caches`) — so the memory of a
-replaced registration is reclaimed eagerly.
+records, and invalidation is two-tier:
+
+* **Re-registration** bumps the ``(name, version)`` pair the caches embed
+  in their keys, so every cached plan, profile or sensitivity derived from
+  the old contents silently becomes unreachable (and ages out of the LRU)
+  instead of being served stale.  The version bump also releases the
+  superseded instance's *data-level* caches — columnar snapshots and
+  per-(relation, column) factorizations (see
+  :meth:`repro.data.database.Database.release_caches`) — so the memory of a
+  replaced registration is reclaimed eagerly.
+* **Delta mutation** (:meth:`DatabaseRegistry.mutate`) keeps the version
+  *unchanged* and instead advances the **epochs** of exactly the relations
+  it touches; query-layer caches additionally key on the epochs of the
+  relations an entry reads, so a mutation invalidates only the entries
+  touching mutated relations while everything else — including the
+  columnar snapshots and factorization codes, which the delta mutators
+  update in place — stays warm.  See ``docs/mutation.md``.
 
 When the registry is backed by a :class:`~repro.service.persistence.StateStore`,
 every (un)registration journals a **versioned metadata snapshot** of the
-database — name, version, backend, relation sizes.  Database *contents* are
-not persisted (re-register them after a restart); what recovery guarantees
-is that the version sequence resumes where it left off, so cache keys
-derived from pre-restart contents can never be resurrected by a post-restart
-registration under the same name.
+database — name, version, backend, relation sizes, epochs — and every
+mutation journals its operations plus the post-mutation sizes and epochs.
+Database *contents* are not persisted (re-register them after a restart);
+what recovery guarantees is that the version sequence resumes where it left
+off, so cache keys derived from pre-restart contents can never be
+resurrected by a post-restart registration under the same name.  In a
+cluster, sibling workers absorb each other's mutation records and apply the
+operations to their own loaded copy, keeping contents and epochs in sync
+across processes.
 """
 
 from __future__ import annotations
@@ -67,6 +80,7 @@ class RegisteredDatabase:
                 rel.schema.name: len(rel) for rel in self.database
             },
             "private_tuples": self.database.size(private_only=True),
+            "epochs": self.database.epochs(),
         }
 
 
@@ -165,6 +179,181 @@ class DatabaseRegistry:
                 else:
                     remove()
 
+    def mutate(self, name: str, operations: list[dict[str, Any]]) -> dict[str, Any]:
+        """Apply a batch of tuple-level delta operations to ``name``.
+
+        ``operations`` is an ordered list of JSON-shaped dicts::
+
+            {"relation": "R", "op": "insert", "rows": [[1, 2], ...]}
+            {"relation": "R", "op": "delete", "rows": [[1, 2], ...]}
+            {"relation": "R", "op": "replace", "old": [1, 2], "new": [3, 4]}
+
+        The whole batch is validated up front against a simulated overlay of
+        the current contents, so a malformed operation anywhere leaves the
+        database untouched (effectively atomic).  Inserting a present row or
+        deleting an absent one is a tolerated no-op (streaming feeds replay
+        freely); replacing a missing row is an error.  The registration
+        version does **not** change — only the touched relations' epochs
+        advance, which is exactly what the epoch-keyed caches key on.
+
+        When journaled, the record carries the normalized operations plus
+        the post-mutation relation sizes and epochs, so sibling workers can
+        replay the same delta on their own copy and recovery keeps metadata
+        current.  Returns a JSON-serialisable summary.
+        """
+        with self._exclusive():
+            with self._lock:
+                entry = self.get(name)
+                plan, meta, inserted, deleted = self._normalize_operations(
+                    entry.database, operations
+                )
+                if not plan:
+                    return {
+                        **entry.describe(),
+                        "inserted": 0,
+                        "deleted": 0,
+                        "operations": 0,
+                    }
+                normalized = [
+                    {"relation": rel, "op": op, "rows": [list(row) for row in rows]}
+                    for op, rel, rows in plan
+                ]
+
+                def apply_() -> None:
+                    self._apply_plan(entry.database, plan)
+
+                if self.journal is not None:
+                    self.journal.append(
+                        "mutate",
+                        apply=apply_,
+                        name=entry.name,
+                        version=entry.version,
+                        operations=normalized,
+                        inserted=inserted,
+                        deleted=deleted,
+                        **meta,
+                    )
+                else:
+                    apply_()
+                return {
+                    "name": entry.name,
+                    "version": entry.version,
+                    "backend": entry.backend,
+                    "inserted": inserted,
+                    "deleted": deleted,
+                    "operations": len(plan),
+                    **meta,
+                }
+
+    @staticmethod
+    def _normalize_operations(
+        database: Database, operations: list[dict[str, Any]]
+    ) -> tuple[list[tuple[str, str, list[tuple]]], dict[str, Any], int, int]:
+        """Validate a batch and reduce it to effective insert/delete steps.
+
+        Runs the batch against an overlay simulation of the current
+        contents: every row is schema-validated, replaces check their old
+        row exists at that point of the sequence, and no-op rows are
+        filtered out.  Nothing is mutated here — the returned plan applies
+        without possibility of error, and the returned metadata (relation
+        sizes, private-tuple count, epochs) is the exact *post*-apply state,
+        so the journal record can be written before the effect (WAL order).
+        """
+        overlay: dict[str, tuple[set, set]] = {}  # name -> (added, removed)
+
+        def present(rel, row: tuple) -> bool:
+            added, removed = overlay.setdefault(rel.name, (set(), set()))
+            return row in added or (row in rel and row not in removed)
+
+        def simulate(rel, row: tuple, *, insert: bool) -> None:
+            added, removed = overlay[rel.name]
+            if insert:
+                added.add(row)
+                removed.discard(row)
+            else:
+                removed.add(row)
+                added.discard(row)
+
+        plan: list[tuple[str, str, list[tuple]]] = []
+        inserted = deleted = 0
+        for position, operation in enumerate(operations):
+            if not isinstance(operation, dict):
+                raise ServiceError(f"operation #{position} must be an object")
+            op = operation.get("op")
+            rel = database.relation(str(operation.get("relation")))
+            if op == "replace":
+                if "old" not in operation or "new" not in operation:
+                    raise ServiceError(
+                        f"operation #{position}: replace needs 'old' and 'new' rows"
+                    )
+                old = rel.schema.validate_tuple(tuple(operation["old"]))
+                new = rel.schema.validate_tuple(tuple(operation["new"]))
+                if not present(rel, old):
+                    raise ServiceError(
+                        f"operation #{position}: cannot replace missing tuple "
+                        f"{old!r} in {rel.name!r}"
+                    )
+                if new == old:
+                    continue
+                steps = [("delete", [old])]
+                if not present(rel, new):
+                    steps.append(("insert", [new]))
+                simulate(rel, old, insert=False)
+                simulate(rel, new, insert=True)
+            elif op in ("insert", "delete"):
+                if not isinstance(operation.get("rows"), list):
+                    raise ServiceError(
+                        f"operation #{position}: {op} needs a 'rows' list"
+                    )
+                rows = [rel.schema.validate_tuple(tuple(r)) for r in operation["rows"]]
+                effective: list[tuple] = []
+                seen: set = set()
+                for row in rows:
+                    if row in seen or present(rel, row) == (op == "insert"):
+                        continue  # duplicate in batch, or already in target state
+                    seen.add(row)
+                    effective.append(row)
+                    simulate(rel, row, insert=op == "insert")
+                if not effective:
+                    continue
+                steps = [(op, effective)]
+            else:
+                raise ServiceError(
+                    f"operation #{position} has unknown op {op!r} "
+                    "(expected insert, delete or replace)"
+                )
+            for step_op, step_rows in steps:
+                plan.append((step_op, rel.name, step_rows))
+                if step_op == "insert":
+                    inserted += len(step_rows)
+                else:
+                    deleted += len(step_rows)
+
+        sizes = {r.schema.name: len(r) for r in database}
+        epochs = database.epochs()
+        for op, rel_name, rows in plan:
+            sizes[rel_name] += len(rows) if op == "insert" else -len(rows)
+            epochs[rel_name] += 1  # one bump per effective bulk call
+        private = sum(
+            sizes[rel_name]
+            for rel_name in sizes
+            if database.schema.is_private(rel_name)
+        )
+        meta = {"relations": sizes, "private_tuples": private, "epochs": epochs}
+        return plan, meta, inserted, deleted
+
+    @staticmethod
+    def _apply_plan(
+        database: Database, plan: list[tuple[str, str, list[tuple]]]
+    ) -> None:
+        """Run a normalized plan through the relations' bulk delta mutators."""
+        for op, rel_name, rows in plan:
+            rel = database.relation(rel_name)
+            if op == "insert":
+                rel.add_rows(rows)
+            else:
+                rel.remove_rows(rows)
+
     def _release_if_unreferenced(self, database: Database) -> None:
         """Drop a superseded instance's derived caches — but only when no
         surviving registration still serves the very same object (called
@@ -190,7 +379,7 @@ class DatabaseRegistry:
                     self._recovered[name] = dict(meta)
 
     def absorb(self, record: dict[str, Any]) -> None:
-        """Mirror one (un)registration journaled by a sibling worker process.
+        """Mirror one registry record journaled by a sibling worker process.
 
         Contents never cross the journal, so a remote registration only
         advances the local version counter (keeping cluster-wide cache keys
@@ -198,6 +387,14 @@ class DatabaseRegistry:
         metadata — exactly what journal replay would reconstruct.  Local
         registrations are never displaced: each worker serves the contents
         it loaded itself.
+
+        A remote *mutation* carries its normalized operations: if this
+        worker has the name loaded, the same delta is applied to the local
+        copy (identical copies stay identical, and the local epochs advance
+        in lock-step, invalidating exactly the same cache entries as on the
+        originating worker); otherwise only the recovered metadata is
+        refreshed.  A divergent local copy must not poison the absorb loop,
+        so apply errors are swallowed — the next re-registration resyncs.
         """
         name = record.get("name")
         if record["event"] == "register":
@@ -208,13 +405,39 @@ class DatabaseRegistry:
                     self._recovered[name] = {
                         key: record[key]
                         for key in (
-                            "name", "version", "backend", "relations", "private_tuples"
+                            "name",
+                            "version",
+                            "backend",
+                            "relations",
+                            "private_tuples",
+                            "epochs",
                         )
                         if key in record
                     }
         elif record["event"] == "unregister":
             with self._lock:
                 self._recovered.pop(name, None)
+        elif record["event"] == "mutate":
+            with self._lock:
+                entry = self._entries.get(name)
+                if entry is not None:
+                    plan = [
+                        (
+                            str(op.get("op")),
+                            str(op.get("relation")),
+                            [tuple(row) for row in op.get("rows", [])],
+                        )
+                        for op in record.get("operations", [])
+                    ]
+                    try:
+                        self._apply_plan(entry.database, plan)
+                    except Exception:  # pragma: no cover - divergent copies
+                        pass
+                meta = self._recovered.get(name)
+                if meta is not None:
+                    for key in ("relations", "private_tuples", "epochs"):
+                        if key in record:
+                            meta[key] = record[key]
 
     def recovered_metadata(self) -> dict[str, dict[str, Any]]:
         """Metadata of recovered-but-not-reloaded databases (by name)."""

@@ -10,15 +10,25 @@ Three caches cooperate (see :mod:`repro.service.cache`):
 
 * **plan** — query text → (parsed query, canonical shape key); skips the
   parser and canonicalizer on repeated request strings;
-* **profile** — ``(db, version, shape)`` → the residual-query boundary
-  multiplicities ``T_F(I)``, which dominate the cost of residual sensitivity
-  and are *β-independent*, so one profile serves every ε; profiles are
-  produced by the shared-lattice evaluator
+* **profile** — ``(db, version, shape, epochs)`` → the residual-query
+  boundary multiplicities ``T_F(I)``, which dominate the cost of residual
+  sensitivity and are *β-independent*, so one profile serves every ε;
+  profiles are produced by the shared-lattice evaluator
   (:func:`repro.engine.profile.evaluate_profile`), whose subplan-dedup and
   factorization-cache counters the service accumulates into the
   ``profiler`` block of :meth:`PrivateQueryService.stats`;
 * **sensitivity** / **count** — final sensitivity values and true counts per
-  ``(db, version, shape[, method, β])``.
+  ``(db, version, shape, epochs[, method, β])``;
+* **component** — cross-profile memo of representative lattice components,
+  keyed per component on the epochs of exactly the relations it reads.
+
+The ``epochs`` element is the per-relation mutation-epoch vector of the
+relations the query touches (:meth:`repro.data.database.Database.epochs`):
+a delta mutation through :meth:`PrivateQueryService.mutate` advances only
+the touched relations' epochs, so entries for untouched relations — and,
+via the component cache, untouched lattice components of *affected*
+queries — stay warm instead of being wholesale-invalidated by a version
+bump.  See ``docs/mutation.md`` for the full invalidation table.
 
 Caching never changes the released distribution: every cached value is a
 deterministic function of the query shape and database version, and noise is
@@ -254,6 +264,10 @@ class PrivateQueryService:
         self._profile_cache = LRUCache(cache_capacity)
         self._sensitivity_cache = LRUCache(cache_capacity)
         self._count_cache = LRUCache(cache_capacity)
+        # Cross-profile component memo (epoch-keyed; see repro.engine.profile).
+        # Sized above the per-shape caches because one profile can hold many
+        # components and entries for superseded epochs age out via the LRU.
+        self._component_cache = LRUCache(cache_capacity * 4)
         self._strategy = strategy
         self._parallelism = parallelism
         self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
@@ -265,6 +279,11 @@ class PrivateQueryService:
         # repro_epsilon_charged_total counter reads it at scrape time.
         self._epsilon_charged_total = 0.0
         self._stats_lock = threading.Lock()
+        # Delta-mutation counters (batches applied through this service and
+        # effective row edits), read at scrape time and by /stats.
+        self._mutations_applied = 0
+        self._rows_inserted = 0
+        self._rows_deleted = 0
         # Cumulative shared-lattice profiler counters (see repro.engine.profile);
         # updated under _stats_lock whenever a profile is actually computed
         # (profile-cache hits add nothing — no evaluation ran).
@@ -274,6 +293,7 @@ class PrivateQueryService:
             "components_total": 0,
             "components_evaluated": 0,
             "component_hits": 0,
+            "component_cache_hits": 0,
             "factorization_hits": 0,
             "factorization_misses": 0,
         }
@@ -346,6 +366,7 @@ class PrivateQueryService:
             ("profile", self._profile_cache),
             ("sensitivity", self._sensitivity_cache),
             ("count", self._count_cache),
+            ("component", self._component_cache),
         ):
             cache.set_callback(
                 lambda c=lru: float(c.stats().hits), cache=name, outcome="hit"
@@ -389,6 +410,18 @@ class PrivateQueryService:
         )
         self._m_components_eval = components.labels(outcome="evaluated")
         self._m_components_dedup = components.labels(outcome="deduplicated")
+        self._m_components_cached = components.labels(outcome="cached")
+        m.counter(
+            "repro_mutations_total",
+            "Delta-mutation batches applied to registered databases.",
+        ).set_callback(lambda: float(self._mutations_applied))
+        mutated_rows = m.counter(
+            "repro_mutated_rows_total",
+            "Effective row edits applied by delta mutations, by operation.",
+            ("op",),
+        )
+        mutated_rows.set_callback(lambda: float(self._rows_inserted), op="insert")
+        mutated_rows.set_callback(lambda: float(self._rows_deleted), op="delete")
         factorization = m.counter(
             "repro_profiler_factorization_total",
             "Columnar factorization-cache lookups during profiling, by outcome.",
@@ -480,7 +513,7 @@ class PrivateQueryService:
         """
         for record in records:
             event = record["event"]
-            if event in ("register", "unregister"):
+            if event in ("register", "unregister", "mutate"):
                 self._registry.absorb(record)
             else:
                 self._sessions.absorb(record)
@@ -537,6 +570,27 @@ class PrivateQueryService:
         """
         return self._registry.register(name, database, replace=replace, backend=backend)
 
+    def mutate(self, name: str, operations: list[dict[str, Any]]) -> dict[str, Any]:
+        """Apply a batch of tuple-level delta operations to a registered database.
+
+        The delta path of the streaming scenario: the batch (see
+        :meth:`repro.service.registry.DatabaseRegistry.mutate` for the
+        operation shapes) is validated atomically, applied through the
+        relations' in-place bulk mutators, and journaled so sibling cluster
+        workers replay it on their own copy.  The registration *version* is
+        unchanged — only the touched relations' epochs advance, so cached
+        plans survive untouched and epoch-keyed entries (counts, profiles,
+        sensitivities, lattice components) are invalidated exactly where
+        the data changed.  Returns a JSON-serialisable summary with the
+        effective ``inserted``/``deleted`` counts and the new epoch vector.
+        """
+        summary = self._registry.mutate(name, operations)
+        with self._stats_lock:
+            self._mutations_applied += 1
+            self._rows_inserted += int(summary.get("inserted", 0))
+            self._rows_deleted += int(summary.get("deleted", 0))
+        return summary
+
     def create_session(self, *, budget: float | None = None, session_id: str | None = None):
         """Open a session with its own ε ledger; returns the session."""
         return self._sessions.create(budget=budget, session_id=session_id)
@@ -578,13 +632,30 @@ class PrivateQueryService:
         parsed = parse_query(text)
         return parsed, canonical_query_key(parsed)
 
+    @staticmethod
+    def _epoch_key(reg: RegisteredDatabase, query: ConjunctiveQuery) -> tuple:
+        """The epoch vector of the relations ``query`` reads on ``reg``.
+
+        Embedded in the count/profile/sensitivity cache keys so a delta
+        mutation (which advances only the touched relations' epochs)
+        invalidates exactly the entries whose data changed.  Queries with
+        non-inequality comparison predicates may range over the *whole*
+        database's augmented active domain (Section 5.2) once a residual
+        drops such a predicate, so they key on the full epoch vector.
+        """
+        database = reg.database
+        if any(not p.is_inequality for p in query.predicates):
+            return tuple(sorted(database.epochs().items()))
+        names = {atom.relation for atom in query.atoms}
+        return tuple(sorted((n, database.relation(n).epoch) for n in names))
+
     def _true_count(
         self, reg: RegisteredDatabase, query: ConjunctiveQuery, key: str | None
     ) -> tuple[int, bool]:
         if key is None:
             return count_query(query, reg.database, backend=reg.backend), False
         return self._count_cache.get_or_compute(
-            (reg.name, reg.version, key),
+            (reg.name, reg.version, key, self._epoch_key(reg, query)),
             lambda: count_query(query, reg.database, backend=reg.backend),
         )
 
@@ -601,7 +672,10 @@ class PrivateQueryService:
         For the residual method the β-independent boundary-multiplicity
         profile is cached separately, so a new ε on a known shape only pays
         the (cheap) smoothing recombination, not the residual-query
-        evaluation.
+        evaluation.  Both caches additionally key on the epochs of the
+        relations the query reads, and a profile-cache miss after a delta
+        mutation still recovers the untouched components from the
+        epoch-keyed component cache.
         """
 
         def compute() -> SensitivityResult:
@@ -616,8 +690,10 @@ class PrivateQueryService:
                 if key is None:
                     return engine.compute(reg.database)
                 profile, _ = self._profile_cache.get_or_compute(
-                    (reg.name, reg.version, key),
-                    lambda: self._build_profile(engine, reg.database),
+                    (reg.name, reg.version, key, self._epoch_key(reg, query)),
+                    lambda: self._build_profile(
+                        engine, reg.database, (reg.name, reg.version, key)
+                    ),
                 )
                 return engine.compute(reg.database, multiplicities=profile)
             # The other engines have no reusable sub-plan; delegate to the
@@ -635,12 +711,24 @@ class PrivateQueryService:
         if key is None:
             return compute(), False
         return self._sensitivity_cache.get_or_compute(
-            (reg.name, reg.version, key, method, beta), compute
+            (reg.name, reg.version, key, self._epoch_key(reg, query), method, beta),
+            compute,
         )
 
-    def _build_profile(self, engine: ResidualSensitivity, database: Database):
-        """Run the shared-lattice evaluator and accumulate its counters."""
-        profile = engine.profile(database)
+    def _build_profile(
+        self,
+        engine: ResidualSensitivity,
+        database: Database,
+        scope: tuple = (),
+    ):
+        """Run the shared-lattice evaluator and accumulate its counters.
+
+        ``scope`` namespaces this query's entries in the shared component
+        cache; the evaluator adds the per-component epoch vectors itself.
+        """
+        profile = engine.profile(
+            database, component_cache=self._component_cache, cache_scope=scope
+        )
         stats = profile.stats
         with self._stats_lock:
             totals = self._profiler_totals
@@ -649,12 +737,14 @@ class PrivateQueryService:
             totals["components_total"] += stats.components_total
             totals["components_evaluated"] += stats.components_evaluated
             totals["component_hits"] += stats.component_hits
+            totals["component_cache_hits"] += stats.component_cache_hits
             totals["factorization_hits"] += stats.factorization_hits
             totals["factorization_misses"] += stats.factorization_misses
         if self._obs:
             self._m_profiles.inc()
             self._m_components_eval.inc(stats.components_evaluated)
             self._m_components_dedup.inc(stats.component_hits)
+            self._m_components_cached.inc(stats.component_cache_hits)
             self._m_fact_hit.inc(stats.factorization_hits)
             self._m_fact_miss.inc(stats.factorization_misses)
         return profile.results
@@ -1040,6 +1130,11 @@ class PrivateQueryService:
             profiler = dict(self._profiler_totals)
             errored = self._requests_errored
             slow = self._slow_requests
+            mutations = {
+                "applied": self._mutations_applied,
+                "rows_inserted": self._rows_inserted,
+                "rows_deleted": self._rows_deleted,
+            }
         logger = self._request_logger
         return {
             "requests_served": served,
@@ -1080,8 +1175,10 @@ class PrivateQueryService:
                 "profile": self._profile_cache.stats().to_dict(),
                 "sensitivity": self._sensitivity_cache.stats().to_dict(),
                 "count": self._count_cache.stats().to_dict(),
+                "component": self._component_cache.stats().to_dict(),
             },
             "profiler": profiler,
+            "mutations": mutations,
             "audit": {
                 "records": len(self._sessions.audit),
                 "total_recorded": self._sessions.audit.total_recorded,
@@ -1098,11 +1195,12 @@ class PrivateQueryService:
         }
 
     def clear_caches(self) -> None:
-        """Drop every cached plan, profile, sensitivity and count."""
+        """Drop every cached plan, profile, sensitivity, count and component."""
         for cache in (
             self._plan_cache,
             self._profile_cache,
             self._sensitivity_cache,
             self._count_cache,
+            self._component_cache,
         ):
             cache.clear()

@@ -165,6 +165,7 @@ class TestJsonOutput:
             "components_total",
             "components_evaluated",
             "component_hits",
+            "component_cache_hits",
             "factorization_hits",
             "factorization_misses",
         }

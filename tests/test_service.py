@@ -279,5 +279,11 @@ class TestServiceCounting:
         stats = service.stats()
         assert stats["requests_served"] == 1
         assert "toy" in stats["databases"]
-        assert set(stats["caches"]) == {"plan", "profile", "sensitivity", "count"}
+        assert set(stats["caches"]) == {
+            "plan",
+            "profile",
+            "sensitivity",
+            "count",
+            "component",
+        }
         assert stats["audit"]["records"] >= 1

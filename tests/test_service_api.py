@@ -113,6 +113,53 @@ class TestEndpoints:
         assert status == 200
         assert body["private_tuples"] > 0
 
+    def test_mutate_roundtrip(self, server_url):
+        status, body = post(f"{server_url}/register", {"name": "k4", "edges": K4_EDGES})
+        assert status == 200
+        version, before = body["version"], body["epochs"]
+
+        status, summary = post(
+            f"{server_url}/mutate",
+            {
+                "database": "k4",
+                "operations": [
+                    {"relation": "Edge", "op": "delete", "rows": [[0, 1]]},
+                    {"relation": "Edge", "op": "insert", "rows": [[0, 9]]},
+                ],
+            },
+        )
+        assert status == 200
+        assert summary["version"] == version  # delta path: no version bump
+        assert summary["inserted"] == 1 and summary["deleted"] == 1
+        assert summary["epochs"]["Edge"] == before["Edge"] + 2
+        assert summary["relations"]["Edge"] == len(K4_EDGES)
+
+        status, stats = get(f"{server_url}/stats")
+        assert status == 200
+        assert stats["mutations"]["applied"] == 1
+        assert stats["databases"]["k4"]["epochs"] == summary["epochs"]
+
+    def test_mutate_error_mapping(self, server_url):
+        status, body = post(
+            f"{server_url}/mutate",
+            {"database": "ghost", "operations": [{"relation": "Edge", "op": "insert", "rows": [[1, 2]]}]},
+        )
+        assert status == 404  # unknown database
+
+        post(f"{server_url}/register", {"name": "k4", "edges": K4_EDGES})
+        status, body = post(f"{server_url}/mutate", {"database": "k4"})
+        assert status == 400  # missing operations
+        status, body = post(
+            f"{server_url}/mutate",
+            {"database": "k4", "operations": [{"relation": "Nope", "op": "insert", "rows": [[1, 2]]}]},
+        )
+        assert status == 400
+        status, body = post(
+            f"{server_url}/mutate",
+            {"database": "k4", "operations": [{"relation": "Edge", "op": "frobnicate"}]},
+        )
+        assert status == 400
+
 
 class TestErrorMapping:
     def test_unknown_endpoint_404(self, server_url):
