@@ -66,8 +66,12 @@ output instead of the human-readable text.  ``count``, ``sensitivity``,
 ``serve`` and ``batch`` accept ``--backend {python,numpy}`` to pick the
 execution backend (see ``docs/backends.md``); every output reports which
 backend ran.  The same four commands accept ``--parallelism N`` to fan
-residual-sensitivity component evaluations out over a thread pool (see
-``docs/performance.md``); results are identical with or without it.
+residual-sensitivity component evaluations out over a worker pool and
+``--parallelism-mode {thread,process,auto}`` to choose *which* pool — the
+default in-process threads or the shared GIL-free process pool for large
+lattices (``fuzz`` also accepts the mode, to run the differential battery
+under it; see ``docs/performance.md``).  Results are identical whichever
+combination runs.
 
 Examples
 --------
@@ -144,6 +148,18 @@ def _add_parallelism_argument(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="worker-pool size for residual-sensitivity component "
         "evaluations (default: serial); results are identical either way",
+    )
+    _add_parallelism_mode_argument(parser)
+
+
+def _add_parallelism_mode_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--parallelism-mode",
+        default=None,
+        choices=["thread", "process", "auto"],
+        help="how component evaluations fan out: in-process threads "
+        "(default), a shared GIL-free process pool, or auto (process for "
+        "large lattices); results are identical across modes",
     )
 
 
@@ -379,6 +395,7 @@ def build_parser() -> argparse.ArgumentParser:
         "in-process service (0 disables)",
     )
     _add_backend_argument(fuzz)
+    _add_parallelism_mode_argument(fuzz)
 
     batch = subparsers.add_parser(
         "batch", help="answer a JSON file of (query, epsilon) requests in one shot"
@@ -433,6 +450,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             rng=args.seed,
             backend=args.backend,
             parallelism=args.parallelism,
+            parallelism_mode=args.parallelism_mode,
         )
         release = releaser.release(database)
         if args.json:
@@ -461,7 +479,11 @@ def _dispatch(args: argparse.Namespace) -> int:
         query = parse_query(args.query)
         backend = get_backend(args.backend).name
         residual = ResidualSensitivity(
-            query, beta=args.beta, backend=backend, parallelism=args.parallelism
+            query,
+            beta=args.beta,
+            backend=backend,
+            parallelism=args.parallelism,
+            parallelism_mode=args.parallelism_mode,
         ).compute(database)
         elastic = ElasticSensitivity(query, beta=args.beta).compute(database)
         global_bound = GlobalSensitivityBound(query).compute(database)
@@ -623,6 +645,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         session_ttl=args.session_ttl,
         rng=args.seed,
         parallelism=args.parallelism,
+        parallelism_mode=args.parallelism_mode,
         state_dir=args.state_dir,
         snapshot_interval=args.snapshot_interval,
         observability=not args.no_observability,
@@ -700,6 +723,7 @@ def _run_serve_cluster(args: argparse.Namespace) -> int:
             session_ttl=args.session_ttl,
             rng=args.seed,
             parallelism=args.parallelism,
+            parallelism_mode=args.parallelism_mode,
             state_dir=args.state_dir,
             snapshot_interval=args.snapshot_interval,
             observability=not args.no_observability,
@@ -927,7 +951,9 @@ def _run_fuzz(args: argparse.Namespace) -> int:
     from repro.qa.runner import DifferentialRunner
 
     backend = _get_backend(args.backend).name
-    runner = DifferentialRunner(args.seed, backend=backend)
+    runner = DifferentialRunner(
+        args.seed, backend=backend, parallelism_mode=args.parallelism_mode
+    )
     report = runner.run(args.cases, start=args.start)
 
     calibration = None
@@ -1042,7 +1068,11 @@ def _run_batch(args: argparse.Namespace) -> int:
         )
 
     service = _build_service(
-        args, session_budget=budget, rng=args.seed, parallelism=args.parallelism
+        args,
+        session_budget=budget,
+        rng=args.seed,
+        parallelism=args.parallelism,
+        parallelism_mode=args.parallelism_mode,
     )
     name = service.registry.names()[0]
     session = service.create_session()

@@ -120,6 +120,12 @@ class PrivateCountingQuery:
         Worker-pool size for the residual-sensitivity component
         evaluations (``None``/``0``/``1``: serial, the default).  A pure
         throughput knob — results are identical.
+    parallelism_mode:
+        ``"thread"`` (the ``None`` default), ``"process"`` or ``"auto"`` —
+        whether the residual-sensitivity component fan-out runs on threads
+        or on the shared GIL-free process pool (see
+        :func:`repro.engine.profile.evaluate_profile`).  Results are
+        identical across modes.
 
     Examples
     --------
@@ -145,6 +151,7 @@ class PrivateCountingQuery:
         strategy: str = "auto",
         backend: str | None = None,
         parallelism: int | None = None,
+        parallelism_mode: str | None = None,
     ):
         if epsilon <= 0:
             raise PrivacyError(f"epsilon must be positive, got {epsilon}")
@@ -159,6 +166,7 @@ class PrivateCountingQuery:
         self._strategy = strategy
         self._backend = get_backend(backend).name
         self._parallelism = parallelism
+        self._parallelism_mode = parallelism_mode
         self._smooth = SmoothSensitivityMechanism(self._epsilon, rng=self._rng)
 
     @property
@@ -199,6 +207,7 @@ class PrivateCountingQuery:
                 strategy=self._strategy,
                 backend=self._backend,
                 parallelism=self._parallelism,
+                parallelism_mode=self._parallelism_mode,
             ).compute(database)
         if self._method == "elastic":
             return ElasticSensitivity(self._query, beta=beta).compute(database)

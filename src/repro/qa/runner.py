@@ -43,6 +43,15 @@ executes a fixed battery of checks:
     indistinguishable from a from-scratch rebuild with the same final
     rows: tuple sets, counts, full lattice profiles and bitwise seeded
     releases must agree on both backends.
+``process-profile``
+    Process-pool lattice evaluation
+    (``evaluate_profile(..., parallelism_mode="process")``, the GIL-free
+    path through :mod:`repro.engine.procpool`) must be indistinguishable
+    from the serial evaluation on both backends: identical values,
+    exactness flags and dropped-predicate multisets for every subset,
+    identical structural stats counters, and the same factorization
+    hits+misses total (the hit/miss *split* may shift toward misses —
+    worker caches start cold).
 
 Every failure is wrapped in a :class:`FuzzFailure` that carries a
 self-contained replay snippet — paste it into a Python prompt (or pipe to
@@ -62,7 +71,7 @@ import numpy as np
 from repro.data.database import Database
 from repro.engine.aggregates import boundary_multiplicity
 from repro.engine.backend import get_backend
-from repro.engine.profile import evaluate_profile
+from repro.engine.profile import PARALLELISM_MODES, evaluate_profile
 from repro.engine.evaluation import count_query
 from repro.mechanisms.mechanism import PrivateCountingQuery
 from repro.qa.generator import FuzzCase, WorkloadGenerator
@@ -89,6 +98,7 @@ CHECKS = (
     "smoothness",
     "release",
     "incremental",
+    "process-profile",
 )
 
 #: Numerical slack for float comparisons of analytically-ordered quantities.
@@ -190,6 +200,13 @@ class DifferentialRunner:
         Work-estimate cap above which the exhaustive-neighbor
         ``local-sensitivity`` check is skipped for a case (see
         :func:`repro.qa.oracle.oracle_neighbor_cost`).
+    parallelism_mode:
+        The evaluation mode (``"thread"``, ``"process"`` or ``"auto"``)
+        the parallel legs of ``lattice-profile`` and ``incremental`` use,
+        so a CI matrix leg can route the whole battery through the
+        process pool.  ``None`` keeps the thread default.  The dedicated
+        ``process-profile`` check always exercises process mode,
+        whatever this is set to.
     """
 
     def __init__(
@@ -198,10 +215,17 @@ class DifferentialRunner:
         *,
         backend: str | None = None,
         oracle_budget: int = 150_000,
+        parallelism_mode: str | None = None,
     ):
+        if parallelism_mode is not None and parallelism_mode not in PARALLELISM_MODES:
+            raise ValueError(
+                f"unknown parallelism_mode {parallelism_mode!r}; "
+                f"expected one of {PARALLELISM_MODES}"
+            )
         self._generator = WorkloadGenerator(seed)
         self._backend = get_backend(backend).name
         self._oracle_budget = oracle_budget
+        self._parallelism_mode = parallelism_mode
 
     @property
     def seed(self) -> int:
@@ -395,7 +419,10 @@ class DifferentialRunner:
                         f"shared-lattice {got.dropped_predicates!r} != "
                         f"per-subset {base.dropped_predicates!r}"
                     )
-        parallel = evaluate_profile(query, db, subsets, parallelism=2)
+        parallel = evaluate_profile(
+            query, db, subsets, parallelism=2,
+            parallelism_mode=self._parallelism_mode,
+        )
         serial = evaluate_profile(query, db, subsets)
         for kept in subsets:
             if parallel.results[kept] != serial.results[kept]:
@@ -565,8 +592,14 @@ class DifferentialRunner:
                     f"[{name}] count after edit script {script}: "
                     f"delta path {delta_count} != rebuild {fresh_count}"
                 )
-            delta_profile = evaluate_profile(query, db, subsets, backend=name)
-            fresh_profile = evaluate_profile(query, fresh, subsets, backend=name)
+            delta_profile = evaluate_profile(
+                query, db, subsets, backend=name,
+                parallelism_mode=self._parallelism_mode,
+            )
+            fresh_profile = evaluate_profile(
+                query, fresh, subsets, backend=name,
+                parallelism_mode=self._parallelism_mode,
+            )
             for kept in subsets:
                 got, want = delta_profile.results[kept], fresh_profile.results[kept]
                 if (got.value, got.exact) != (want.value, want.exact):
@@ -603,5 +636,61 @@ class DifferentialRunner:
                     f"delta=(noisy={dl.noisy_count!r}, S={dl.sensitivity!r}, "
                     f"count={dl.true_count!r}) rebuild=(noisy={rb.noisy_count!r}, "
                     f"S={rb.sensitivity!r}, count={rb.true_count!r})"
+                )
+        return "; ".join(problems) or None
+
+    def _check_process_profile(self, case: FuzzCase, report) -> str | None:
+        query, db = case.query(), case.database()
+        engine = ResidualSensitivity(query, beta=case.beta)
+        subsets = engine.required_subsets(db)
+        problems = []
+        for name in ("python", "numpy"):
+            serial = evaluate_profile(query, db, subsets, backend=name)
+            pooled = evaluate_profile(
+                query, db, subsets, backend=name,
+                parallelism=2, parallelism_mode="process",
+            )
+            for kept in subsets:
+                got, want = pooled.results[kept], serial.results[kept]
+                if (got.value, got.exact) != (want.value, want.exact):
+                    problems.append(
+                        f"[{name}] T_{tuple(sorted(kept))}: process pool "
+                        f"({got.value}, exact={got.exact}) != serial "
+                        f"({want.value}, exact={want.exact})"
+                    )
+                elif sorted(map(repr, got.dropped_predicates)) != sorted(
+                    map(repr, want.dropped_predicates)
+                ):
+                    problems.append(
+                        f"[{name}] T_{tuple(sorted(kept))}: dropped predicates "
+                        f"differ: process pool {got.dropped_predicates!r} != "
+                        f"serial {want.dropped_predicates!r}"
+                    )
+            ps, ss = pooled.stats, serial.stats
+            structural = (
+                "subsets_total",
+                "components_total",
+                "components_evaluated",
+                "component_hits",
+                "component_cache_hits",
+            )
+            for field_name in structural:
+                if getattr(ps, field_name) != getattr(ss, field_name):
+                    problems.append(
+                        f"[{name}] stats.{field_name}: process pool "
+                        f"{getattr(ps, field_name)} != serial "
+                        f"{getattr(ss, field_name)}"
+                    )
+            # Cold worker caches may turn hits into misses, but every
+            # factorization event must still be counted exactly once.
+            pooled_events = ps.factorization_hits + ps.factorization_misses
+            serial_events = ss.factorization_hits + ss.factorization_misses
+            if pooled_events != serial_events:
+                problems.append(
+                    f"[{name}] factorization events: process pool "
+                    f"{pooled_events} (hits={ps.factorization_hits}, "
+                    f"misses={ps.factorization_misses}) != serial "
+                    f"{serial_events} (hits={ss.factorization_hits}, "
+                    f"misses={ss.factorization_misses})"
                 )
         return "; ".join(problems) or None

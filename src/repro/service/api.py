@@ -7,7 +7,9 @@ Endpoints (all bodies and responses are ``application/json``):
     ``{"name": ..., "dataset": "GrQc", "scale": 0.02}`` — register a named
     database (``"replace": true`` to update an existing name;
     ``"backend": "numpy"`` to serve it from the vectorized columnar
-    execution backend instead of the dict-based default).
+    execution backend instead of the dict-based default;
+    ``"parallelism_mode": "process"``/``"auto"`` to pin how sensitivity
+    profiles against this database fan out across workers).
 ``POST /mutate``
     ``{"database": ..., "operations": [{"relation": "edge", "op": "insert",
     "rows": [[1, 2]]}, ...]}`` — apply a batch of tuple-level delta
@@ -74,7 +76,29 @@ from repro.exceptions import (
 )
 from repro.service.service import PrivateQueryService
 
-__all__ = ["make_server", "ServiceRequestHandler"]
+__all__ = ["make_server", "shed_retry_after", "ServiceRequestHandler"]
+
+#: Bounds of the derived ``Retry-After`` on shed (503) responses.
+MIN_RETRY_AFTER = 1
+MAX_RETRY_AFTER = 30
+
+
+def shed_retry_after(view: Mapping[str, Any]) -> int:
+    """The ``Retry-After`` seconds for a shed response, from a capacity view.
+
+    ``view`` is :meth:`repro.service.cluster.CapacityBoard.describe` output.
+    A barely-full cluster tells clients to retry in 1 s; the hint grows with
+    the queue depth normalized by per-worker capacity (how many "rounds" of
+    in-flight work stand in line) scaled by the overcommit ratio, and is
+    clamped to ``[MIN_RETRY_AFTER, MAX_RETRY_AFTER]`` so a load spike never
+    pushes clients out for minutes.  Monotone in load: more queued work ⇒ an
+    equal or later retry.
+    """
+    depth = max(0, int(view.get("queue_depth", 0)))
+    ratio = max(0.0, float(view.get("overcommit_ratio", 0.0)))
+    per_worker = max(1, int(view.get("max_inflight_per_worker", 1)))
+    hint = MIN_RETRY_AFTER + math.ceil(ratio * depth / per_worker)
+    return max(MIN_RETRY_AFTER, min(MAX_RETRY_AFTER, int(hint)))
 
 
 def _as_float(value: Any, field: str) -> float:
@@ -396,10 +420,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             # instead of queueing the request behind the budget-ledger
             # lock (which would convoy every sibling worker).
             if not board.admit():
+                # The hint scales with the board's queue depth/overcommit
+                # ratio so clients back off proportionally to the overload
+                # instead of hammering a drowning cluster once per second.
+                retry_after = shed_retry_after(board.describe())
                 self._send_error_json(
                     503,
                     "server at capacity, retry shortly",
-                    headers={"Retry-After": "1"},
+                    headers={"Retry-After": str(retry_after)},
                 )
                 return
             try:
@@ -420,6 +448,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             database,
             replace=bool(payload.get("replace", False)),
             backend=payload.get("backend"),
+            parallelism_mode=payload.get("parallelism_mode"),
         )
         return 200, entry.describe()
 

@@ -1,12 +1,18 @@
-"""A thread-safe LRU cache with hit/miss statistics.
+"""A thread-safe LRU cache with hit/miss statistics and single-flight fills.
 
 The serving layer keeps three of these: a *plan* cache (query text →
 canonicalized query), a *profile* cache (per-database residual-query
 multiplicities, which are β-independent) and a *sensitivity* cache (final
 sensitivity values per ``(database, version, shape, method, β)``).  All three
-store deterministic, data-derived values, so the cache may race benignly:
-two threads missing on the same key both compute the same value and the
-second ``put`` is a no-op semantically.
+store deterministic, data-derived values, so a duplicate computation can
+never be *wrong* — but it can be expensive: a profile over a large lattice
+runs for seconds, and a thundering herd of identical queries used to compute
+it once per thread.  :meth:`LRUCache.get_or_compute` therefore latches
+in-flight fills per key: the first caller (the *leader*) runs the factory,
+every concurrent caller of the same key blocks on the leader's result, and
+callers of independent keys still compute concurrently (the batch executor
+relies on that).  A leader failure wakes the waiters, who retry the factory
+themselves rather than inheriting an exception for work they did not run.
 """
 
 from __future__ import annotations
@@ -19,6 +25,15 @@ from typing import Any, Callable, Hashable, Iterator, Tuple
 from repro.exceptions import ServiceError
 
 __all__ = ["LRUCache", "CacheStats"]
+
+
+class _InFlight:
+    """The latch one in-flight :meth:`LRUCache.get_or_compute` fill publishes."""
+
+    __slots__ = ("event",)
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
 
 
 @dataclass(frozen=True)
@@ -65,6 +80,8 @@ class LRUCache:
             raise ServiceError(f"cache capacity must be non-negative, got {capacity}")
         self._capacity = capacity
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        # Keys whose value is being computed right now (single-flight latches).
+        self._inflight: dict[Hashable, _InFlight] = {}
         self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
@@ -114,18 +131,48 @@ class LRUCache:
         """``(value, hit)`` — computing and storing the value on a miss.
 
         ``factory`` runs *outside* the lock so independent keys can be
-        computed concurrently (the batch executor relies on this); if two
-        threads race on the same key the value is computed twice and the last
-        ``put`` wins, which is harmless because every cached value here is a
-        deterministic function of its key.
+        computed concurrently (the batch executor relies on this), but
+        same-key callers are **single-flighted**: the first caller becomes
+        the leader and runs the factory exactly once, concurrent callers
+        block on its latch and read the cached value (reported as a hit —
+        they never computed anything).  If the leader's factory raises, the
+        waiters wake and race to become the new leader instead of
+        inheriting the exception.  A ``capacity == 0`` cache cannot publish
+        results, so it computes per caller as before (the benchmarking
+        "uncached" mode must not serialize independent requests).
         """
         sentinel = object()
-        value = self.get(key, sentinel)
-        if value is not sentinel:
-            return value, True
-        value = factory()
-        self.put(key, value)
-        return value, False
+        while True:
+            value = self.get(key, sentinel)
+            if value is not sentinel:
+                return value, True
+            if self._capacity == 0:
+                return factory(), False
+            with self._lock:
+                if key in self._entries:
+                    continue  # published between get() and here: re-read it
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InFlight()
+                    self._inflight[key] = flight
+                    leader = True
+                else:
+                    leader = False
+            if not leader:
+                flight.event.wait()
+                continue  # cached on success; leader failure → retry as leader
+            try:
+                value = factory()
+            except BaseException:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                flight.event.set()
+                raise
+            self.put(key, value)
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.event.set()
+            return value, False
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""

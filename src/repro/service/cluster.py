@@ -16,8 +16,10 @@ processes the way classic prefork servers do:
 3. A **capacity board** — one page of anonymous shared memory mapped
    before the fork — tracks per-worker in-flight counts.  ``GET
    /capacity`` reports it pod-style (total/used/available), and admission
-   control sheds ``/count``/``/batch`` load with ``503 Retry-After: 1``
-   *before* a request can queue on the cross-process ledger lock.
+   control sheds ``/count``/``/batch`` load with ``503`` plus a
+   load-derived ``Retry-After`` (see
+   :func:`repro.service.api.shed_retry_after`) *before* a request can
+   queue on the cross-process ledger lock.
 4. The dispatcher **supervises**: a worker that dies (OOM, SIGKILL, bug)
    is detected by ``waitpid`` and respawned; the replacement recovers the
    shared journal on startup, so it resumes with the cluster-wide ledger

@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.data.database import Database
 from repro.engine.backend import get_backend
+from repro.engine.profile import PARALLELISM_MODES
 from repro.exceptions import ServiceError, UnknownResourceError
 from repro.service.persistence import exclusive_or_null
 
@@ -58,12 +59,16 @@ class RegisteredDatabase:
     database runs on (``"python"`` or ``"numpy"``); it is chosen at
     registration time because the columnar backend amortises its one-off
     column conversion across the lifetime of the registration.
+    ``parallelism_mode`` optionally pins how sensitivity profiles against
+    this database fan out (``"thread"``/``"process"``/``"auto"``);
+    ``None`` defers to the service-wide default.
     """
 
     name: str
     version: int
     database: Database
     backend: str = "python"
+    parallelism_mode: str | None = None
 
     @property
     def key(self) -> tuple[str, int]:
@@ -76,6 +81,7 @@ class RegisteredDatabase:
             "name": self.name,
             "version": self.version,
             "backend": self.backend,
+            "parallelism_mode": self.parallelism_mode,
             "relations": {
                 rel.schema.name: len(rel) for rel in self.database
             },
@@ -111,19 +117,28 @@ class DatabaseRegistry:
         *,
         replace: bool = False,
         backend: str | None = None,
+        parallelism_mode: str | None = None,
     ) -> RegisteredDatabase:
         """Register ``database`` under ``name``, served by ``backend``.
 
         ``backend`` is resolved (and validated) at registration time —
         ``None`` picks the process default, an unknown name raises
         :class:`~repro.exceptions.EvaluationError` here rather than at the
-        first query.  Raises :class:`ServiceError` if the name is taken and
-        ``replace`` is false.  Replacing bumps the version so cache keys
-        derived from the previous contents can never match again.
+        first query.  ``parallelism_mode`` (``"thread"``/``"process"``/
+        ``"auto"``, validated here) pins the profiler fan-out for this
+        registration; ``None`` defers to the service default.  Raises
+        :class:`ServiceError` if the name is taken and ``replace`` is
+        false.  Replacing bumps the version so cache keys derived from the
+        previous contents can never match again.
         """
         if not name or not isinstance(name, str):
             raise ServiceError(f"database name must be a non-empty string, got {name!r}")
         backend = get_backend(backend).name
+        if parallelism_mode is not None and parallelism_mode not in PARALLELISM_MODES:
+            raise ServiceError(
+                f"unknown parallelism_mode {parallelism_mode!r}; "
+                f"expected one of {PARALLELISM_MODES}"
+            )
         with self._exclusive():
             with self._lock:
                 if name in self._entries and not replace:
@@ -132,7 +147,11 @@ class DatabaseRegistry:
                     )
                 version = self._versions.get(name, 0) + 1
                 entry = RegisteredDatabase(
-                    name=name, version=version, database=database, backend=backend
+                    name=name,
+                    version=version,
+                    database=database,
+                    backend=backend,
+                    parallelism_mode=parallelism_mode,
                 )
                 previous = self._entries.get(name)
 
@@ -408,6 +427,7 @@ class DatabaseRegistry:
                             "name",
                             "version",
                             "backend",
+                            "parallelism_mode",
                             "relations",
                             "private_tuples",
                             "epochs",

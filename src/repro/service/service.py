@@ -60,6 +60,8 @@ from repro.data.database import Database
 from repro.engine.backend import available_backends, default_backend_name
 from repro.engine.canonical import canonical_query_key
 from repro.engine.evaluation import count_query
+from repro.engine.procpool import shutdown_process_pool
+from repro.engine.profile import PARALLELISM_MODES
 from repro.exceptions import PrivacyError, ServiceError, UnknownResourceError
 from repro.mechanisms.accountant import PrivacyAccountant
 from repro.mechanisms.mechanism import PrivateCountingQuery
@@ -157,9 +159,17 @@ class PrivateQueryService:
         Evaluation strategy forwarded to the residual-sensitivity engine.
     parallelism:
         Worker-pool size for the residual-sensitivity component
-        evaluations (``None``/``0``/``1``: serial, the default).  Purely a
-        throughput knob — results, and therefore seeded release sequences,
-        are identical.
+        evaluations (``None``/``0``/``1``: serial in thread mode, the
+        per-core default pool size in process mode).  Purely a throughput
+        knob — results, and therefore seeded release sequences, are
+        identical.
+    parallelism_mode:
+        Service-wide default for how component fan-out runs: ``"thread"``
+        (the ``None`` default), ``"process"`` (the shared GIL-free pool of
+        :mod:`repro.engine.procpool`, shut down by :meth:`close`) or
+        ``"auto"`` (process for large lattices).  Individual registrations
+        can override it via ``register_database(parallelism_mode=...)``.
+        Results are identical across modes.
     state_dir:
         Optional directory for durable state (see
         :mod:`repro.service.persistence`).  Sessions, budgets and audit
@@ -220,6 +230,7 @@ class PrivateQueryService:
         rng: np.random.Generator | int | None = None,
         strategy: str = "auto",
         parallelism: int | None = None,
+        parallelism_mode: str | None = None,
         state_dir: str | None = None,
         snapshot_interval: int = 1000,
         observability: bool = True,
@@ -230,6 +241,11 @@ class PrivateQueryService:
     ):
         if noise_mode not in ("stream", "charge-seq"):
             raise ServiceError(f"unknown noise_mode {noise_mode!r}")
+        if parallelism_mode is not None and parallelism_mode not in PARALLELISM_MODES:
+            raise ServiceError(
+                f"unknown parallelism_mode {parallelism_mode!r}; "
+                f"expected one of {PARALLELISM_MODES}"
+            )
         if noise_mode == "charge-seq" and not isinstance(rng, int):
             raise ServiceError(
                 "noise_mode='charge-seq' requires an integer seed (rng=<int>) "
@@ -270,6 +286,7 @@ class PrivateQueryService:
         self._component_cache = LRUCache(cache_capacity * 4)
         self._strategy = strategy
         self._parallelism = parallelism
+        self._parallelism_mode = parallelism_mode
         self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
         # numpy Generators are not thread-safe; the batch executor funnels
         # every noise draw through this lock.
@@ -527,12 +544,16 @@ class PrivateQueryService:
         }
 
     def close(self, *, snapshot: bool = True) -> None:
-        """Flush durable state and release the journal file handle.
+        """Flush durable state and stop background workers.
 
         With ``snapshot=True`` (the default) a final compacted snapshot is
-        written first, so the next recovery replays an empty journal.  A
-        service without ``state_dir`` has nothing to do.
+        written first, so the next recovery replays an empty journal.  The
+        shared profiler process pool (warmed by ``parallelism_mode=
+        "process"`` evaluations) is always shut down, even for a service
+        without ``state_dir``, so worker processes never outlive the
+        service — cluster workers reach this on ``SIGTERM`` drain.
         """
+        shutdown_process_pool()
         if self._store is None:
             return
         if snapshot and self._store.snapshot_provider is not None:
@@ -559,16 +580,25 @@ class PrivateQueryService:
         *,
         replace: bool = False,
         backend: str | None = None,
+        parallelism_mode: str | None = None,
     ) -> RegisteredDatabase:
         """Register (or with ``replace=True`` update) a named database.
 
         ``backend`` picks the execution backend every query against this
         database runs on (``"python"``, ``"numpy"``; ``None`` uses the
-        process default).  Backends are result-equivalent — with a fixed
-        service seed the released sequence is bitwise identical either way —
-        so the choice is purely a performance knob.
+        process default).  ``parallelism_mode`` (``"thread"``/``"process"``/
+        ``"auto"``) pins the profiler fan-out for this registration; ``None``
+        defers to the service-wide default.  Both knobs are result-equivalent
+        — with a fixed service seed the released sequence is bitwise
+        identical whichever is chosen — so they tune performance only.
         """
-        return self._registry.register(name, database, replace=replace, backend=backend)
+        return self._registry.register(
+            name,
+            database,
+            replace=replace,
+            backend=backend,
+            parallelism_mode=parallelism_mode,
+        )
 
     def mutate(self, name: str, operations: list[dict[str, Any]]) -> dict[str, Any]:
         """Apply a batch of tuple-level delta operations to a registered database.
@@ -686,6 +716,7 @@ class PrivateQueryService:
                     strategy=self._strategy,
                     backend=reg.backend,
                     parallelism=self._parallelism,
+                    parallelism_mode=reg.parallelism_mode or self._parallelism_mode,
                 )
                 if key is None:
                     return engine.compute(reg.database)
@@ -1154,6 +1185,10 @@ class PrivateQueryService:
             "backends": {
                 "available": available_backends(),
                 "default": default_backend_name(),
+            },
+            "parallelism": {
+                "workers": self._parallelism,
+                "mode": self._parallelism_mode or "thread",
             },
             "databases": self._registry.describe(),
             "sessions": {

@@ -398,7 +398,9 @@ def test_admission_sheds_with_503_before_ledger(edge_file, tmp_path):
                     {"database": "g", "query": "Edge(x, y)", "epsilon": 0.25},
                 )
             assert excinfo.value.code == 503
-            assert excinfo.value.headers["Retry-After"] == "1"
+            # Derived from the board: queue_depth=1, overcommit_ratio=1.0,
+            # max_inflight_per_worker=1 → 1 + ceil(1·1/1) = 2 seconds.
+            assert excinfo.value.headers["Retry-After"] == "2"
             # GET endpoints bypass admission: the board stays observable
             # even when every request slot is held.
             board = _get(f"{url}/capacity")

@@ -8,6 +8,10 @@ Covers
   component memoization, isomorphism dedup, projections, predicates and the
   empty-subset convention, on both backends;
 * the ``parallelism`` knob (identical results, any pool size);
+* the ``parallelism_mode`` knob — the serial/thread/process equivalence
+  matrix on both backends (values, dropped predicates, merged stats
+  counters), pickle round-trips of the process-pool task specs, prompt
+  failure propagation with sibling cancellation, and mode validation;
 * the iterative stars-and-bars ``_distance_vectors`` generator (count and
   order pinned against the recursive formulation it replaced);
 * the vectorized ``L̂S^(k)`` contraction (pinned against a literal
@@ -166,6 +170,197 @@ class TestParallelism:
 
         with pytest.raises(SensitivityError):
             ResidualSensitivity(triangle_query(), beta=0.1, parallelism=-1)
+
+
+class TestParallelismModes:
+    """The serial / thread / process equivalence matrix (ISSUE 9 tentpole)."""
+
+    _STRUCTURAL = (
+        "subsets_total",
+        "components_total",
+        "components_evaluated",
+        "component_hits",
+        "component_cache_hits",
+    )
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    @pytest.mark.parametrize(
+        "query_factory",
+        [triangle_query, lambda: k_star_query(3),
+         lambda: parse_query("q(x) :- Edge(x, y), Edge(y, z)")],
+        ids=["triangle", "star3", "projection"],
+    )
+    def test_cross_mode_equivalence(self, graph_db, backend, query_factory):
+        query = query_factory()
+        engine = ResidualSensitivity(query, beta=0.1, backend=backend)
+        subsets = engine.required_subsets(graph_db)
+        serial = evaluate_profile(query, graph_db, subsets, backend=backend)
+        by_mode = {
+            "thread": evaluate_profile(
+                query, graph_db, subsets, backend=backend,
+                parallelism=2, parallelism_mode="thread",
+            ),
+            "process": evaluate_profile(
+                query, graph_db, subsets, backend=backend,
+                parallelism=2, parallelism_mode="process",
+            ),
+        }
+        for mode, profile in by_mode.items():
+            for kept in subsets:
+                got, want = profile.results[kept], serial.results[kept]
+                assert (got.value, got.exact) == (want.value, want.exact), (
+                    mode, tuple(sorted(kept)),
+                )
+                assert sorted(map(repr, got.dropped_predicates)) == sorted(
+                    map(repr, want.dropped_predicates)
+                ), (mode, tuple(sorted(kept)))
+            for field in self._STRUCTURAL:
+                assert getattr(profile.stats, field) == getattr(
+                    serial.stats, field
+                ), (mode, field)
+            # Cold worker caches can turn factorization hits into misses,
+            # but the event total is structural and mode-invariant.
+            assert (
+                profile.stats.factorization_hits
+                + profile.stats.factorization_misses
+                == serial.stats.factorization_hits
+                + serial.stats.factorization_misses
+            ), mode
+
+    def test_auto_mode_matches_serial(self, graph_db):
+        query = parse_query("Edge(a, b), Edge(b, c), Edge(c, d), Edge(d, e)")
+        engine = ResidualSensitivity(query, beta=0.1)
+        subsets = engine.required_subsets(graph_db)
+        serial = evaluate_profile(query, graph_db, subsets)
+        auto = evaluate_profile(
+            query, graph_db, subsets, parallelism=2, parallelism_mode="auto"
+        )
+        assert auto.results == serial.results
+
+    def test_unknown_mode_rejected(self, graph_db):
+        from repro.exceptions import EvaluationError
+
+        with pytest.raises(EvaluationError, match="parallelism_mode"):
+            evaluate_profile(
+                triangle_query(), graph_db, [frozenset({0})],
+                parallelism_mode="greenlet",
+            )
+
+    def test_mode_threads_through_the_engine(self, graph_db):
+        serial = ResidualSensitivity(triangle_query(), beta=0.1)
+        pooled = ResidualSensitivity(
+            triangle_query(), beta=0.1, parallelism=2, parallelism_mode="process"
+        )
+        assert serial.compute(graph_db).value == pooled.compute(graph_db).value
+
+    def test_engine_rejects_unknown_mode(self):
+        from repro.exceptions import SensitivityError
+
+        with pytest.raises(SensitivityError):
+            ResidualSensitivity(
+                triangle_query(), beta=0.1, parallelism_mode="fork"
+            )
+
+    def test_component_task_pickle_roundtrip(self, graph_db):
+        import pickle
+
+        from repro.engine.procpool import build_component_task, evaluate_component_task
+
+        query = triangle_query()
+        task = build_component_task(
+            query,
+            graph_db,
+            frozenset({0, 1}),
+            relation_names={"Edge"},
+            strategy="auto",
+            max_enumeration=None,
+            backend_name="python",
+        )
+        clone = pickle.loads(pickle.dumps(task))
+        # DatabaseSchema compares by identity; check the shipped payload.
+        assert clone.relations == task.relations
+        assert (clone.kept, clone.db_token) == (task.kept, task.db_token)
+        assert (clone.strategy, clone.max_enumeration, clone.backend) == (
+            task.strategy, task.max_enumeration, task.backend,
+        )
+        assert repr(clone.schema) == repr(task.schema)
+        # The thawed spec evaluates to the same result as the parent-side
+        # reference path.
+        result, delta = evaluate_component_task(clone)
+        reference = boundary_multiplicity(query, graph_db, frozenset({0, 1}))
+        assert (result.value, result.exact) == (reference.value, reference.exact)
+        assert set(delta) == {"hits", "misses"}
+
+
+def _exploding_component_task(task):
+    """Module-level so the spawn worker can unpickle it by reference."""
+    raise RuntimeError("worker blew up")
+
+
+class TestPoisonedComponent:
+    """Regression: a failing component must cancel its queued siblings.
+
+    The parallel path used to go through ``pool.map``, which surfaces the
+    first exception only after every in-flight sibling finishes and lets
+    all queued components run to completion anyway.
+    """
+
+    @staticmethod
+    def _disconnected_query(n):
+        text = ", ".join(f"R{i}(a{i}, b{i})" for i in range(n))
+        return parse_query(text)
+
+    def test_thread_failure_cancels_queued_siblings(self, monkeypatch):
+        import repro.engine.profile as profile_module
+
+        n = 8
+        query = self._disconnected_query(n)
+        schema = DatabaseSchema.from_arities({f"R{i}": 2 for i in range(n)})
+        db = Database.from_rows(
+            schema, **{f"R{i}": [(1, 2), (2, 3)] for i in range(n)}
+        )
+        real = boundary_multiplicity
+        calls = []
+
+        def poisoned(query_, db_, kept, **kwargs):
+            kept = frozenset(kept)
+            calls.append(kept)
+            if kept == frozenset({0}):
+                raise RuntimeError("poisoned component")
+            import time
+
+            time.sleep(0.05)
+            return real(query_, db_, kept, **kwargs)
+
+        monkeypatch.setattr(profile_module, "boundary_multiplicity", poisoned)
+        with pytest.raises(RuntimeError, match="poisoned component"):
+            evaluate_profile(
+                query, db, [frozenset(range(n))], parallelism=2
+            )
+        # The poison fires while at most one sibling is in flight; the
+        # queued remainder must be cancelled, not drained.  pool.map would
+        # have recorded all n calls here.
+        assert frozenset({0}) in calls
+        assert len(calls) <= 4
+
+    def test_process_failure_propagates(self, monkeypatch):
+        import repro.engine.profile as profile_module
+
+        # The worker unpickles this module-level function by reference and
+        # raises inside the pool — the genuine worker-failure path.
+        monkeypatch.setattr(
+            profile_module, "evaluate_component_task", _exploding_component_task
+        )
+        query = triangle_query()
+        db = database_from_edges([(1, 2), (2, 3)])
+        with pytest.raises(RuntimeError, match="worker blew up"):
+            evaluate_profile(
+                query,
+                db,
+                [frozenset({0, 1})],
+                parallelism=2,
+                parallelism_mode="process",
+            )
 
 
 class TestDistanceVectors:

@@ -86,6 +86,116 @@ class TestLRUCache:
             LRUCache(-1)
 
 
+class TestSingleFlight:
+    """Regression: concurrent same-key misses used to compute in parallel.
+
+    ``get_or_compute`` must run the factory exactly once per fill — the
+    losers of the race wait for the leader's value instead of stampeding
+    an expensive sensitivity profile N times.
+    """
+
+    def test_same_key_stampede_computes_once(self):
+        import threading
+
+        cache = LRUCache(4)
+        calls = []
+        entered = threading.Event()
+        release = threading.Event()
+
+        def slow_factory():
+            calls.append(1)
+            entered.set()
+            release.wait(5)
+            return "v"
+
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(cache.get_or_compute("k", slow_factory))
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        assert entered.wait(5)
+        release.set()
+        for t in threads:
+            t.join(5)
+        assert len(calls) == 1
+        assert [value for value, _ in results] == ["v"] * 8
+        # Exactly the leader reports a miss; every waiter re-reads the
+        # published entry and counts as a hit.
+        assert sum(1 for _, hit in results if not hit) == 1
+
+    def test_independent_keys_compute_concurrently(self):
+        import threading
+
+        cache = LRUCache(4)
+        # Both factories must be in flight at once to pass the barrier; a
+        # lock held across the compute would deadlock this test.
+        barrier = threading.Barrier(2, timeout=5)
+        results = []
+
+        def factory(tag):
+            barrier.wait()
+            return tag
+
+        threads = [
+            threading.Thread(
+                target=lambda key=key: results.append(
+                    cache.get_or_compute(key, lambda: factory(key))
+                )
+            )
+            for key in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(5)
+        assert sorted(value for value, _ in results) == ["a", "b"]
+
+    def test_leader_failure_releases_waiters(self):
+        import threading
+        import time
+
+        cache = LRUCache(4)
+        follower_result = []
+
+        def failing_factory():
+            time.sleep(0.2)  # let the follower start waiting
+            raise RuntimeError("leader died")
+
+        def follower():
+            follower_result.append(cache.get_or_compute("k", lambda: "rescued"))
+
+        leader_error = []
+
+        def leader():
+            try:
+                cache.get_or_compute("k", failing_factory)
+            except RuntimeError as exc:
+                leader_error.append(exc)
+
+        t1 = threading.Thread(target=leader)
+        t1.start()
+        time.sleep(0.05)
+        t2 = threading.Thread(target=follower)
+        t2.start()
+        t1.join(5)
+        t2.join(5)
+        assert leader_error  # the exception propagated to the leader
+        # The waiter was woken, retried as leader and computed its value.
+        assert follower_result == [("rescued", False)]
+        assert cache.get("k") == "rescued"
+
+    def test_failed_compute_leaves_no_latch(self):
+        cache = LRUCache(4)
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute("k", lambda: (_ for _ in ()).throw(RuntimeError()))
+        value, hit = cache.get_or_compute("k", lambda: "ok")
+        assert (value, hit) == ("ok", False)
+
+
 class TestSessions:
     def test_create_charge_and_describe(self):
         manager = SessionManager(default_budget=1.0)

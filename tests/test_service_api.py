@@ -394,3 +394,87 @@ class TestKeepAliveFraming:
             status, body = _read_response(reader)
             assert status == 404
             assert reader.read() == b""  # server closed instead of waiting
+
+
+class TestShedRetryAfter:
+    """The load-derived Retry-After on shed (503) responses."""
+
+    @staticmethod
+    def _view(**overrides):
+        view = {
+            "queue_depth": 0,
+            "overcommit_ratio": 0.0,
+            "max_inflight_per_worker": 32,
+        }
+        view.update(overrides)
+        return view
+
+    def test_idle_board_yields_the_floor(self):
+        from repro.service.api import MIN_RETRY_AFTER, shed_retry_after
+
+        assert shed_retry_after(self._view()) == MIN_RETRY_AFTER == 1
+
+    def test_bounded_between_1_and_30(self):
+        from repro.service.api import MAX_RETRY_AFTER, shed_retry_after
+
+        extreme = self._view(
+            queue_depth=10_000, overcommit_ratio=50.0, max_inflight_per_worker=1
+        )
+        assert shed_retry_after(extreme) == MAX_RETRY_AFTER == 30
+        for depth in range(0, 200, 7):
+            hint = shed_retry_after(
+                self._view(queue_depth=depth, overcommit_ratio=depth / 64)
+            )
+            assert 1 <= hint <= 30
+
+    def test_monotone_in_load(self):
+        from repro.service.api import shed_retry_after
+
+        hints = [
+            shed_retry_after(
+                self._view(queue_depth=depth, overcommit_ratio=depth / 64)
+            )
+            for depth in range(0, 128, 8)
+        ]
+        assert hints == sorted(hints)
+        assert hints[-1] > hints[0]
+
+    def test_tolerates_missing_and_bogus_fields(self):
+        from repro.service.api import shed_retry_after
+
+        assert shed_retry_after({}) == 1
+        assert shed_retry_after(
+            {"queue_depth": -5, "overcommit_ratio": -1.0, "max_inflight_per_worker": 0}
+        ) == 1
+
+
+class TestParallelismModeOverHttp:
+    def test_register_with_mode_and_stats_block(self, server_url):
+        status, body = post(
+            f"{server_url}/register",
+            {"name": "k4", "edges": K4_EDGES, "parallelism_mode": "process"},
+        )
+        assert status == 200
+
+        status, stats = get(f"{server_url}/stats")
+        assert status == 200
+        block = stats["parallelism"]
+        assert set(block) == {"workers", "mode"}
+        assert block["mode"] == "thread"  # the service-wide default
+        assert stats["databases"]["k4"]["parallelism_mode"] == "process"
+
+        # Registration-pinned process mode serves counts end to end.
+        status, release = post(
+            f"{server_url}/count",
+            {"database": "k4", "query": "Edge(x, y), Edge(y, z)", "epsilon": 0.5},
+        )
+        assert status == 200
+        assert isinstance(release["noisy_count"], float)
+
+    def test_register_rejects_unknown_mode(self, server_url):
+        status, body = post(
+            f"{server_url}/register",
+            {"name": "k4", "edges": K4_EDGES, "parallelism_mode": "fork"},
+        )
+        assert status == 400
+        assert "parallelism_mode" in body["error"]
