@@ -1,0 +1,444 @@
+"""Optional compiled kernels for the columnar engine's inner loops.
+
+The columnar backend (:mod:`repro.engine.columnar`) is NumPy-vectorized, but
+its three hottest primitives still pay NumPy's temporary-array and dispatch
+overhead on every call: ``np.unique(return_inverse=True)`` factorization,
+the ``searchsorted``/``repeat``/``cumsum`` chain that expands sort-merge
+join matches, and the ``np.unique`` + ``np.add.at`` pair behind group-by
+aggregation.  This module provides fused single-pass replacements written
+in nopython-compatible style and JIT-compiled with `numba
+<https://numba.pydata.org/>`_ when it is installed (the optional
+``pip install .[compiled]`` extra).
+
+Kernel inventory (each operates on the dense ``int64`` codes of
+:class:`~repro.engine.columnar.ColumnCodes`, so the factorization cache,
+epoch invalidation and ``merge_factorization_delta`` work unchanged):
+
+* ``factorize_from_order`` — single-pass dense factorization over a stable
+  sort order, replacing ``np.unique(return_inverse=True)`` (used for both
+  column factorization and packed-key renormalization).  Produces exactly
+  ``np.unique``'s outputs: sorted distinct values and rank codes.
+* ``join_expand`` — fused sorted-key join expansion: per-left-row binary
+  search (the ``searchsorted`` lo/hi probe) and match materialization in one
+  pass, with none of the intermediate ``repeat``/``cumsum`` range arrays.
+* ``join_size`` — the probe alone, for the exact join-size estimate that
+  gates the sparse-matmul path.
+* ``group_reduce`` — fused group-by-accumulate over a stable sort order,
+  replacing ``np.unique(return_index=True, return_inverse=True)`` +
+  ``np.add.at``; first-occurrence indices match ``np.unique`` exactly.
+
+Stable ``np.argsort(kind="stable")`` orders are computed in NumPy *outside*
+the kernels, so row orderings — and therefore every downstream result — are
+bit-identical to the pure-NumPy path.
+
+**Modes.**  :func:`kernel_mode` resolves the environment to one of:
+
+* ``"jit"`` — numba is importable; kernels are ``njit(cache=True)``-compiled
+  (the on-disk cache amortizes compilation across processes, including
+  spawn-context procpool workers).
+* ``"interpreted"`` — ``REPRO_COMPILED_KERNELS=interpreted`` forces the same
+  kernel functions to run uncompiled.  This exists so the compiled backend's
+  *logic* stays testable (fuzz parity, equivalence matrices) on hosts
+  without numba; it is slower than plain NumPy and never selected
+  automatically.
+* ``"unavailable"`` — numba is missing, or ``REPRO_NO_COMPILED=1`` /
+  ``REPRO_COMPILED_KERNELS=off`` disables the tier.  The ``"compiled"``
+  backend then reports unavailable, :func:`~repro.engine.backend.get_backend`
+  raises a clear error for it, and ``"auto"`` selection falls back to
+  ``"numpy"``.
+
+**Warm-up.**  First-call JIT compilation costs seconds; :func:`warm_up`
+triggers it eagerly on tiny inputs and is wired into service registration,
+CLI ``serve`` startup and once-per-worker in the process pool, so
+cold-compile latency never lands on a serving request.  It is idempotent and
+thread-safe; :func:`kernel_status` reports whether (and how fast) it ran.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.exceptions import EvaluationError
+
+__all__ = [
+    "CompiledKernels",
+    "DISABLE_ENV_VAR",
+    "MODE_ENV_VAR",
+    "get_kernels",
+    "kernel_mode",
+    "kernel_status",
+    "kernel_version",
+    "kernels_available",
+    "unavailable_reason",
+    "warm_up",
+]
+
+#: Setting this to anything but ``""``/``"0"`` disables the compiled tier.
+DISABLE_ENV_VAR = "REPRO_NO_COMPILED"
+#: ``"interpreted"`` forces uncompiled kernels (testing without numba);
+#: ``"off"`` disables the tier; ``"jit"``/empty means autodetect numba.
+MODE_ENV_VAR = "REPRO_COMPILED_KERNELS"
+
+
+# --------------------------------------------------------------------- #
+# Kernel bodies (nopython-compatible: plain loops, int64 arrays only)
+# --------------------------------------------------------------------- #
+def _k_factorize_from_order(col, order):
+    """Dense factorization of ``col`` given its stable sort ``order``.
+
+    Returns ``(codes, uniq_pos, count)``: ``codes[i]`` is the rank of
+    ``col[i]`` among the sorted distinct values, ``uniq_pos[:count]`` holds
+    the original index of the first occurrence (in sorted order, hence the
+    *minimal* original index under a stable sort) of each distinct value —
+    so ``col[uniq_pos[:count]]`` equals ``np.unique(col)`` and ``codes``
+    equals ``np.unique``'s ``return_inverse``.
+    """
+    n = col.shape[0]
+    codes = np.empty(n, dtype=np.int64)
+    uniq_pos = np.empty(n, dtype=np.int64)
+    count = 0
+    prev = np.int64(0)
+    for i in range(n):
+        idx = order[i]
+        value = col[idx]
+        if i == 0 or value != prev:
+            uniq_pos[count] = idx
+            count += 1
+            prev = value
+        codes[idx] = count - 1
+    return codes, uniq_pos, count
+
+
+def _k_join_expand(lkey, rsorted, order):
+    """Fused sorted-key join expansion.
+
+    For every left row, binary-search its ``[lo, hi)`` match range in the
+    sorted right codes (the ``searchsorted`` probe) and materialise the
+    matching ``(left_idx, right_idx)`` pairs directly — one pass, no
+    intermediate ``repeat``/``cumsum`` range arrays.  ``order`` is the
+    stable argsort of the right codes, so the emitted pair order is
+    identical to the NumPy expansion's.
+    """
+    nl = lkey.shape[0]
+    nr = rsorted.shape[0]
+    los = np.empty(nl, dtype=np.int64)
+    his = np.empty(nl, dtype=np.int64)
+    total = np.int64(0)
+    for i in range(nl):
+        key = lkey[i]
+        lo = np.int64(0)
+        hi = np.int64(nr)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if rsorted[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        lower = lo
+        hi = np.int64(nr)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if rsorted[mid] <= key:
+                lo = mid + 1
+            else:
+                hi = mid
+        los[i] = lower
+        his[i] = lo
+        total += lo - lower
+    left_idx = np.empty(total, dtype=np.int64)
+    right_idx = np.empty(total, dtype=np.int64)
+    pos = 0
+    for i in range(nl):
+        for j in range(los[i], his[i]):
+            left_idx[pos] = i
+            right_idx[pos] = order[j]
+            pos += 1
+    return left_idx, right_idx
+
+
+def _k_join_size(lkey, rsorted):
+    """Exact number of join matches (the probe of ``_k_join_expand`` alone)."""
+    nl = lkey.shape[0]
+    nr = rsorted.shape[0]
+    total = np.int64(0)
+    for i in range(nl):
+        key = lkey[i]
+        lo = np.int64(0)
+        hi = np.int64(nr)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if rsorted[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        lower = lo
+        hi = np.int64(nr)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if rsorted[mid] <= key:
+                lo = mid + 1
+            else:
+                hi = mid
+        total += lo - lower
+    return total
+
+
+def _k_group_reduce(codes, counts, order):
+    """Fused group-by-accumulate of ``counts`` over ``codes`` groups.
+
+    Given the stable sort ``order`` of ``codes``, emits per-group
+    first-occurrence indices (minimal original index, matching
+    ``np.unique(return_index=True)``) and count sums (matching
+    ``np.add.at`` over ``return_inverse``), grouped in ascending code
+    order.  Returns ``(first_idx, sums, count)``.
+    """
+    n = codes.shape[0]
+    first_idx = np.empty(n, dtype=np.int64)
+    sums = np.zeros(n, dtype=np.int64)
+    count = 0
+    prev = np.int64(0)
+    for i in range(n):
+        idx = order[i]
+        code = codes[idx]
+        if i == 0 or code != prev:
+            first_idx[count] = idx
+            count += 1
+            prev = code
+        sums[count - 1] += counts[idx]
+    return first_idx, sums, count
+
+
+_KERNEL_BODIES = {
+    "factorize_from_order": _k_factorize_from_order,
+    "join_expand": _k_join_expand,
+    "join_size": _k_join_size,
+    "group_reduce": _k_group_reduce,
+}
+
+
+# --------------------------------------------------------------------- #
+# Mode resolution
+# --------------------------------------------------------------------- #
+def _numba_module():
+    try:
+        import numba
+    except Exception:
+        return None
+    return numba
+
+
+def kernel_mode() -> str:
+    """The effective kernel mode: ``"jit"``, ``"interpreted"`` or
+    ``"unavailable"`` (resolved from the environment on every call, so tests
+    and operators can flip modes without re-importing)."""
+    if os.environ.get(DISABLE_ENV_VAR, "").strip() not in ("", "0"):
+        return "unavailable"
+    forced = os.environ.get(MODE_ENV_VAR, "").strip().lower()
+    if forced == "interpreted":
+        return "interpreted"
+    if forced == "off":
+        return "unavailable"
+    if _numba_module() is not None:
+        return "jit"
+    return "unavailable"
+
+
+def kernels_available() -> bool:
+    """Whether the compiled tier can serve (JIT or forced-interpreted)."""
+    return kernel_mode() != "unavailable"
+
+
+def unavailable_reason() -> str | None:
+    """Why the compiled tier is unavailable (``None`` when it is available)."""
+    if os.environ.get(DISABLE_ENV_VAR, "").strip() not in ("", "0"):
+        return f"disabled by {DISABLE_ENV_VAR}={os.environ[DISABLE_ENV_VAR]!r}"
+    if os.environ.get(MODE_ENV_VAR, "").strip().lower() == "off":
+        return f"disabled by {MODE_ENV_VAR}=off"
+    if kernel_mode() == "unavailable":
+        return "numba is not installed (pip install .[compiled])"
+    return None
+
+
+def kernel_version() -> str | None:
+    """The numba version in JIT mode, ``"interpreted"`` in forced-interpreted
+    mode, ``None`` when unavailable."""
+    mode = kernel_mode()
+    if mode == "jit":
+        numba = _numba_module()
+        return getattr(numba, "__version__", "unknown") if numba else None
+    if mode == "interpreted":
+        return "interpreted"
+    return None
+
+
+# --------------------------------------------------------------------- #
+# Kernel table construction
+# --------------------------------------------------------------------- #
+_TABLE_LOCK = threading.Lock()
+_JIT_TABLE: dict | None = None
+
+
+def _kernel_table(mode: str) -> dict:
+    if mode == "interpreted":
+        return _KERNEL_BODIES
+    global _JIT_TABLE
+    with _TABLE_LOCK:
+        if _JIT_TABLE is None:
+            numba = _numba_module()
+            if numba is None:  # pragma: no cover - guarded by callers
+                raise EvaluationError("numba is not installed")
+            jit = numba.njit(cache=True, nogil=True)
+            _JIT_TABLE = {
+                name: jit(body) for name, body in _KERNEL_BODIES.items()
+            }
+        return _JIT_TABLE
+
+
+class CompiledKernels:
+    """The kernel hook object the compiled backend installs context-locally.
+
+    :mod:`repro.engine.columnar` consults the active instance at each hook
+    point; every method either returns kernel results or ``None`` to signal
+    "fall back to the NumPy path" (unsupported dtype).  Kernels only handle
+    ``int64`` data — exactly the dense-code representation the columnar
+    engine runs on — so object columns, strings and floats take the same
+    ``np.unique`` paths as the ``numpy`` backend.
+    """
+
+    def __init__(self, mode: str) -> None:
+        self.mode = mode
+        self._table = _kernel_table(mode)
+
+    # -- factorization ------------------------------------------------ #
+    def factorize(self, col: np.ndarray) -> tuple[np.ndarray, np.ndarray] | None:
+        """``(codes, values)`` equal to ``np.unique(col, return_inverse=True)``
+        (values sorted ascending, codes = ranks), or ``None`` for dtypes the
+        kernels do not handle."""
+        if col.dtype != np.int64:
+            return None
+        if len(col) == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        order = np.argsort(col, kind="stable")
+        codes, uniq_pos, count = self._table["factorize_from_order"](col, order)
+        return codes, col[uniq_pos[:count]]
+
+    def renormalize(self, codes: np.ndarray) -> tuple[np.ndarray, int]:
+        """Re-factorize packed ``int64`` row codes into a dense range."""
+        if len(codes) == 0:
+            return np.empty(0, dtype=np.int64), 1
+        order = np.argsort(codes, kind="stable")
+        dense, _, count = self._table["factorize_from_order"](codes, order)
+        return dense, max(int(count), 1)
+
+    # -- join expansion ------------------------------------------------ #
+    def expand_matches(
+        self, lkey: np.ndarray, rsorted: np.ndarray, order: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Matching ``(left_idx, right_idx)`` pairs of a sorted-key join, in
+        the same order as the NumPy ``searchsorted``/``repeat`` expansion."""
+        if len(lkey) == 0 or len(rsorted) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return self._table["join_expand"](lkey, rsorted, order)
+
+    def match_total(self, lkey: np.ndarray, rsorted: np.ndarray) -> int:
+        """Exact number of matches the join would produce."""
+        if len(lkey) == 0 or len(rsorted) == 0:
+            return 0
+        return int(self._table["join_size"](lkey, rsorted))
+
+    # -- group-by ------------------------------------------------------ #
+    def group_reduce(
+        self, codes: np.ndarray, counts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-group ``(first_idx, sums)`` matching ``np.unique`` +
+        ``np.add.at`` exactly (groups in ascending code order)."""
+        if len(codes) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        order = np.argsort(codes, kind="stable")
+        first_idx, sums, count = self._table["group_reduce"](codes, counts, order)
+        return first_idx[:count], sums[:count]
+
+
+_KERNELS_LOCK = threading.Lock()
+_KERNELS_BY_MODE: dict[str, CompiledKernels] = {}
+
+
+def get_kernels() -> CompiledKernels:
+    """The :class:`CompiledKernels` instance for the current mode.
+
+    Raises :class:`~repro.exceptions.EvaluationError` with the concrete
+    reason (and the install hint) when the compiled tier is unavailable.
+    """
+    mode = kernel_mode()
+    if mode == "unavailable":
+        raise EvaluationError(
+            "the 'compiled' execution backend is unavailable: "
+            f"{unavailable_reason()}; select backend 'numpy' or 'auto' instead"
+        )
+    with _KERNELS_LOCK:
+        kernels = _KERNELS_BY_MODE.get(mode)
+        if kernels is None:
+            kernels = CompiledKernels(mode)
+            _KERNELS_BY_MODE[mode] = kernels
+        return kernels
+
+
+# --------------------------------------------------------------------- #
+# Warm-up
+# --------------------------------------------------------------------- #
+_WARM_LOCK = threading.Lock()
+#: Per-mode warm-up record: ``mode -> {"seconds": float}``.
+_WARMED: dict[str, dict] = {}
+
+
+def warm_up() -> dict:
+    """Eagerly exercise every kernel on tiny inputs (triggering JIT
+    compilation in ``"jit"`` mode) — once per process per mode.
+
+    Returns the :func:`kernel_status` dict.  Wired into service-side database
+    registration, CLI ``serve`` startup, and once-per-worker in the process
+    pool; numba's on-disk cache (``cache=True``) amortizes compilation across
+    worker processes of one host.  A no-op when the tier is unavailable.
+    """
+    mode = kernel_mode()
+    if mode == "unavailable":
+        return kernel_status()
+    with _WARM_LOCK:
+        if mode not in _WARMED:
+            start = time.perf_counter()
+            kernels = get_kernels()
+            col = np.array([3, 1, 3, 2], dtype=np.int64)
+            kernels.factorize(col)
+            kernels.renormalize(col)
+            rkey = np.array([2, 1, 2], dtype=np.int64)
+            order = np.argsort(rkey, kind="stable")
+            kernels.expand_matches(col % 3, rkey[order], order)
+            kernels.match_total(col % 3, rkey[order])
+            kernels.group_reduce(col % 2, np.ones(4, dtype=np.int64))
+            _WARMED[mode] = {"seconds": time.perf_counter() - start}
+    return kernel_status()
+
+
+def kernel_status() -> dict:
+    """A JSON-serialisable status block for ``/stats``, ``describe()`` and
+    the ``repro-dp backends`` CLI."""
+    mode = kernel_mode()
+    warm = _WARMED.get(mode)
+    status: dict = {
+        "mode": mode,
+        "available": mode != "unavailable",
+        "requirement": "numba (pip install .[compiled])",
+        "version": kernel_version(),
+        "warm": warm is not None,
+        "warm_up_seconds": round(warm["seconds"], 6) if warm else None,
+    }
+    reason = unavailable_reason()
+    if reason:
+        status["reason"] = reason
+    return status

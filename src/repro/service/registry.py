@@ -133,7 +133,11 @@ class DatabaseRegistry:
         """
         if not name or not isinstance(name, str):
             raise ServiceError(f"database name must be a non-empty string, got {name!r}")
-        backend = get_backend(backend).name
+        resolved = get_backend(backend)
+        # One-off backend warm-up (the compiled tier's JIT compilation) runs
+        # at registration time, never on the first serving request.
+        resolved.ensure_ready()
+        backend = resolved.name
         if parallelism_mode is not None and parallelism_mode not in PARALLELISM_MODES:
             raise ServiceError(
                 f"unknown parallelism_mode {parallelism_mode!r}; "

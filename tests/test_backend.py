@@ -40,6 +40,9 @@ class TestRegistry:
     def test_available_backends(self):
         assert "python" in available_backends()
         assert "numpy" in available_backends()
+        # The compiled tier is always *registered*; availability is a
+        # separate axis (numba may be missing) surfaced via describe().
+        assert "compiled" in available_backends()
 
     def test_get_backend_by_name(self):
         assert isinstance(get_backend("python"), PythonBackend)
@@ -63,6 +66,23 @@ class TestRegistry:
         with pytest.raises(EvaluationError, match="fortran"):
             default_backend_name()
 
+    def test_env_var_unknown_message_lists_backends(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "fortran")
+        with pytest.raises(EvaluationError) as excinfo:
+            default_backend_name()
+        message = str(excinfo.value)
+        assert BACKEND_ENV_VAR in message
+        for name in available_backends():
+            assert name in message
+        assert "auto" in message
+
+    def test_env_var_auto_resolves_to_concrete_name(self, monkeypatch):
+        from repro.engine.backend import resolve_auto_backend
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, "auto")
+        assert default_backend_name() == resolve_auto_backend()
+        assert default_backend_name() in available_backends()
+
     def test_unknown_backend_raises(self):
         with pytest.raises(EvaluationError, match="unknown execution backend"):
             get_backend("no-such-backend")
@@ -71,6 +91,15 @@ class TestRegistry:
         with pytest.raises(EvaluationError, match="already registered"):
             register_backend(PythonBackend())
 
+    def test_register_backend_replace_overrides(self):
+        original = get_backend("python")
+        replacement = PythonBackend()
+        try:
+            register_backend(replacement, replace=True)
+            assert get_backend("python") is replacement
+        finally:
+            register_backend(original, replace=True)
+
     def test_register_backend_rejects_abstract_name(self):
         class Nameless(PythonBackend):
             name = "abstract"
@@ -78,11 +107,35 @@ class TestRegistry:
         with pytest.raises(EvaluationError, match="concrete name"):
             register_backend(Nameless())
 
-    def test_describe(self):
-        assert get_backend("numpy").describe() == {
-            "name": "numpy",
-            "class": "NumpyBackend",
-        }
+    def test_register_backend_rejects_reserved_auto_name(self):
+        class Impostor(PythonBackend):
+            name = "auto"
+
+        with pytest.raises(EvaluationError, match="reserved"):
+            register_backend(Impostor())
+
+    def test_describe_includes_availability_and_version(self):
+        info = get_backend("numpy").describe()
+        assert info["name"] == "numpy"
+        assert info["class"] == "NumpyBackend"
+        assert info["available"] is True
+        assert info["version"] == np.__version__
+
+    def test_describe_python_backend(self):
+        import platform
+
+        info = get_backend("python").describe()
+        assert info["available"] is True
+        assert info["version"] == platform.python_version()
+
+    def test_backend_inventory_covers_all_registered(self):
+        from repro.engine.backend import backend_inventory
+
+        inventory = backend_inventory()
+        assert [entry["name"] for entry in inventory] == available_backends()
+        for entry in inventory:
+            assert isinstance(entry["available"], bool)
+            assert "class" in entry and "version" in entry
 
 
 class TestRelationColumns:

@@ -1,0 +1,406 @@
+"""The compiled kernel backend: kernel correctness + cross-backend equivalence.
+
+The ``"compiled"`` backend promises to be a pure performance knob on top of
+the columnar engine: identical counts, identical boundary-multiplicity
+profiles (values, exactness flags, dropped predicates), backend-invariant
+``ProfileStats`` structural counters and bitwise-identical seeded releases
+versus ``"numpy"`` (and therefore ``"python"``).
+
+numba is an *optional* dependency, so this module runs the kernels in
+forced-interpreted mode (``REPRO_COMPILED_KERNELS=interpreted``) — the same
+kernel functions numba would compile, executed by CPython — which keeps the
+whole compiled code path exercised on hosts without numba.  The JIT speed
+gate lives in ``benchmarks/bench_profile.py`` and skips when numba is absent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.database import Database
+from repro.data.schema import DatabaseSchema
+from repro.engine import kernels as kernels_mod
+from repro.engine.backend import (
+    BACKEND_ENV_VAR,
+    CompiledBackend,
+    default_backend_name,
+    get_backend,
+    resolve_auto_backend,
+)
+from repro.engine.columnar import eliminate_group_counts_columnar, use_kernels
+from repro.engine.evaluation import count_query
+from repro.engine.profile import evaluate_profile
+from repro.engine.procpool import shutdown_process_pool
+from repro.exceptions import EvaluationError
+from repro.graphs.generators import collaboration_graph
+from repro.graphs.loader import database_from_networkx
+from repro.mechanisms.mechanism import PrivateCountingQuery
+from repro.query.parser import parse_query
+from repro.sensitivity.residual import ResidualSensitivity
+from repro.service.service import PrivateQueryService
+
+QUERIES = [
+    "Edge(x, y)",
+    "Edge(x, y), Edge(y, z)",
+    "Edge(x, y), Edge(y, z), Edge(x, z), x != y, y != z, x != z",
+    "Edge(x, y), Edge(y, z), Edge(z, w)",
+    "Edge(c, l1), Edge(c, l2), Edge(c, l3), l1 != l2, l1 != l3, l2 != l3",
+    "Q(x) :- Edge(x, y), Edge(y, z)",
+    "Edge(x, y), Edge(y, z), x < z",
+]
+
+BACKENDS = ("python", "numpy", "compiled")
+
+
+@pytest.fixture(autouse=True)
+def interpreted_kernels(monkeypatch):
+    """Force the compiled tier available (interpreted) for every test here."""
+    monkeypatch.delenv(kernels_mod.DISABLE_ENV_VAR, raising=False)
+    monkeypatch.setenv(kernels_mod.MODE_ENV_VAR, "interpreted")
+
+
+@pytest.fixture(scope="module")
+def graph_db() -> Database:
+    return database_from_networkx(collaboration_graph(60, 5.0, seed=3))
+
+
+# --------------------------------------------------------------------- #
+# Kernel-level correctness vs the NumPy primitives they replace
+# --------------------------------------------------------------------- #
+class TestKernels:
+    def _kernels(self):
+        return kernels_mod.get_kernels()
+
+    @pytest.mark.parametrize("size", [0, 1, 2, 17, 500])
+    def test_factorize_matches_np_unique(self, size):
+        rng = np.random.default_rng(size)
+        col = rng.integers(-50, 50, size=size).astype(np.int64)
+        result = self._kernels().factorize(col)
+        assert result is not None
+        codes, values = result
+        uniq, inverse = np.unique(col, return_inverse=True)
+        np.testing.assert_array_equal(values, uniq)
+        np.testing.assert_array_equal(codes, inverse.astype(np.int64))
+        assert codes.dtype == np.int64
+
+    def test_factorize_declines_non_int64(self):
+        assert self._kernels().factorize(np.array([1.5, 2.5])) is None
+        assert self._kernels().factorize(np.array(["a", "b"])) is None
+
+    @pytest.mark.parametrize("size", [0, 1, 3, 64, 400])
+    def test_group_reduce_matches_unique_add_at(self, size):
+        rng = np.random.default_rng(1000 + size)
+        codes = rng.integers(0, max(size // 3, 1), size=size).astype(np.int64)
+        counts = rng.integers(1, 9, size=size).astype(np.int64)
+        first_idx, sums = self._kernels().group_reduce(codes, counts)
+        uniq, want_first, inverse = np.unique(
+            codes, return_index=True, return_inverse=True
+        )
+        want_sums = np.zeros(len(uniq), dtype=np.int64)
+        np.add.at(want_sums, inverse, counts)
+        np.testing.assert_array_equal(first_idx, want_first)
+        np.testing.assert_array_equal(sums, want_sums)
+
+    @pytest.mark.parametrize("nl,nr", [(0, 5), (5, 0), (1, 1), (40, 60), (200, 100)])
+    def test_expand_matches_matches_numpy_expansion(self, nl, nr):
+        rng = np.random.default_rng(nl * 1000 + nr)
+        lkey = rng.integers(0, 12, size=nl).astype(np.int64)
+        rkey = rng.integers(0, 12, size=nr).astype(np.int64)
+        order = np.argsort(rkey, kind="stable")
+        rsorted = rkey[order]
+        left_idx, right_idx = self._kernels().expand_matches(lkey, rsorted, order)
+        # The reference NumPy expansion from the columnar engine.
+        lo = np.searchsorted(rsorted, lkey, side="left")
+        hi = np.searchsorted(rsorted, lkey, side="right")
+        matches = hi - lo
+        hit = matches > 0
+        per_left = matches[hit]
+        total = int(per_left.sum())
+        want_left = np.repeat(np.nonzero(hit)[0], per_left)
+        starts = np.repeat(lo[hit], per_left)
+        offsets = np.repeat(np.cumsum(per_left) - per_left, per_left)
+        want_right = order[starts + (np.arange(total, dtype=np.int64) - offsets)]
+        np.testing.assert_array_equal(left_idx, want_left)
+        np.testing.assert_array_equal(right_idx, want_right)
+        assert self._kernels().match_total(lkey, rsorted) == total
+
+    def test_renormalize_produces_dense_codes(self):
+        codes = np.array([900, -3, 900, 17, -3], dtype=np.int64)
+        dense, cardinality = self._kernels().renormalize(codes)
+        uniq, inverse = np.unique(codes, return_inverse=True)
+        np.testing.assert_array_equal(dense, inverse.astype(np.int64))
+        assert cardinality == len(uniq)
+        empty_dense, empty_card = self._kernels().renormalize(
+            np.empty(0, dtype=np.int64)
+        )
+        assert len(empty_dense) == 0
+        assert empty_card == 1
+
+    def test_kernels_actually_run_during_elimination(self, graph_db):
+        """Guard against silent fallback: the hook methods must be exercised."""
+        calls = {"factorize": 0, "group_reduce": 0, "expand": 0}
+        inner = kernels_mod.get_kernels()
+
+        class Spy:
+            def factorize(self, col):
+                calls["factorize"] += 1
+                return inner.factorize(col)
+
+            def renormalize(self, codes):
+                return inner.renormalize(codes)
+
+            def expand_matches(self, lkey, rsorted, order):
+                calls["expand"] += 1
+                return inner.expand_matches(lkey, rsorted, order)
+
+            def match_total(self, lkey, rsorted):
+                return inner.match_total(lkey, rsorted)
+
+            def group_reduce(self, codes, counts):
+                calls["group_reduce"] += 1
+                return inner.group_reduce(codes, counts)
+
+        query = parse_query("Edge(x, y), Edge(y, z)")
+        with use_kernels(Spy()):
+            eliminate_group_counts_columnar(query, graph_db, ())
+        assert calls["expand"] > 0
+        assert calls["group_reduce"] > 0
+
+
+# --------------------------------------------------------------------- #
+# Mode resolution and availability gating
+# --------------------------------------------------------------------- #
+class TestAvailability:
+    def test_interpreted_mode_available(self):
+        assert kernels_mod.kernel_mode() == "interpreted"
+        assert kernels_mod.kernels_available()
+        assert kernels_mod.unavailable_reason() is None
+        assert kernels_mod.kernel_version() == "interpreted"
+
+    def test_no_compiled_env_disables(self, monkeypatch):
+        monkeypatch.setenv(kernels_mod.DISABLE_ENV_VAR, "1")
+        assert kernels_mod.kernel_mode() == "unavailable"
+        assert not kernels_mod.kernels_available()
+        assert kernels_mod.DISABLE_ENV_VAR in kernels_mod.unavailable_reason()
+
+    def test_mode_off_disables(self, monkeypatch):
+        monkeypatch.setenv(kernels_mod.MODE_ENV_VAR, "off")
+        assert kernels_mod.kernel_mode() == "unavailable"
+        assert "off" in kernels_mod.unavailable_reason()
+
+    def test_get_kernels_raises_with_reason_when_unavailable(self, monkeypatch):
+        monkeypatch.setenv(kernels_mod.DISABLE_ENV_VAR, "1")
+        with pytest.raises(EvaluationError, match="unavailable"):
+            kernels_mod.get_kernels()
+
+    def test_get_backend_compiled_raises_when_unavailable(self, monkeypatch):
+        monkeypatch.setenv(kernels_mod.DISABLE_ENV_VAR, "1")
+        with pytest.raises(EvaluationError, match="registered but unavailable"):
+            get_backend("compiled")
+
+    def test_get_backend_compiled_when_available(self):
+        assert isinstance(get_backend("compiled"), CompiledBackend)
+
+    def test_auto_prefers_compiled_when_available(self):
+        assert resolve_auto_backend() == "compiled"
+        assert get_backend("auto").name == "compiled"
+
+    def test_auto_falls_back_to_numpy(self, monkeypatch):
+        monkeypatch.setenv(kernels_mod.DISABLE_ENV_VAR, "1")
+        assert resolve_auto_backend() == "numpy"
+        assert get_backend("auto").name == "numpy"
+
+    def test_env_default_rejects_unavailable_compiled(self, monkeypatch):
+        monkeypatch.setenv(kernels_mod.DISABLE_ENV_VAR, "1")
+        monkeypatch.setenv(BACKEND_ENV_VAR, "compiled")
+        with pytest.raises(EvaluationError, match="unavailable"):
+            default_backend_name()
+
+    def test_describe_reports_mode_and_warmth(self):
+        info = get_backend("compiled").describe()
+        assert info["available"] is True
+        assert info["mode"] == "interpreted"
+        assert isinstance(info["warm"], bool)
+        assert "requirement" in info
+
+    def test_warm_up_is_idempotent_and_recorded(self):
+        first = kernels_mod.warm_up()
+        second = kernels_mod.warm_up()
+        assert first["warm"] and second["warm"]
+        assert first["warm_up_seconds"] == second["warm_up_seconds"]
+
+
+# --------------------------------------------------------------------- #
+# The cross-backend equivalence matrix: python == numpy == compiled
+# --------------------------------------------------------------------- #
+class TestEquivalenceMatrix:
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_counts_identical(self, graph_db, text):
+        query = parse_query(text)
+        counts = {name: count_query(query, graph_db, backend=name) for name in BACKENDS}
+        assert counts["compiled"] == counts["numpy"] == counts["python"]
+
+    def test_string_columns_fall_back_identically(self):
+        schema = DatabaseSchema.from_arities({"T": 2, "U": 2})
+        db = Database.from_rows(
+            schema,
+            T=[("alice", 1), ("bob", 2), ("carol", 1), ("dave", 2)],
+            U=[(1, "x"), (1, "y"), (2, "x")],
+        )
+        query = parse_query("T(name, k), U(k, tag)")
+        counts = {name: count_query(query, db, backend=name) for name in BACKENDS}
+        assert counts["compiled"] == counts["numpy"] == counts["python"]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_profiles_and_structural_stats_identical(self, graph_db, text):
+        query = parse_query(text)
+        engine = ResidualSensitivity(query, beta=0.1)
+        subsets = engine.required_subsets(graph_db)
+        profiles = {
+            name: evaluate_profile(query, graph_db, subsets, backend=name)
+            for name in ("numpy", "compiled")
+        }
+        for kept in subsets:
+            got = profiles["compiled"].results[kept]
+            want = profiles["numpy"].results[kept]
+            assert (got.value, got.exact) == (want.value, want.exact)
+            assert sorted(map(repr, got.dropped_predicates)) == sorted(
+                map(repr, want.dropped_predicates)
+            )
+        cs, ns = profiles["compiled"].stats, profiles["numpy"].stats
+        for field in (
+            "subsets_total",
+            "components_total",
+            "components_evaluated",
+            "component_hits",
+            "component_cache_hits",
+        ):
+            assert getattr(cs, field) == getattr(ns, field), field
+        # Cache *state* differs between runs, but every factorization
+        # lookup happens on both backends: the event totals must match.
+        assert (
+            cs.factorization_hits + cs.factorization_misses
+            == ns.factorization_hits + ns.factorization_misses
+        )
+
+    def test_residual_sensitivity_identical(self, graph_db):
+        query = parse_query("Edge(x, y), Edge(y, z)")
+        results = {
+            name: ResidualSensitivity(query, beta=0.2, backend=name).compute(graph_db)
+            for name in BACKENDS
+        }
+        assert (
+            results["compiled"].value
+            == results["numpy"].value
+            == results["python"].value
+        )
+        assert (
+            results["compiled"].details["ls_hat_series"]
+            == results["numpy"].details["ls_hat_series"]
+        )
+
+    @pytest.mark.parametrize("text", QUERIES[:4])
+    def test_seeded_releases_bitwise_identical(self, graph_db, text):
+        query = parse_query(text)
+        releases = {}
+        for name in BACKENDS:
+            releaser = PrivateCountingQuery(
+                query, epsilon=0.7, rng=np.random.default_rng(99), backend=name
+            )
+            releases[name] = releaser.release(graph_db, keep_true_count=True)
+        for name in ("numpy", "compiled"):
+            assert releases[name].noisy_count == releases["python"].noisy_count
+            assert releases[name].sensitivity == releases["python"].sensitivity
+            assert releases[name].true_count == releases["python"].true_count
+        assert releases["compiled"].backend == "compiled"
+
+    def test_process_pool_mode_matches_serial(self, graph_db):
+        # The shared spawn pool may predate this test's env monkeypatch —
+        # recycle it so workers inherit the interpreted-kernels setting.
+        shutdown_process_pool()
+        try:
+            query = parse_query("Edge(x, y), Edge(y, z), Edge(z, w)")
+            engine = ResidualSensitivity(query, beta=0.1)
+            subsets = engine.required_subsets(graph_db)
+            serial = evaluate_profile(query, graph_db, subsets, backend="compiled")
+            pooled = evaluate_profile(
+                query, graph_db, subsets, backend="compiled",
+                parallelism=2, parallelism_mode="process",
+            )
+            for kept in subsets:
+                assert pooled.results[kept] == serial.results[kept]
+            assert pooled.stats.components_total == serial.stats.components_total
+        finally:
+            shutdown_process_pool()
+
+
+# --------------------------------------------------------------------- #
+# Serving layer
+# --------------------------------------------------------------------- #
+class TestServingLayer:
+    def test_register_and_count_with_compiled_backend(self, graph_db):
+        service = PrivateQueryService(session_budget=5.0, rng=21)
+        try:
+            service.register_database("g", graph_db, backend="compiled")
+            session = service.create_session().session_id
+            response = service.count(
+                "g", "Edge(x, y), Edge(y, z)", epsilon=0.5, session=session
+            )
+            assert response.backend == "compiled"
+        finally:
+            service.close()
+
+    def test_registration_warms_the_kernels(self, graph_db):
+        service = PrivateQueryService(rng=0)
+        try:
+            service.register_database("g", graph_db, backend="compiled")
+            assert kernels_mod.kernel_status()["warm"]
+        finally:
+            service.close()
+
+    def test_register_auto_resolves_to_compiled(self, graph_db):
+        service = PrivateQueryService(rng=0)
+        try:
+            entry = service.register_database("g", graph_db, backend="auto")
+            assert entry.backend == "compiled"
+        finally:
+            service.close()
+
+    def test_register_compiled_unavailable_raises(self, graph_db, monkeypatch):
+        monkeypatch.setenv(kernels_mod.DISABLE_ENV_VAR, "1")
+        service = PrivateQueryService(rng=0)
+        try:
+            with pytest.raises(EvaluationError, match="unavailable"):
+                service.register_database("g", graph_db, backend="compiled")
+        finally:
+            service.close()
+
+    def test_stats_backends_block(self, graph_db):
+        service = PrivateQueryService(rng=0)
+        try:
+            service.register_database("g", graph_db, backend="compiled")
+            block = service.stats()["backends"]
+            assert block["auto"] == "compiled"
+            assert block["default"] in block["available"]
+            by_name = {entry["name"]: entry for entry in block["inventory"]}
+            assert set(by_name) == set(block["available"])
+            compiled = by_name["compiled"]
+            assert compiled["available"] is True
+            assert compiled["mode"] == "interpreted"
+            assert compiled["warm"] is True
+        finally:
+            service.close()
+
+    def test_stats_backends_block_when_unavailable(self, graph_db, monkeypatch):
+        monkeypatch.setenv(kernels_mod.DISABLE_ENV_VAR, "1")
+        service = PrivateQueryService(rng=0)
+        try:
+            service.register_database("g", graph_db, backend="numpy")
+            block = service.stats()["backends"]
+            assert block["auto"] == "numpy"
+            by_name = {entry["name"]: entry for entry in block["inventory"]}
+            assert by_name["compiled"]["available"] is False
+            assert "reason" in by_name["compiled"]
+        finally:
+            service.close()
